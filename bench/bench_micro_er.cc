@@ -1,0 +1,125 @@
+// Micro-benchmarks over the ER kernels (google-benchmark): similarity
+// functions, tokenization, blocking-index construction, meta-blocking
+// stages and the Link Index.
+
+#include <benchmark/benchmark.h>
+
+#include "blocking/block_join.h"
+#include "blocking/token_blocking.h"
+#include "common/string_util.h"
+#include "datagen/scholarly.h"
+#include "matching/link_index.h"
+#include "matching/profile_matcher.h"
+#include "matching/similarity.h"
+#include "metablocking/meta_blocking.h"
+
+namespace queryer {
+namespace {
+
+const char kLeft[] = "entity resolution over dirty scholarly data";
+const char kRight[] = "enitty resolution over dirty schollarly data";
+
+void BM_JaroWinkler(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroWinklerSimilarity(kLeft, kRight));
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_Levenshtein(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(LevenshteinDistance(kLeft, kRight));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaccardTokens(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardTokenSimilarity(kLeft, kRight));
+  }
+}
+BENCHMARK(BM_JaccardTokens);
+
+void BM_TokenizeAlnum(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TokenizeAlnum(kLeft));
+  }
+}
+BENCHMARK(BM_TokenizeAlnum);
+
+void BM_ValueSimilarity(benchmark::State& state) {
+  MatchingConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ValueSimilarity(kLeft, kRight, config));
+  }
+}
+BENCHMARK(BM_ValueSimilarity);
+
+void BM_ProfileSimilarity(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(100, 3);
+  MatchingConfig config;
+  config.excluded_attributes = {0};
+  AttributeWeights weights = AttributeWeights::Compute(*dsd.table);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ProfileSimilarity(dsd.table->row(0), dsd.table->row(1), config,
+                          &weights));
+  }
+}
+BENCHMARK(BM_ProfileSimilarity);
+
+void BM_TableBlockIndexBuild(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(static_cast<std::size_t>(state.range(0)), 5);
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TableBlockIndex::Build(*dsd.table, options));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableBlockIndexBuild)->Arg(1000)->Arg(5000);
+
+void BM_QueryBlockingAndJoin(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(5000, 7);
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  auto tbi = TableBlockIndex::Build(*dsd.table, options);
+  std::vector<EntityId> selection;
+  for (EntityId e = 0; e < 200; ++e) selection.push_back(e * 7 % 5000);
+  for (auto _ : state) {
+    QueryBlockIndex qbi = QueryBlockIndex::Build(*dsd.table, selection, options);
+    benchmark::DoNotOptimize(BlockJoin(qbi, *tbi));
+  }
+}
+BENCHMARK(BM_QueryBlockingAndJoin);
+
+void BM_MetaBlocking(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(5000, 9);
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  auto tbi = TableBlockIndex::Build(*dsd.table, options);
+  std::vector<EntityId> selection;
+  for (EntityId e = 0; e < 500; ++e) selection.push_back(e * 3 % 5000);
+  QueryBlockIndex qbi = QueryBlockIndex::Build(*dsd.table, selection, options);
+  BlockCollection enriched = BlockJoin(qbi, *tbi);
+  for (auto _ : state) {
+    BlockCollection copy = enriched;
+    benchmark::DoNotOptimize(
+        RunMetaBlocking(std::move(copy), MetaBlockingConfig::All()));
+  }
+}
+BENCHMARK(BM_MetaBlocking);
+
+void BM_LinkIndexAddFind(benchmark::State& state) {
+  for (auto _ : state) {
+    LinkIndex li(10000);
+    for (EntityId e = 0; e + 1 < 10000; e += 2) li.AddLink(e, e + 1);
+    benchmark::DoNotOptimize(li.Cluster(5000));
+  }
+}
+BENCHMARK(BM_LinkIndexAddFind);
+
+}  // namespace
+}  // namespace queryer
+
+BENCHMARK_MAIN();

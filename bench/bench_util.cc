@@ -1,0 +1,120 @@
+#include "bench_util.h"
+
+#include <cstdlib>
+
+namespace queryer::bench {
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("QUERYER_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    double value = std::strtod(env, nullptr);
+    return value > 0 ? value : 1.0;
+  }();
+  return scale;
+}
+
+std::size_t Scaled(std::size_t base) {
+  auto scaled = static_cast<std::size_t>(static_cast<double>(base) * Scale());
+  return scaled < 100 ? 100 : scaled;
+}
+
+const std::vector<datagen::VenueUniverseEntry>& Universe() {
+  static const auto* universe =
+      new std::vector<datagen::VenueUniverseEntry>(
+          datagen::MakeVenueUniverse(400, 0xBEEF));
+  return *universe;
+}
+
+datagen::GeneratedDataset Dsd(std::size_t rows) {
+  return datagen::MakeDsdLike(rows, 0xD5D);
+}
+
+datagen::GeneratedDataset Oao(std::size_t rows) {
+  return datagen::MakeOrganisations(rows, 0x0A0);
+}
+
+datagen::GeneratedDataset Oap(std::size_t rows,
+                              const std::vector<std::string>& org_pool) {
+  return datagen::MakeProjects(rows, org_pool, 0x0AF);
+}
+
+datagen::GeneratedDataset Ppl(std::size_t rows,
+                              const std::vector<std::string>& org_pool) {
+  return datagen::MakePeople(rows, org_pool, 0xFF1);
+}
+
+datagen::GeneratedDataset Oagp(std::size_t rows) {
+  return datagen::MakeOagpLike(rows, Universe(), 0xA6F);
+}
+
+datagen::GeneratedDataset Oagv(std::size_t rows) {
+  return datagen::MakeOagvLike(rows, Universe(), 0xA61);
+}
+
+QueryEngine MakeEngine(const std::vector<TablePtr>& tables,
+                       ExecutionMode mode,
+                       const MetaBlockingConfig& meta_blocking,
+                       bool collect_comparisons) {
+  EngineOptions options;
+  options.meta_blocking = meta_blocking;
+  options.mode = mode;
+  options.collect_comparisons = collect_comparisons;
+  QueryEngine engine(options);
+  for (const TablePtr& table : tables) {
+    Status status = engine.RegisterTable(table);
+    if (!status.ok()) {
+      std::fprintf(stderr, "RegisterTable failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+    // Indices are built once-off at load time (paper Sec. 3); keep that
+    // cost out of the measured query times.
+    status = engine.WarmIndices(table->name());
+    if (!status.ok()) {
+      std::fprintf(stderr, "WarmIndices failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  return engine;
+}
+
+std::string SelectivityQuery(const std::string& table, int percent,
+                             const std::string& projection) {
+  return "SELECT DEDUP " + projection + " FROM " + table +
+         " WHERE MOD(id, 100) < " + std::to_string(percent);
+}
+
+std::vector<EntityId> SelectedIds(const Table& table, int percent) {
+  std::vector<EntityId> ids;
+  for (EntityId e = 0; e < table.num_rows(); ++e) {
+    if (e % 100 < static_cast<EntityId>(percent)) ids.push_back(e);
+  }
+  return ids;
+}
+
+QueryResult MustExecute(QueryEngine* engine, const std::string& sql) {
+  auto result = engine->Execute(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n", sql.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*result);
+}
+
+void CsvLine(const std::string& bench, const std::vector<std::string>& fields) {
+  std::string line = "CSV," + bench;
+  for (const std::string& field : fields) {
+    line += ",";
+    line += field;
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void Banner(const std::string& title) {
+  std::printf("\n=== %s (scale %.2f) ===\n", title.c_str(), Scale());
+}
+
+}  // namespace queryer::bench

@@ -1,0 +1,79 @@
+// Shared infrastructure for the experiment harnesses (one binary per paper
+// table/figure — see DESIGN.md Sec. 4).
+//
+// Dataset sizes default to 1/20 of the paper's (DESIGN.md Sec. 5) and scale
+// with the QUERYER_BENCH_SCALE environment variable (e.g. 20 reproduces the
+// paper's absolute sizes, 0.2 gives a smoke run). Every harness prints
+// aligned human-readable tables plus machine-readable "CSV," lines.
+
+#ifndef QUERYER_BENCH_BENCH_UTIL_H_
+#define QUERYER_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "datagen/orgs.h"
+#include "datagen/people.h"
+#include "datagen/scholarly.h"
+#include "engine/query_engine.h"
+
+namespace queryer::bench {
+
+/// Scale multiplier from QUERYER_BENCH_SCALE (default 1.0).
+double Scale();
+
+/// base * Scale(), at least 100.
+std::size_t Scaled(std::size_t base);
+
+// Baseline (scale = 1.0) dataset sizes: paper size / 20.
+inline constexpr std::size_t kDsdRows = 3344;    // Paper: 66,879.
+inline constexpr std::size_t kOaoRows = 2773;    // Paper: 55,464.
+inline constexpr std::size_t kOapRows = 25000;   // Paper: 500K.
+inline constexpr std::size_t kOagvRows = 6500;   // Paper: 130K.
+inline constexpr std::size_t kSize200K = 10000;  // Paper: 200K.
+inline constexpr std::size_t kSize500K = 25000;  // Paper: 500K.
+inline constexpr std::size_t kSize1M = 50000;    // Paper: 1M.
+inline constexpr std::size_t kSize1500K = 75000; // Paper: 1.5M.
+inline constexpr std::size_t kSize2M = 100000;   // Paper: 2M.
+
+/// Deterministic dataset factories (seeds fixed per dataset family).
+datagen::GeneratedDataset Dsd(std::size_t rows);
+datagen::GeneratedDataset Oao(std::size_t rows);
+datagen::GeneratedDataset Oap(std::size_t rows,
+                              const std::vector<std::string>& org_pool);
+datagen::GeneratedDataset Ppl(std::size_t rows,
+                              const std::vector<std::string>& org_pool);
+datagen::GeneratedDataset Oagp(std::size_t rows);
+datagen::GeneratedDataset Oagv(std::size_t rows);
+const std::vector<datagen::VenueUniverseEntry>& Universe();
+
+/// Engine over the given tables with the engine-default ER configuration.
+QueryEngine MakeEngine(const std::vector<TablePtr>& tables,
+                       ExecutionMode mode,
+                       const MetaBlockingConfig& meta_blocking = {},
+                       bool collect_comparisons = false);
+
+/// The Q1..Q5 selectivity ladder of the paper's SP experiments (~5%..80%).
+inline constexpr int kSelectivities[] = {5, 20, 35, 50, 80};
+
+/// "SELECT DEDUP <projection> FROM <table> WHERE MOD(id, 100) < <pct>" —
+/// a uniformly random selection of ~pct% of the table.
+std::string SelectivityQuery(const std::string& table, int percent,
+                             const std::string& projection);
+
+/// Entity ids selected by MOD(id, 100) < percent (for PC measurement).
+std::vector<EntityId> SelectedIds(const Table& table, int percent);
+
+/// Runs one query, aborting the bench on failure.
+QueryResult MustExecute(QueryEngine* engine, const std::string& sql);
+
+/// Machine-readable output line: "CSV,<bench>,<f1>,<f2>,...".
+void CsvLine(const std::string& bench, const std::vector<std::string>& fields);
+
+/// Section banner.
+void Banner(const std::string& title);
+
+}  // namespace queryer::bench
+
+#endif  // QUERYER_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,57 @@
+// Progressive exploration (the paper's Fig. 11 usage pattern): an analyst
+// issues overlapping queries against the same dirty table; the Link Index
+// makes every successive query cheaper because already-resolved entities
+// skip the ER pipeline entirely.
+//
+//   ./progressive_exploration [num_rows]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "datagen/scholarly.h"
+#include "engine/query_engine.h"
+
+int main(int argc, char** argv) {
+  std::size_t num_rows = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 30000;
+  std::printf("Generating a DSD-like bibliography with %zu rows...\n", num_rows);
+  auto dsd = queryer::datagen::MakeDsdLike(num_rows, 42);
+
+  // Overlapping range queries: each extends the previous year window.
+  const std::string queries[] = {
+      "SELECT DEDUP title, year FROM dsd WHERE year BETWEEN 2012 AND 2015",
+      "SELECT DEDUP title, year FROM dsd WHERE year BETWEEN 2010 AND 2017",
+      "SELECT DEDUP title, year FROM dsd WHERE year BETWEEN 2008 AND 2019",
+      "SELECT DEDUP title, year FROM dsd WHERE year BETWEEN 2006 AND 2021",
+  };
+
+  for (bool use_link_index : {true, false}) {
+    queryer::QueryEngine engine;
+    if (!engine.RegisterTable(dsd.table).ok()) return 1;
+    engine.set_use_link_index(use_link_index);
+    std::printf("\n== %s the Link Index ==\n",
+                use_link_index ? "With" : "Without");
+    std::printf("%-10s %12s %12s %12s %10s\n", "query", "|QE|",
+                "from-LI", "comparisons", "time(s)");
+    int i = 0;
+    for (const std::string& sql : queries) {
+      auto result = engine.Execute(sql);
+      if (!result.ok()) {
+        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("%-10s %12zu %12zu %12zu %10s\n",
+                  ("Q" + std::to_string(++i)).c_str(),
+                  result->stats.query_entities,
+                  result->stats.entities_already_resolved,
+                  result->stats.comparisons_executed,
+                  queryer::FormatDouble(result->stats.total_seconds, 3).c_str());
+    }
+  }
+  std::printf(
+      "\nWith the LI, each query only pays for entities not covered by the "
+      "previous ones — the progressive-cleaning behaviour of the paper's "
+      "Fig. 11.\n");
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Quickstart: the paper's motivating example (Sec. 2), end to end.
+//
+// Loads the publications table P and venues table V of Tables 1-2, runs the
+// plain SQL query (which misses the duplicates) and then the same query with
+// the DEDUP keyword, printing the paper's Table 3 result.
+//
+//   ./quickstart
+
+#include <cstdio>
+#include <string>
+
+#include "datagen/scholarly.h"
+#include "engine/query_engine.h"
+
+namespace {
+
+void PrintResult(const queryer::QueryResult& result) {
+  for (const std::string& column : result.columns) {
+    std::printf("%-62s", column.c_str());
+  }
+  std::printf("\n");
+  for (const auto& row : result.rows) {
+    for (const std::string& value : row) {
+      std::printf("%-62s", value.empty() ? "(null)" : value.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("(%zu rows, %zu comparisons executed)\n\n", result.rows.size(),
+              result.stats.comparisons_executed);
+}
+
+}  // namespace
+
+int main() {
+  queryer::EngineOptions options;
+  // The 14-row example is too small for Edge Pruning statistics; BP+BF is
+  // the right configuration at this scale.
+  options.meta_blocking = queryer::MetaBlockingConfig::BpBf();
+  queryer::QueryEngine engine(options);
+
+  // Register the dirty tables. In a real deployment these would come from
+  // engine.RegisterCsvFile("publications.csv", "p").
+  auto status = engine.RegisterTable(
+      queryer::datagen::MakeMotivatingPublications().table);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  status = engine.RegisterTable(queryer::datagen::MakeMotivatingVenues().table);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("== Plain SQL (misses P2, P7 and V4's rank) ==\n");
+  auto plain = engine.Execute(
+      "SELECT P.Title, P.Year, V.Rank FROM P "
+      "INNER JOIN V ON P.venue = V.title WHERE P.venue = 'EDBT'");
+  if (!plain.ok()) {
+    std::fprintf(stderr, "%s\n", plain.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*plain);
+
+  std::printf("== SELECT DEDUP (the paper's Table 3) ==\n");
+  auto dedup = engine.Execute(
+      "SELECT DEDUP P.Title, P.Year, V.Rank FROM P "
+      "INNER JOIN V ON P.venue = V.title WHERE P.venue = 'EDBT'");
+  if (!dedup.ok()) {
+    std::fprintf(stderr, "%s\n", dedup.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*dedup);
+
+  std::printf("== Plan chosen by the cost-based planner ==\n%s\n",
+              dedup->plan_text.c_str());
+  return 0;
+}

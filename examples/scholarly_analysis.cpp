@@ -1,0 +1,85 @@
+// Scholarly-aggregator analysis (the paper's motivating application): an
+// analyst explores freshly harvested, un-deduplicated publication and venue
+// feeds with SPJ queries, comparing the Batch Approach with QueryER's
+// analysis-aware execution.
+//
+//   ./scholarly_analysis [num_papers] [num_venues]
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/string_util.h"
+#include "datagen/scholarly.h"
+#include "engine/query_engine.h"
+
+namespace {
+
+queryer::Result<queryer::QueryResult> RunOrDie(queryer::QueryEngine* engine,
+                                               const std::string& sql) {
+  auto result = engine->Execute(sql);
+  if (!result.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n", sql.c_str(),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t num_papers = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 20000;
+  std::size_t num_venues = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 2000;
+
+  std::printf("Generating OAG-like feeds: %zu papers, %zu venues...\n",
+              num_papers, num_venues);
+  auto universe = queryer::datagen::MakeVenueUniverse(400, 7);
+  auto papers = queryer::datagen::MakeOagpLike(num_papers, universe, 11);
+  auto venues = queryer::datagen::MakeOagvLike(num_venues, universe, 13);
+
+  const std::string spj =
+      "SELECT DEDUP oagp.title, oagp.year, oagv.rank "
+      "FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title "
+      "WHERE oagp.venue = 'EDBT'";
+  const std::string sp =
+      "SELECT DEDUP title, n_citation FROM oagp WHERE year >= 2015 AND "
+      "doc_type = 'conference' AND title LIKE '%entity%'";
+
+  for (queryer::ExecutionMode mode :
+       {queryer::ExecutionMode::kBatch, queryer::ExecutionMode::kAdvanced}) {
+    queryer::QueryEngine engine;
+    if (!engine.RegisterTable(papers.table).ok() ||
+        !engine.RegisterTable(venues.table).ok()) {
+      std::fprintf(stderr, "table registration failed\n");
+      return 1;
+    }
+    engine.set_mode(mode);
+    std::printf("\n== %s ==\n",
+                std::string(queryer::ExecutionModeToString(mode)).c_str());
+
+    auto spj_result = RunOrDie(&engine, spj);
+    std::printf(
+        "SPJ venue-rank query: %zu grouped rows, %zu comparisons, %ss\n",
+        spj_result->rows.size(), spj_result->stats.comparisons_executed,
+        queryer::FormatDouble(spj_result->stats.total_seconds, 3).c_str());
+
+    auto sp_result = RunOrDie(&engine, sp);
+    std::printf(
+        "SP recent-entity query: %zu grouped rows, %zu comparisons, %ss\n",
+        sp_result->rows.size(), sp_result->stats.comparisons_executed,
+        queryer::FormatDouble(sp_result->stats.total_seconds, 3).c_str());
+
+    std::printf("Sample grouped rows:\n");
+    std::size_t shown = 0;
+    for (const auto& row : spj_result->rows) {
+      if (shown++ >= 3) break;
+      std::printf("  %s | year=%s | rank=%s\n", row[0].c_str(), row[1].c_str(),
+                  row[2].c_str());
+    }
+  }
+  std::printf(
+      "\nBoth modes return the same grouped entities; the analysis-aware "
+      "mode resolves only what the query touches.\n");
+  return 0;
+}

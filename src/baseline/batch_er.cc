@@ -1,0 +1,63 @@
+#include "baseline/batch_er.h"
+
+#include "common/stopwatch.h"
+
+namespace queryer {
+
+BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
+  BatchErStats result;
+  Stopwatch total;
+
+  // The full block collection: every TBI block, with every member treated
+  // as a "query" entity (batch ER has no selection to restrict to).
+  const TableBlockIndex& tbi = runtime->tbi();
+  Stopwatch watch;
+  BlockCollection blocks;
+  blocks.reserve(tbi.num_blocks());
+  for (std::size_t b = 0; b < tbi.num_blocks(); ++b) {
+    Block block;
+    block.key = tbi.block_key(b);
+    block.entities = tbi.block_entities(b);
+    block.query_entities = block.entities;
+    blocks.push_back(std::move(block));
+  }
+  double block_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  MetaBlockingResult refined =
+      RunMetaBlocking(std::move(blocks), runtime->meta_blocking_config());
+  double meta_seconds = watch.ElapsedSeconds();
+
+  watch.Restart();
+  ComparisonExecStats exec = ExecuteComparisons(
+      runtime->table(), refined.comparisons, runtime->matching_config(),
+      &runtime->link_index(), &runtime->attribute_weights());
+  double resolution_seconds = watch.ElapsedSeconds();
+
+  for (EntityId e = 0; e < runtime->table().num_rows(); ++e) {
+    runtime->link_index().MarkResolved(e);
+  }
+
+  result.comparisons_executed = exec.executed;
+  result.matches_found = exec.matches_found;
+  result.seconds = total.ElapsedSeconds();
+
+  if (stats != nullptr) {
+    stats->comparisons_executed += exec.executed;
+    stats->comparisons_skipped_linked += exec.skipped_linked;
+    stats->matches_found += exec.matches_found;
+    stats->blocking_seconds += block_seconds;
+    // Batch ER has no Block-Join; the meta-blocking bucket covers BP/BF/EP.
+    stats->edge_pruning_seconds += meta_seconds;
+    stats->resolution_seconds += resolution_seconds;
+    stats->comparisons_after_metablocking += refined.comparisons.size();
+    if (stats->collect_comparisons) {
+      stats->collected_comparisons.insert(stats->collected_comparisons.end(),
+                                          refined.comparisons.begin(),
+                                          refined.comparisons.end());
+    }
+  }
+  return result;
+}
+
+}  // namespace queryer

@@ -1,0 +1,36 @@
+#include "blocking/block.h"
+
+namespace queryer {
+
+double Block::QueryComparisons() const {
+  const double q = static_cast<double>(query_entities.size());
+  const double n = static_cast<double>(entities.size());
+  if (q == 0 || n < 2) return 0.0;
+  double comparisons = q * (n - (q + 1) / 2.0);
+  return comparisons < 0 ? 0.0 : comparisons;
+}
+
+double Block::Cardinality() const {
+  const double n = static_cast<double>(entities.size());
+  return n * (n - 1) / 2.0;
+}
+
+double TotalCardinality(const BlockCollection& blocks) {
+  double total = 0;
+  for (const Block& b : blocks) total += b.Cardinality();
+  return total;
+}
+
+double TotalQueryComparisons(const BlockCollection& blocks) {
+  double total = 0;
+  for (const Block& b : blocks) total += b.QueryComparisons();
+  return total;
+}
+
+std::size_t TotalAssignments(const BlockCollection& blocks) {
+  std::size_t total = 0;
+  for (const Block& b : blocks) total += b.size();
+  return total;
+}
+
+}  // namespace queryer

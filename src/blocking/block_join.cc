@@ -1,0 +1,25 @@
+#include "blocking/block_join.h"
+
+namespace queryer {
+
+BlockCollection BlockJoin(const QueryBlockIndex& qbi,
+                          const TableBlockIndex& tbi, BlockJoinStats* stats) {
+  BlockCollection enriched;
+  enriched.reserve(qbi.num_blocks());
+  for (const auto& [key, query_entities] : qbi.blocks()) {
+    std::int64_t block_id = tbi.FindBlock(key);
+    if (block_id < 0) continue;
+    Block block;
+    block.key = key;
+    block.entities = tbi.block_entities(static_cast<std::size_t>(block_id));
+    block.query_entities = query_entities;
+    enriched.push_back(std::move(block));
+  }
+  if (stats != nullptr) {
+    stats->qbi_blocks = qbi.num_blocks();
+    stats->matched_blocks = enriched.size();
+  }
+  return enriched;
+}
+
+}  // namespace queryer

@@ -1,0 +1,33 @@
+// Block-Join (paper Sec. 6.1(ii)): hash-join between the keys of a
+// QueryBlockIndex and a TableBlockIndex.
+//
+// For every query-side blocking key that also exists in the table's TBI, the
+// resulting block contains the full TBI entity set for that key (which is a
+// superset of the query entities holding it). The output EQBI_QE is the
+// enriched block collection over which Meta-Blocking and
+// Comparison-Execution run.
+
+#ifndef QUERYER_BLOCKING_BLOCK_JOIN_H_
+#define QUERYER_BLOCKING_BLOCK_JOIN_H_
+
+#include "blocking/block.h"
+#include "blocking/token_blocking.h"
+
+namespace queryer {
+
+/// \brief Statistics of one Block-Join invocation.
+struct BlockJoinStats {
+  std::size_t qbi_blocks = 0;
+  std::size_t matched_blocks = 0;
+};
+
+/// \brief Enriches query blocks with the table-side entities sharing each
+/// key. Keys absent from the TBI produce no block (a singleton query block
+/// with no table-side sharers cannot contribute comparisons).
+BlockCollection BlockJoin(const QueryBlockIndex& qbi,
+                          const TableBlockIndex& tbi,
+                          BlockJoinStats* stats = nullptr);
+
+}  // namespace queryer
+
+#endif  // QUERYER_BLOCKING_BLOCK_JOIN_H_

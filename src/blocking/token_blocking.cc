@@ -1,0 +1,107 @@
+#include "blocking/token_blocking.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace queryer {
+
+namespace {
+
+bool IsExcluded(const BlockingOptions& options, std::size_t attribute) {
+  return std::find(options.excluded_attributes.begin(),
+                   options.excluded_attributes.end(),
+                   attribute) != options.excluded_attributes.end();
+}
+
+}  // namespace
+
+std::vector<std::string> EntityBlockingKeys(const Table& table, EntityId entity,
+                                            const BlockingOptions& options) {
+  std::set<std::string> distinct;
+  const auto& row = table.row(entity);
+  for (std::size_t a = 0; a < row.size(); ++a) {
+    if (IsExcluded(options, a)) continue;
+    for (auto& token : TokenizeAlnum(row[a], options.min_token_length)) {
+      distinct.insert(std::move(token));
+    }
+  }
+  return {distinct.begin(), distinct.end()};
+}
+
+std::shared_ptr<TableBlockIndex> TableBlockIndex::Build(
+    const Table& table, const BlockingOptions& options) {
+  // Gather key -> entities with deterministic (key-sorted) block ids.
+  std::map<std::string, std::vector<EntityId>> buckets;
+  for (EntityId e = 0; e < table.num_rows(); ++e) {
+    for (auto& key : EntityBlockingKeys(table, e, options)) {
+      buckets[std::move(key)].push_back(e);
+    }
+  }
+
+  auto index = std::shared_ptr<TableBlockIndex>(new TableBlockIndex());
+  index->options_ = options;
+  index->entity_blocks_.resize(table.num_rows());
+  for (auto& [key, entities] : buckets) {
+    if (entities.size() < 2) continue;  // Singleton blocks yield no pairs.
+    auto block_id = static_cast<std::uint32_t>(index->block_keys_.size());
+    index->key_to_block_.emplace(key, block_id);
+    index->block_keys_.push_back(key);
+    index->block_entities_.push_back(std::move(entities));
+  }
+  // Inverse index, with per-entity block lists sorted ascending by |b|.
+  for (std::uint32_t b = 0; b < index->block_entities_.size(); ++b) {
+    for (EntityId e : index->block_entities_[b]) {
+      index->entity_blocks_[e].push_back(b);
+    }
+  }
+  for (auto& blocks : index->entity_blocks_) {
+    std::sort(blocks.begin(), blocks.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                std::size_t sa = index->block_entities_[a].size();
+                std::size_t sb = index->block_entities_[b].size();
+                return sa != sb ? sa < sb : a < b;
+              });
+  }
+  return index;
+}
+
+std::int64_t TableBlockIndex::FindBlock(const std::string& key) const {
+  auto it = key_to_block_.find(key);
+  return it == key_to_block_.end() ? -1 : static_cast<std::int64_t>(it->second);
+}
+
+std::size_t TableBlockIndex::MemoryFootprint() const {
+  std::size_t bytes = 0;
+  for (const auto& key : block_keys_) bytes += key.size() + sizeof(std::string);
+  for (const auto& entities : block_entities_) {
+    bytes += entities.size() * sizeof(EntityId) + sizeof(entities);
+  }
+  for (const auto& blocks : entity_blocks_) {
+    bytes += blocks.size() * sizeof(std::uint32_t) + sizeof(blocks);
+  }
+  // Hash map overhead: bucket array + node per key (rough but stable).
+  bytes += key_to_block_.size() * (sizeof(void*) * 2 + sizeof(std::uint32_t));
+  return bytes;
+}
+
+QueryBlockIndex QueryBlockIndex::Build(const Table& table,
+                                       const std::vector<EntityId>& query_entities,
+                                       const BlockingOptions& options) {
+  std::map<std::string, std::vector<EntityId>> buckets;
+  for (EntityId e : query_entities) {
+    for (auto& key : EntityBlockingKeys(table, e, options)) {
+      buckets[std::move(key)].push_back(e);
+    }
+  }
+  QueryBlockIndex qbi;
+  qbi.blocks_.reserve(buckets.size());
+  for (auto& [key, entities] : buckets) {
+    qbi.blocks_.emplace_back(key, std::move(entities));
+  }
+  return qbi;
+}
+
+}  // namespace queryer

@@ -1,0 +1,120 @@
+// Token Blocking and the three once-off table indices of QueryER.
+//
+// Token Blocking (paper Sec. 6.1(i)) is schema-agnostic: every lower-cased
+// alphanumeric token from every attribute value of an entity becomes a
+// blocking key, and the entities sharing a key form a block. The
+// TableBlockIndex (TBI_E) maps key -> entities for a whole table; its
+// inverse (ITBI_E) maps entity -> blocks, sorted ascending by block size
+// (the order Block Filtering and the cost estimator rely on). A
+// QueryBlockIndex (QBI_QE) is the same structure built on-the-fly for the
+// entities a query selects.
+
+#ifndef QUERYER_BLOCKING_TOKEN_BLOCKING_H_
+#define QUERYER_BLOCKING_TOKEN_BLOCKING_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "blocking/block.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Configuration of the blocking function.
+///
+/// QBI and TBI must always be built with the same options (the paper's
+/// requirement that both use the same blocking function); the engine owns a
+/// single BlockingOptions per table to guarantee this.
+struct BlockingOptions {
+  /// Minimum token length; shorter tokens are noise ("a", "of").
+  std::size_t min_token_length = 2;
+  /// Attributes to exclude from blocking keys (e.g. synthetic row ids whose
+  /// tokens are unique and only bloat the index). Indices into the schema.
+  std::vector<std::size_t> excluded_attributes;
+};
+
+/// \brief The Table Block Index TBI_E plus its inverse ITBI_E.
+///
+/// Built once-off per table and kept in memory (paper Sec. 3). Blocks with a
+/// single entity are kept out of the block list: they can never produce a
+/// comparison, and Block-Join against them would only re-add the probing
+/// entity itself.
+class TableBlockIndex {
+ public:
+  /// Builds the index over all rows of `table`.
+  static std::shared_ptr<TableBlockIndex> Build(const Table& table,
+                                                const BlockingOptions& options);
+
+  const BlockingOptions& options() const { return options_; }
+
+  /// Number of distinct blocking keys (|TBI|, as reported in paper Table 7).
+  std::size_t num_blocks() const { return block_keys_.size(); }
+
+  std::size_t num_entities() const { return entity_blocks_.size(); }
+
+  /// Block id for a key, or -1 if the key indexes no (multi-entity) block.
+  std::int64_t FindBlock(const std::string& key) const;
+
+  const std::string& block_key(std::size_t block_id) const {
+    return block_keys_[block_id];
+  }
+  const std::vector<EntityId>& block_entities(std::size_t block_id) const {
+    return block_entities_[block_id];
+  }
+  std::size_t block_size(std::size_t block_id) const {
+    return block_entities_[block_id].size();
+  }
+
+  /// ITBI_E: the ids of the blocks containing `entity`, sorted ascending by
+  /// block size (ties broken by block id for determinism).
+  const std::vector<std::uint32_t>& entity_blocks(EntityId entity) const {
+    return entity_blocks_[entity];
+  }
+
+  /// Approximate heap footprint in bytes (index-size reporting).
+  std::size_t MemoryFootprint() const;
+
+ private:
+  TableBlockIndex() = default;
+
+  BlockingOptions options_;
+  std::unordered_map<std::string, std::uint32_t> key_to_block_;
+  std::vector<std::string> block_keys_;
+  std::vector<std::vector<EntityId>> block_entities_;
+  std::vector<std::vector<std::uint32_t>> entity_blocks_;
+};
+
+/// \brief Extracts the blocking keys (distinct tokens) of one entity.
+std::vector<std::string> EntityBlockingKeys(const Table& table, EntityId entity,
+                                            const BlockingOptions& options);
+
+/// \brief The Query Block Index QBI_QE: key -> query entities.
+///
+/// Unlike the TBI, singleton blocks are retained: a query entity alone in a
+/// query-side block may still join with table-side entities via Block-Join.
+class QueryBlockIndex {
+ public:
+  /// Builds blocks over the given query entities using the same blocking
+  /// function as the table's TBI.
+  static QueryBlockIndex Build(const Table& table,
+                               const std::vector<EntityId>& query_entities,
+                               const BlockingOptions& options);
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+
+  /// key -> query entities holding it; deterministic (key-sorted) order.
+  const std::vector<std::pair<std::string, std::vector<EntityId>>>& blocks()
+      const {
+    return blocks_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<EntityId>>> blocks_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_BLOCKING_TOKEN_BLOCKING_H_

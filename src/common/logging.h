@@ -1,0 +1,29 @@
+// Lightweight assertion macros (the project has no logging dependency).
+
+#ifndef QUERYER_COMMON_LOGGING_H_
+#define QUERYER_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// these guard invariants whose violation would corrupt query results.
+#define QUERYER_CHECK(condition)                                          \
+  do {                                                                    \
+    if (!(condition)) {                                                   \
+      std::fprintf(stderr, "QUERYER_CHECK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, #condition);                       \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (false)
+
+/// Debug-only check for hot paths.
+#ifdef NDEBUG
+#define QUERYER_DCHECK(condition) \
+  do {                            \
+  } while (false)
+#else
+#define QUERYER_DCHECK(condition) QUERYER_CHECK(condition)
+#endif
+
+#endif  // QUERYER_COMMON_LOGGING_H_

@@ -1,0 +1,44 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace queryer {
+
+std::int64_t RandomEngine::Uniform(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(rng_);
+}
+
+double RandomEngine::UniformReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(rng_);
+}
+
+bool RandomEngine::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+std::size_t RandomEngine::Zipf(std::size_t n, double s) {
+  if (n == 0) return 0;
+  if (s <= 0.0) return static_cast<std::size_t>(Uniform(0, static_cast<std::int64_t>(n) - 1));
+  // Exact inverse-CDF sampling over the harmonic normalizer is slow for
+  // large n; a power-law transform of a uniform draw (u^(1+s) concentrates
+  // mass near rank 0) preserves the skewed-rank shape datagen needs.
+  double u = UniformReal();
+  auto rank = static_cast<std::size_t>(std::pow(u, 1.0 + s) * static_cast<double>(n));
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+std::string RandomEngine::AlphaString(std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    out += static_cast<char>('a' + Uniform(0, 25));
+  }
+  return out;
+}
+
+}  // namespace queryer

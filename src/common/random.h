@@ -1,0 +1,60 @@
+// Deterministic random source for data generation and property tests.
+
+#ifndef QUERYER_COMMON_RANDOM_H_
+#define QUERYER_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace queryer {
+
+/// \brief Seeded PRNG wrapper with the sampling helpers datagen needs.
+///
+/// All QueryER generators are parameterized on a seed so datasets (and the
+/// experiments built on them) are exactly reproducible.
+class RandomEngine {
+ public:
+  explicit RandomEngine(std::uint64_t seed) : rng_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t Uniform(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformReal();
+
+  /// Bernoulli draw with probability `p` of true.
+  bool Bernoulli(double p);
+
+  /// Zipf-distributed rank in [0, n) with skew parameter `s` (s=0 uniform).
+  /// Used to give generated values realistic frequency skew.
+  std::size_t Zipf(std::size_t n, double s);
+
+  /// Uniformly picks one element; requires a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& items) {
+    return items[static_cast<std::size_t>(Uniform(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Random lowercase ASCII string of the given length.
+  std::string AlphaString(std::size_t length);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    for (std::size_t i = items->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(Uniform(0, static_cast<std::int64_t>(i) - 1));
+      std::swap((*items)[i - 1], (*items)[j]);
+    }
+  }
+
+  std::mt19937_64& raw() { return rng_; }
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_COMMON_RANDOM_H_

@@ -1,0 +1,78 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace queryer {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kNotFound:
+      return "Not found";
+    case StatusCode::kAlreadyExists:
+      return "Already exists";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kParseError:
+      return "Parse error";
+    case StatusCode::kPlanError:
+      return "Plan error";
+    case StatusCode::kExecutionError:
+      return "Execution error";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+  }
+  return "Unknown";
+}
+
+Status::Status(StatusCode code, std::string message)
+    : state_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_unique<State>(State{code, std::move(message)})) {}
+
+Status::Status(const Status& other)
+    : state_(other.state_ ? std::make_unique<State>(*other.state_) : nullptr) {}
+
+Status& Status::operator=(const Status& other) {
+  if (this != &other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+  return *this;
+}
+
+const std::string& Status::message() const {
+  static const std::string kEmpty;
+  return state_ ? state_->message : kEmpty;
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result(StatusCodeToString(state_->code));
+  result += ": ";
+  result += state_->message;
+  return result;
+}
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Fatal: accessed value of errored Result: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+void DieOnOkStatusToResult() {
+  std::fprintf(stderr, "Fatal: constructed Result from OK Status\n");
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace queryer

@@ -1,0 +1,191 @@
+// Status and Result<T>: exception-free error propagation for QueryER.
+//
+// Mirrors the Arrow/Abseil idiom: functions that can fail return `Status` or
+// `Result<T>`; callers use QUERYER_RETURN_NOT_OK / QUERYER_ASSIGN_OR_RETURN
+// to propagate failures. A Status is cheap to copy in the OK case (no
+// allocation) and carries a code + message otherwise.
+
+#ifndef QUERYER_COMMON_STATUS_H_
+#define QUERYER_COMMON_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace queryer {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kIoError,
+  kParseError,
+  kPlanError,
+  kExecutionError,
+  kInternal,
+  kNotImplemented,
+};
+
+/// \brief Returns a human-readable name for a status code ("Invalid argument").
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail without returning a value.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+  Status(StatusCode code, std::string message);
+
+  Status(const Status& other);
+  Status& operator=(const Status& other);
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfRange(std::string message) {
+    return Status(StatusCode::kOutOfRange, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status ParseError(std::string message) {
+    return Status(StatusCode::kParseError, std::move(message));
+  }
+  static Status PlanError(std::string message) {
+    return Status(StatusCode::kPlanError, std::move(message));
+  }
+  static Status ExecutionError(std::string message) {
+    return Status(StatusCode::kExecutionError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status NotImplemented(std::string message) {
+    return Status(StatusCode::kNotImplemented, std::move(message));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+  /// Message for a non-OK status; empty string when OK.
+  const std::string& message() const;
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+
+  /// "OK" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  // nullptr <=> OK, so the success path never allocates.
+  std::unique_ptr<State> state_;
+};
+
+/// \brief Either a value of type T or a non-OK Status.
+///
+/// `Result<T>` is the return type for fallible factories and computations.
+/// Accessing the value of an errored result aborts the process (programming
+/// error), so callers must check `ok()` or use QUERYER_ASSIGN_OR_RETURN.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from a non-OK status (failure).
+  Result(Status status) : value_(std::move(status)) {  // NOLINT(runtime/explicit)
+    CheckNotOkStatus();
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(value_);
+  }
+
+  const T& ValueOrDie() const& {
+    CheckHasValue();
+    return std::get<T>(value_);
+  }
+  T& ValueOrDie() & {
+    CheckHasValue();
+    return std::get<T>(value_);
+  }
+  T&& ValueOrDie() && {
+    CheckHasValue();
+    return std::move(std::get<T>(value_));
+  }
+
+  /// Moves the value out; valid only when ok().
+  T&& MoveValueUnsafe() { return std::move(std::get<T>(value_)); }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  void CheckHasValue() const;
+  void CheckNotOkStatus() const;
+
+  std::variant<T, Status> value_;
+};
+
+namespace internal {
+[[noreturn]] void DieOnBadResultAccess(const Status& status);
+[[noreturn]] void DieOnOkStatusToResult();
+}  // namespace internal
+
+template <typename T>
+void Result<T>::CheckHasValue() const {
+  if (!ok()) internal::DieOnBadResultAccess(std::get<Status>(value_));
+}
+
+template <typename T>
+void Result<T>::CheckNotOkStatus() const {
+  if (std::holds_alternative<Status>(value_) && std::get<Status>(value_).ok()) {
+    internal::DieOnOkStatusToResult();
+  }
+}
+
+}  // namespace queryer
+
+/// Propagates a non-OK Status from the enclosing function.
+#define QUERYER_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::queryer::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+#define QUERYER_CONCAT_IMPL(x, y) x##y
+#define QUERYER_CONCAT(x, y) QUERYER_CONCAT_IMPL(x, y)
+
+/// Evaluates a Result<T> expression; on success binds the value to `lhs`,
+/// on failure returns the error Status from the enclosing function.
+#define QUERYER_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  QUERYER_ASSIGN_OR_RETURN_IMPL(QUERYER_CONCAT(_result_, __COUNTER__),  \
+                                lhs, rexpr)
+
+#define QUERYER_ASSIGN_OR_RETURN_IMPL(result_name, lhs, rexpr) \
+  auto result_name = (rexpr);                                  \
+  if (!result_name.ok()) return result_name.status();          \
+  lhs = result_name.MoveValueUnsafe()
+
+#endif  // QUERYER_COMMON_STATUS_H_

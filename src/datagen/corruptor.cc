@@ -1,0 +1,137 @@
+#include "datagen/corruptor.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace queryer::datagen {
+
+namespace {
+
+char RandomLowercase(RandomEngine* rng) {
+  return static_cast<char>('a' + rng->Uniform(0, 25));
+}
+
+}  // namespace
+
+std::string ApplyTypo(const std::string& value, RandomEngine* rng) {
+  if (value.empty()) return value;
+  std::string out = value;
+  auto pos = static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<std::int64_t>(out.size()) - 1));
+  switch (rng->Uniform(0, 3)) {
+    case 0:  // Insert.
+      out.insert(out.begin() + static_cast<std::ptrdiff_t>(pos),
+                 RandomLowercase(rng));
+      break;
+    case 1:  // Delete.
+      out.erase(out.begin() + static_cast<std::ptrdiff_t>(pos));
+      break;
+    case 2:  // Substitute.
+      out[pos] = RandomLowercase(rng);
+      break;
+    default:  // Transpose with the next character.
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      else if (pos > 0) std::swap(out[pos], out[pos - 1]);
+      break;
+  }
+  return out;
+}
+
+std::string AbbreviateToken(const std::string& value, RandomEngine* rng) {
+  std::vector<std::string> tokens = Split(value, ' ');
+  // Candidates: alphabetic tokens of length >= 4 (abbreviating "on" or a
+  // year like "2011" is not an error pattern febrl models).
+  std::vector<std::size_t> candidates;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].size() < 4) continue;
+    bool alphabetic = true;
+    for (char c : tokens[i]) {
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        alphabetic = false;
+        break;
+      }
+    }
+    if (alphabetic) candidates.push_back(i);
+  }
+  if (candidates.empty()) return value;
+  std::size_t target = rng->Pick(candidates);
+  tokens[target] = std::string(1, tokens[target][0]) + ".";
+  return Join(tokens, " ");
+}
+
+std::string SwapTokens(const std::string& value, RandomEngine* rng) {
+  std::vector<std::string> tokens = Split(value, ' ');
+  if (tokens.size() < 2) return value;
+  auto i = static_cast<std::size_t>(
+      rng->Uniform(0, static_cast<std::int64_t>(tokens.size()) - 2));
+  std::swap(tokens[i], tokens[i + 1]);
+  return Join(tokens, " ");
+}
+
+std::string CorruptValue(const std::string& value, RandomEngine* rng,
+                         const CorruptionConfig& config,
+                         std::size_t* mods_budget, bool allow_missing) {
+  std::string out = value;
+  auto mods = static_cast<std::size_t>(rng->Uniform(
+      1, static_cast<std::int64_t>(config.max_mods_per_attribute)));
+  mods = std::min(mods, *mods_budget);
+  for (std::size_t m = 0; m < mods; ++m) {
+    if (out.empty()) break;
+    --*mods_budget;
+    double roll = rng->UniformReal();
+    if (allow_missing && roll < config.missing_value_probability) {
+      out.clear();
+    } else if (roll < config.missing_value_probability +
+                          config.abbreviation_probability) {
+      out = AbbreviateToken(out, rng);
+    } else if (roll < config.missing_value_probability +
+                          config.abbreviation_probability +
+                          config.token_swap_probability) {
+      out = SwapTokens(out, rng);
+    } else {
+      out = ApplyTypo(out, rng);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> CorruptRecord(const std::vector<std::string>& record,
+                                       const std::vector<std::size_t>& corruptible,
+                                       RandomEngine* rng,
+                                       const CorruptionConfig& config) {
+  std::vector<std::string> duplicate = record;
+  if (corruptible.empty()) return duplicate;
+
+  std::size_t budget = std::max<std::size_t>(1, config.max_mods_per_record);
+  // Corrupt a random non-empty subset of the corruptible attributes. At
+  // most one attribute per duplicate is blanked: a record stripped of all
+  // its descriptive content is no longer a manifestation of anything.
+  std::vector<std::size_t> order = corruptible;
+  rng->Shuffle(&order);
+  auto attrs_to_touch = static_cast<std::size_t>(
+      rng->Uniform(1, static_cast<std::int64_t>(order.size())));
+  bool missing_used = false;
+  for (std::size_t i = 0; i < attrs_to_touch && budget > 0; ++i) {
+    std::size_t attr = order[i];
+    std::string corrupted = CorruptValue(duplicate[attr], rng, config, &budget,
+                                         /*allow_missing=*/!missing_used);
+    if (corrupted.empty() && !duplicate[attr].empty()) missing_used = true;
+    duplicate[attr] = std::move(corrupted);
+  }
+  // Guarantee at least one visible change.
+  bool changed = false;
+  for (std::size_t attr : corruptible) {
+    if (duplicate[attr] != record[attr]) {
+      changed = true;
+      break;
+    }
+  }
+  if (!changed) {
+    std::size_t attr = rng->Pick(corruptible);
+    if (!record[attr].empty()) duplicate[attr] = ApplyTypo(record[attr], rng);
+  }
+  return duplicate;
+}
+
+}  // namespace queryer::datagen

@@ -1,0 +1,62 @@
+// febrl-style record corruptor (paper Sec. 9.1): creates duplicate records
+// by applying real-world error patterns — character typos, token
+// abbreviations and swaps, and missing values — with the same knobs the
+// paper's synthetic datasets use (max modifications per attribute and per
+// record).
+
+#ifndef QUERYER_DATAGEN_CORRUPTOR_H_
+#define QUERYER_DATAGEN_CORRUPTOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace queryer::datagen {
+
+/// \brief Error-model configuration, mirroring febrl's generator options.
+struct CorruptionConfig {
+  /// Upper bound on modifications applied to a single attribute value.
+  std::size_t max_mods_per_attribute = 2;
+  /// Upper bound on modifications applied across the whole record.
+  std::size_t max_mods_per_record = 4;
+  /// Probability that a chosen modification blanks the value entirely
+  /// (missing-value error), instead of editing it.
+  double missing_value_probability = 0.1;
+  /// Probability that a chosen modification abbreviates a token
+  /// ("entity" -> "e.") rather than applying a character edit.
+  double abbreviation_probability = 0.25;
+  /// Probability of a token swap ("allan blake" -> "blake allan").
+  double token_swap_probability = 0.15;
+};
+
+/// \brief One character-level typo: insert, delete, substitute or transpose.
+std::string ApplyTypo(const std::string& value, RandomEngine* rng);
+
+/// \brief Abbreviates a random token to its initial + '.'.
+std::string AbbreviateToken(const std::string& value, RandomEngine* rng);
+
+/// \brief Swaps two adjacent tokens.
+std::string SwapTokens(const std::string& value, RandomEngine* rng);
+
+/// \brief Applies up to `max_mods_per_attribute` modifications to one value.
+/// `allow_missing` gates the blank-the-value error (callers limit it to at
+/// most one attribute per record).
+std::string CorruptValue(const std::string& value, RandomEngine* rng,
+                         const CorruptionConfig& config,
+                         std::size_t* mods_budget, bool allow_missing = true);
+
+/// \brief Produces a corrupted duplicate of a record.
+///
+/// Only attributes listed in `corruptible` are eligible (identifier columns
+/// stay intact structurally but receive fresh ids by the caller). At least
+/// one modification is always applied so a duplicate is never byte-identical.
+std::vector<std::string> CorruptRecord(const std::vector<std::string>& record,
+                                       const std::vector<std::size_t>& corruptible,
+                                       RandomEngine* rng,
+                                       const CorruptionConfig& config);
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_CORRUPTOR_H_

@@ -1,0 +1,251 @@
+#include "datagen/dictionaries.h"
+
+namespace queryer::datagen {
+
+namespace {
+
+const std::vector<std::string_view> kFirstNames = {
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "nancy", "daniel", "lisa", "matthew", "margaret", "anthony", "betty",
+    "mark", "sandra", "donald", "ashley", "steven", "dorothy", "paul",
+    "kimberly", "andrew", "emily", "joshua", "donna", "kenneth", "michelle",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah", "ronald", "stephanie", "timothy", "rebecca", "jason", "laura",
+    "jeffrey", "sharon", "ryan", "cynthia", "jacob", "kathleen", "gary",
+    "helen", "nicholas", "amy", "eric", "shirley", "jonathan", "angela",
+    "stephen", "anna", "larry", "brenda", "justin", "pamela", "scott",
+    "nicole", "brandon", "ruth", "benjamin", "katherine", "samuel",
+    "samantha", "gregory", "christine", "frank", "emma", "alexander",
+    "catherine", "raymond", "debra", "patrick", "virginia", "jack", "rachel",
+    "dennis", "carolyn", "jerry", "janet", "tyler", "maria", "aaron",
+    "heather", "jose", "diane", "adam", "julie", "henry", "joyce", "nathan",
+    "victoria", "douglas", "kelly", "zachary", "christina", "peter", "joan",
+    "kyle", "evelyn", "walter", "lauren", "ethan", "judith", "jeremy",
+    "megan", "harold", "cheryl", "keith", "andrea", "christian", "hannah",
+    "roger", "martha", "noah", "jacqueline", "gerald", "frances", "carl",
+    "gloria", "terry", "ann", "sean", "teresa", "austin", "kathryn",
+    "arthur", "sara", "lawrence", "janice", "jesse", "jean", "dylan",
+    "alice", "bryan", "madison", "joe", "doris", "jordan", "abigail",
+    "billy", "julia", "bruce", "judy", "albert", "grace", "willie",
+    "denise", "gabriel", "amber", "logan", "marilyn", "alan", "beverly",
+    "juan", "danielle", "wayne", "theresa", "roy", "sophia", "ralph",
+    "marie", "randy", "diana", "eugene", "brittany", "vincent", "natalie",
+    "russell", "isabella", "elijah", "charlotte", "louis", "rose", "bobby",
+    "alexis", "philip", "kayla",
+};
+
+const std::vector<std::string_view> kLastNames = {
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts", "gomez", "phillips", "evans", "turner", "diaz",
+    "parker", "cruz", "edwards", "collins", "reyes", "stewart", "morris",
+    "morales", "murphy", "cook", "rogers", "gutierrez", "ortiz", "morgan",
+    "cooper", "peterson", "bailey", "reed", "kelly", "howard", "ramos",
+    "kim", "cox", "ward", "richardson", "watson", "brooks", "chavez",
+    "wood", "james", "bennett", "gray", "mendoza", "ruiz", "hughes",
+    "price", "alvarez", "castillo", "sanders", "patel", "myers", "long",
+    "ross", "foster", "jimenez", "powell", "jenkins", "perry", "russell",
+    "sullivan", "bell", "coleman", "butler", "henderson", "barnes",
+    "gonzales", "fisher", "vasquez", "simmons", "romero", "jordan",
+    "patterson", "alexander", "hamilton", "graham", "reynolds", "griffin",
+    "wallace", "moreno", "west", "cole", "hayes", "bryant", "herrera",
+    "gibson", "ellis", "tran", "medina", "aguilar", "stevens", "murray",
+    "ford", "castro", "marshall", "owens", "harrison", "fernandez",
+    "mcdonald", "woods", "washington", "kennedy", "wells", "vargas",
+    "henry", "chen", "freeman", "webb", "tucker", "guzman", "burns",
+    "crawford", "olson", "simpson", "porter", "hunter", "gordon", "mendez",
+    "silva", "shaw", "snyder", "mason", "dixon", "munoz", "hunt", "hicks",
+    "holmes", "palmer", "wagner", "black", "robertson", "boyd", "rose",
+    "stone", "salazar", "fox", "warren", "mills", "meyer", "rice",
+    "schmidt", "garza", "daniels", "ferguson", "nichols", "stephens",
+    "soto", "weaver", "ryan", "gardner", "payne", "grant", "dunn",
+};
+
+const std::vector<std::string_view> kStreetNames = {
+    "main street",      "church road",    "high street",    "park avenue",
+    "station road",     "victoria road",  "green lane",     "manor road",
+    "kings road",       "queens road",    "school lane",    "mill lane",
+    "york road",        "springfield ave","george street",  "park road",
+    "grove road",       "south street",   "grange road",    "richmond road",
+    "north street",     "west street",    "east street",    "chester road",
+    "london road",      "albert road",    "new road",       "queen street",
+    "windsor road",     "highfield road", "alexandra road", "king street",
+    "broadway",         "stanley road",   "chapel lane",    "bridge street",
+    "park lane",        "church lane",    "garden close",   "orchard drive",
+    "cedar avenue",     "maple drive",    "elm grove",      "oak lane",
+    "willow close",     "poplar avenue",  "birch road",     "ash grove",
+    "cherry orchard",   "sycamore drive", "beech crescent", "hazel court",
+    "juniper way",      "laurel gardens", "magnolia place", "pine ridge",
+};
+
+const std::vector<std::string_view> kSuburbs = {
+    "ashfield",    "bankstown",  "burwood",     "campsie",    "chatswood",
+    "cronulla",    "dee why",    "earlwood",    "epping",     "fairfield",
+    "glebe",       "hornsby",    "hurstville",  "kogarah",    "lakemba",
+    "liverpool",   "manly",      "marrickville","miranda",    "mosman",
+    "newtown",     "parramatta", "penrith",     "randwick",   "redfern",
+    "rockdale",    "ryde",       "st leonards", "strathfield","sutherland",
+    "auburn",      "balmain",    "blacktown",   "bondi",      "botany",
+    "brighton",    "cabramatta", "carlton",     "castle hill","coogee",
+    "croydon",     "drummoyne",  "dulwich hill","eastwood",   "granville",
+    "greenacre",   "kensington", "kirribilli",  "lane cove",  "leichhardt",
+    "maroubra",    "mascot",     "matraville",  "north ryde", "paddington",
+    "punchbowl",   "pyrmont",    "rosebery",    "seven hills","ultimo",
+    "waterloo",    "waverley",   "westmead",    "woollahra",  "yagoona",
+};
+
+const std::vector<std::string_view> kStates = {
+    "nsw", "vic", "qld", "wa", "sa", "tas", "act", "nt",
+};
+
+const std::vector<std::string_view> kTopicWords = {
+    "entity",       "resolution",  "data",        "query",       "database",
+    "distributed",  "learning",    "deep",        "graph",       "stream",
+    "processing",   "analysis",    "scalable",    "efficient",   "adaptive",
+    "incremental",  "parallel",    "approximate", "probabilistic","semantic",
+    "knowledge",    "integration", "cleaning",    "deduplication","blocking",
+    "matching",     "linkage",     "record",      "schema",      "index",
+    "join",         "aggregation", "optimization","planning",    "execution",
+    "transaction",  "concurrency", "storage",     "memory",      "cache",
+    "compression",  "encryption",  "privacy",     "provenance",  "workflow",
+    "crowdsourcing","exploration", "visualization","sampling",   "estimation",
+    "cardinality",  "selectivity", "partitioning","replication", "consistency",
+    "recovery",     "benchmark",   "workload",    "tuning",      "monitoring",
+    "federated",    "relational",  "columnar",    "vectorized",  "compiled",
+    "declarative",  "interactive", "progressive", "online",      "offline",
+    "temporal",     "spatial",     "textual",     "multimodal",  "heterogeneous",
+    "web",          "social",      "scholarly",   "biomedical",  "scientific",
+    "sensor",       "mobile",      "cloud",       "serverless",  "elastic",
+    "similarity",   "clustering",  "classification","ranking",   "recommendation",
+    "embedding",    "transformer", "neural",      "bayesian",    "statistical",
+    "crowdsourced", "versioned",   "streaming",   "materialized","views",
+};
+
+const std::vector<std::string_view> kGlueWords = {
+    "for", "over", "with", "in", "under", "beyond", "towards", "via",
+    "using", "through", "against", "without",
+};
+
+const std::vector<VenueEntry> kVenues = {
+    {"EDBT", "International Conference on Extending Database Technology", 1, 1988, "annual"},
+    {"SIGMOD", "ACM SIGMOD International Conference on Management of Data", 1, 1975, "annual"},
+    {"VLDB", "International Conference on Very Large Data Bases", 1, 1975, "annual"},
+    {"ICDE", "IEEE International Conference on Data Engineering", 1, 1984, "annual"},
+    {"CIDR", "Conference on Innovative Data Systems Research", 1, 2002, "biennial"},
+    {"PODS", "Symposium on Principles of Database Systems", 1, 1982, "annual"},
+    {"KDD", "ACM SIGKDD Conference on Knowledge Discovery and Data Mining", 1, 1995, "annual"},
+    {"WWW", "The Web Conference", 1, 1994, "annual"},
+    {"CIKM", "ACM International Conference on Information and Knowledge Management", 2, 1992, "annual"},
+    {"ICDM", "IEEE International Conference on Data Mining", 2, 2001, "annual"},
+    {"WSDM", "ACM International Conference on Web Search and Data Mining", 1, 2008, "annual"},
+    {"DASFAA", "International Conference on Database Systems for Advanced Applications", 2, 1989, "annual"},
+    {"SSDBM", "International Conference on Scientific and Statistical Database Management", 2, 1981, "annual"},
+    {"TKDE", "IEEE Transactions on Knowledge and Data Engineering", 1, 1989, "monthly"},
+    {"VLDBJ", "The VLDB Journal", 1, 1992, "quarterly"},
+    {"TODS", "ACM Transactions on Database Systems", 1, 1976, "quarterly"},
+    {"SIGIR", "International ACM SIGIR Conference on Research and Development in Information Retrieval", 1, 1978, "annual"},
+    {"ECIR", "European Conference on Information Retrieval", 2, 1979, "annual"},
+    {"ISWC", "International Semantic Web Conference", 2, 2002, "annual"},
+    {"ESWC", "Extended Semantic Web Conference", 2, 2004, "annual"},
+    {"SODA", "ACM-SIAM Symposium on Discrete Algorithms", 1, 1990, "annual"},
+    {"NEURIPS", "Conference on Neural Information Processing Systems", 1, 1987, "annual"},
+    {"ICML", "International Conference on Machine Learning", 1, 1980, "annual"},
+    {"AAAI", "AAAI Conference on Artificial Intelligence", 1, 1980, "annual"},
+    {"IJCAI", "International Joint Conference on Artificial Intelligence", 1, 1969, "biennial"},
+    {"SOCC", "ACM Symposium on Cloud Computing", 2, 2010, "annual"},
+    {"OSDI", "USENIX Symposium on Operating Systems Design and Implementation", 1, 1994, "biennial"},
+    {"SOSP", "ACM Symposium on Operating Systems Principles", 1, 1967, "biennial"},
+    {"ATC", "USENIX Annual Technical Conference", 2, 1992, "annual"},
+    {"EUROSYS", "European Conference on Computer Systems", 2, 2006, "annual"},
+    {"MDM", "IEEE International Conference on Mobile Data Management", 3, 2000, "annual"},
+    {"SSTD", "International Symposium on Spatial and Temporal Databases", 3, 1989, "biennial"},
+    {"ADBIS", "European Conference on Advances in Databases and Information Systems", 3, 1997, "annual"},
+    {"BTW", "Datenbanksysteme fur Business Technologie und Web", 3, 1985, "biennial"},
+    {"SEBD", "Italian Symposium on Advanced Database Systems", 3, 1993, "annual"},
+    {"WEBDB", "International Workshop on the Web and Databases", 3, 1998, "annual"},
+    {"DOLAP", "International Workshop on Data Warehousing and OLAP", 3, 1998, "annual"},
+    {"TPCTC", "TPC Technology Conference on Performance Evaluation and Benchmarking", 3, 2009, "annual"},
+    {"DEBS", "ACM International Conference on Distributed and Event-Based Systems", 3, 2007, "annual"},
+    {"ICDT", "International Conference on Database Theory", 2, 1986, "annual"},
+};
+
+const std::vector<std::string_view> kOrgKinds = {
+    "university", "institute", "research center", "laboratory", "college",
+    "polytechnic", "academy", "foundation", "agency", "consortium",
+};
+
+const std::vector<std::string_view> kOrgPlaces = {
+    "athens",    "berlin",   "paris",     "london",   "madrid",   "rome",
+    "vienna",    "lisbon",   "amsterdam", "brussels", "dublin",   "helsinki",
+    "stockholm", "oslo",     "copenhagen","warsaw",   "prague",   "budapest",
+    "zurich",    "geneva",   "munich",    "hamburg",  "lyon",     "marseille",
+    "barcelona", "valencia", "milan",     "turin",    "naples",   "porto",
+    "rotterdam", "utrecht",  "antwerp",   "ghent",    "cork",     "tampere",
+    "uppsala",   "bergen",   "aarhus",    "krakow",   "brno",     "debrecen",
+    "basel",     "lausanne", "graz",      "salzburg", "heraklion","patras",
+    "thessaloniki", "ioannina", "volos",  "larissa",  "chania",   "kavala",
+};
+
+const std::vector<std::string_view> kCountries = {
+    "greece",  "germany", "france", "united kingdom", "spain",   "italy",
+    "austria", "portugal","netherlands", "belgium",   "ireland", "finland",
+    "sweden",  "norway",  "denmark","poland",  "czechia", "hungary",
+    "switzerland",
+};
+
+const std::vector<std::string_view> kFunders = {
+    "ec h2020", "erc", "nsf", "elidek", "gsrt", "dfg", "anr", "epsrc",
+    "fwf", "snsf", "nwo", "vr", "aka", "fct",
+};
+
+}  // namespace
+
+const std::vector<std::string_view>& FirstNames() { return kFirstNames; }
+const std::vector<std::string_view>& LastNames() { return kLastNames; }
+const std::vector<std::string_view>& StreetNames() { return kStreetNames; }
+const std::vector<std::string_view>& Suburbs() { return kSuburbs; }
+const std::vector<std::string_view>& States() { return kStates; }
+const std::vector<std::string_view>& TopicWords() { return kTopicWords; }
+const std::vector<std::string_view>& GlueWords() { return kGlueWords; }
+const std::vector<VenueEntry>& Venues() { return kVenues; }
+const std::vector<std::string_view>& OrgKinds() { return kOrgKinds; }
+const std::vector<std::string_view>& OrgPlaces() { return kOrgPlaces; }
+const std::vector<std::string_view>& Countries() { return kCountries; }
+const std::vector<std::string_view>& Funders() { return kFunders; }
+
+std::string_view ZipfPick(const std::vector<std::string_view>& pool,
+                          RandomEngine* rng, double skew) {
+  return pool[rng->Zipf(pool.size(), skew)];
+}
+
+std::string MakeTitle(RandomEngine* rng, std::size_t words) {
+  std::string title;
+  for (std::size_t i = 0; i < words; ++i) {
+    if (i > 0) title += ' ';
+    // Interleave an occasional glue word for realism.
+    if (i > 0 && i + 1 < words && rng->Bernoulli(0.25)) {
+      title += ZipfPick(GlueWords(), rng, 0.3);
+      title += ' ';
+    }
+    title += ZipfPick(TopicWords(), rng, 0.25);
+  }
+  return title;
+}
+
+std::string MakePersonName(RandomEngine* rng) {
+  // Mild skew: realistic name frequencies without making full-name
+  // collisions (distinct people with identical names) common.
+  std::string name(ZipfPick(FirstNames(), rng, 0.15));
+  name += ' ';
+  name += ZipfPick(LastNames(), rng, 0.15);
+  return name;
+}
+
+}  // namespace queryer::datagen

@@ -1,0 +1,54 @@
+// Value pools for the synthetic dataset generators. The pools are
+// frequency-skewed at sampling time (Zipf) so generated data has the
+// realistic token-frequency skew that Block Purging exists to handle.
+
+#ifndef QUERYER_DATAGEN_DICTIONARIES_H_
+#define QUERYER_DATAGEN_DICTIONARIES_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+
+namespace queryer::datagen {
+
+/// \brief A scholarly venue with its short and full names, e.g.
+/// {"EDBT", "International Conference on Extending Database Technology"}.
+struct VenueEntry {
+  std::string_view short_name;
+  std::string_view full_name;
+  int rank;           // 1..3, 1 best.
+  int established;    // Year.
+  std::string_view frequency;  // "annual", "biennial", ...
+};
+
+const std::vector<std::string_view>& FirstNames();
+const std::vector<std::string_view>& LastNames();
+const std::vector<std::string_view>& StreetNames();
+const std::vector<std::string_view>& Suburbs();
+const std::vector<std::string_view>& States();
+/// Research-topic words used to compose publication and project titles.
+const std::vector<std::string_view>& TopicWords();
+/// Connective words for titles ("for", "over", ...).
+const std::vector<std::string_view>& GlueWords();
+const std::vector<VenueEntry>& Venues();
+/// Organisation name components ("Institute", "University", ...).
+const std::vector<std::string_view>& OrgKinds();
+const std::vector<std::string_view>& OrgPlaces();
+const std::vector<std::string_view>& Countries();
+const std::vector<std::string_view>& Funders();
+
+/// \brief Zipf-skewed pick from a pool.
+std::string_view ZipfPick(const std::vector<std::string_view>& pool,
+                          RandomEngine* rng, double skew = 0.6);
+
+/// \brief Composes a research title of `words` topic words.
+std::string MakeTitle(RandomEngine* rng, std::size_t words);
+
+/// \brief Composes a person name "First Last".
+std::string MakePersonName(RandomEngine* rng);
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_DICTIONARIES_H_

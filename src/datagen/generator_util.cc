@@ -1,0 +1,72 @@
+#include "datagen/generator_util.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace queryer::datagen {
+
+std::size_t NumOriginalsFor(std::size_t total_rows, double duplicate_ratio) {
+  QUERYER_CHECK(duplicate_ratio >= 0.0 && duplicate_ratio < 1.0);
+  auto originals = static_cast<std::size_t>(
+      std::llround(static_cast<double>(total_rows) * (1.0 - duplicate_ratio)));
+  return std::max<std::size_t>(1, originals);
+}
+
+GeneratedDataset AssembleDirtyTable(std::string table_name, queryer::Schema schema,
+                                    std::vector<std::vector<std::string>> originals,
+                                    const std::vector<std::size_t>& corruptible,
+                                    const DuplicationOptions& options,
+                                    RandomEngine* rng) {
+  const std::size_t num_originals = originals.size();
+  const double ratio = options.duplicate_ratio;
+  QUERYER_CHECK(ratio >= 0.0 && ratio < 1.0);
+  auto num_duplicates = static_cast<std::size_t>(
+      std::llround(static_cast<double>(num_originals) * ratio / (1.0 - ratio)));
+
+  struct PendingRow {
+    std::vector<std::string> values;
+    std::uint32_t cluster;
+  };
+  std::vector<PendingRow> rows;
+  rows.reserve(num_originals + num_duplicates);
+  for (std::uint32_t i = 0; i < num_originals; ++i) {
+    rows.push_back({std::move(originals[i]), i});
+  }
+
+  // Inject duplicates: pick originals (without exceeding the per-record cap)
+  // and corrupt them. Each duplicate copies the *original*, so clusters stay
+  // pairwise similar under the error model.
+  std::vector<std::size_t> dup_count(num_originals, 0);
+  std::size_t injected = 0;
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = num_duplicates * 8 + 64;
+  while (injected < num_duplicates && attempts < max_attempts) {
+    ++attempts;
+    auto origin = static_cast<std::size_t>(
+        rng->Uniform(0, static_cast<std::int64_t>(num_originals) - 1));
+    if (dup_count[origin] >= options.max_duplicates_per_record) continue;
+    ++dup_count[origin];
+    ++injected;
+    std::vector<std::string> duplicate = CorruptRecord(
+        rows[origin].values, corruptible, rng, options.corruption);
+    rows.push_back({std::move(duplicate), static_cast<std::uint32_t>(origin)});
+  }
+
+  rng->Shuffle(&rows);
+
+  auto table = std::make_shared<queryer::Table>(std::move(table_name),
+                                                std::move(schema));
+  table->Reserve(rows.size());
+  std::vector<std::uint32_t> cluster_of_entity;
+  cluster_of_entity.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    rows[i].values[0] = std::to_string(i);  // Final sequential id.
+    cluster_of_entity.push_back(rows[i].cluster);
+    QUERYER_CHECK(table->AppendRow(std::move(rows[i].values)).ok());
+  }
+  return {std::move(table), GroundTruth(std::move(cluster_of_entity))};
+}
+
+}  // namespace queryer::datagen

@@ -1,0 +1,48 @@
+// Shared machinery for the dataset generators: duplicate injection,
+// shuffling, id assignment and ground-truth bookkeeping.
+
+#ifndef QUERYER_DATAGEN_GENERATOR_UTIL_H_
+#define QUERYER_DATAGEN_GENERATOR_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "datagen/corruptor.h"
+#include "datagen/ground_truth.h"
+#include "storage/schema.h"
+
+namespace queryer::datagen {
+
+/// \brief Duplicate-injection knobs shared by all generators.
+struct DuplicationOptions {
+  /// Fraction of the final table that is duplicate records. The paper's
+  /// datasets range from ~3% (OAGP200K) to 40% (PPL).
+  double duplicate_ratio = 0.1;
+  /// Maximum duplicates derived from one original (paper PPL: 3).
+  std::size_t max_duplicates_per_record = 3;
+  CorruptionConfig corruption;
+};
+
+/// \brief Turns clean originals into a shuffled dirty table + ground truth.
+///
+/// `originals` are the clean records; attribute 0 of `schema` must be the
+/// synthetic "id" column, which this helper overwrites with the final row
+/// position so predicates like MOD(id, 10) select uniform random subsets.
+/// Duplicates are corrupted copies of their original (never of another
+/// duplicate), keeping true clusters pairwise similar. The final table has
+/// `originals.size() / (1 - duplicate_ratio)` rows, approximately.
+GeneratedDataset AssembleDirtyTable(std::string table_name, queryer::Schema schema,
+                                    std::vector<std::vector<std::string>> originals,
+                                    const std::vector<std::size_t>& corruptible,
+                                    const DuplicationOptions& options,
+                                    RandomEngine* rng);
+
+/// \brief Number of originals to generate so the assembled table has
+/// `total_rows` rows at the given duplicate ratio.
+std::size_t NumOriginalsFor(std::size_t total_rows, double duplicate_ratio);
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_GENERATOR_UTIL_H_

@@ -1,0 +1,75 @@
+#include "datagen/ground_truth.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace queryer::datagen {
+
+GroundTruth::GroundTruth(std::vector<std::uint32_t> cluster_of_entity)
+    : cluster_of_entity_(std::move(cluster_of_entity)) {
+  BuildClusters();
+}
+
+void GroundTruth::BuildClusters() {
+  std::uint32_t max_cluster = 0;
+  for (std::uint32_t c : cluster_of_entity_) max_cluster = std::max(max_cluster, c);
+  cluster_members_.assign(max_cluster + 1, {});
+  for (EntityId e = 0; e < cluster_of_entity_.size(); ++e) {
+    cluster_members_[cluster_of_entity_[e]].push_back(e);
+  }
+}
+
+std::size_t GroundTruth::NumDuplicateRecords() const {
+  std::size_t count = 0;
+  for (const auto& members : cluster_members_) {
+    if (members.size() > 1) count += members.size() - 1;
+  }
+  return count;
+}
+
+std::size_t GroundTruth::NumDuplicatePairs() const {
+  std::size_t count = 0;
+  for (const auto& members : cluster_members_) {
+    count += members.size() * (members.size() - 1) / 2;
+  }
+  return count;
+}
+
+const std::vector<EntityId>& GroundTruth::ClusterMembers(EntityId e) const {
+  QUERYER_CHECK(e < cluster_of_entity_.size());
+  return cluster_members_[cluster_of_entity_[e]];
+}
+
+double GroundTruth::PairCompleteness(
+    const std::vector<queryer::Comparison>& comparisons,
+    const std::vector<EntityId>& query_entities) const {
+  std::unordered_set<EntityId> query_set(query_entities.begin(),
+                                         query_entities.end());
+  // Denominator: ground-truth pairs touching the query selection.
+  std::size_t total = 0;
+  std::unordered_set<std::uint64_t> wanted;
+  for (EntityId e : query_entities) {
+    for (EntityId other : ClusterMembers(e)) {
+      if (other == e) continue;
+      EntityId lo = std::min(e, other);
+      EntityId hi = std::max(e, other);
+      std::uint64_t key = (static_cast<std::uint64_t>(lo) << 32) | hi;
+      if (wanted.insert(key).second) ++total;
+    }
+  }
+  if (total == 0) return 1.0;
+
+  std::size_t found = 0;
+  for (const auto& [a, b] : comparisons) {
+    if (!AreDuplicates(a, b)) continue;
+    std::uint64_t key = (static_cast<std::uint64_t>(a) << 32) | b;
+    if (wanted.count(key) > 0) {
+      wanted.erase(key);
+      ++found;
+    }
+  }
+  return static_cast<double>(found) / static_cast<double>(total);
+}
+
+}  // namespace queryer::datagen

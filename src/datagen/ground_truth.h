@@ -1,0 +1,65 @@
+// Ground truth for generated datasets: which entities are true duplicates.
+// Used to measure Pair Completeness (PC), the recall measure of the paper's
+// evaluation, and to report the |L_E| column of Table 7.
+
+#ifndef QUERYER_DATAGEN_GROUND_TRUTH_H_
+#define QUERYER_DATAGEN_GROUND_TRUTH_H_
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "metablocking/edge_pruning.h"
+#include "storage/table.h"
+
+namespace queryer::datagen {
+
+/// \brief Duplicate-cluster assignment of every entity in a table.
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(std::vector<std::uint32_t> cluster_of_entity);
+
+  std::size_t num_entities() const { return cluster_of_entity_.size(); }
+  std::uint32_t cluster(EntityId e) const { return cluster_of_entity_[e]; }
+
+  bool AreDuplicates(EntityId a, EntityId b) const {
+    return a != b && cluster_of_entity_[a] == cluster_of_entity_[b];
+  }
+
+  /// Number of duplicate records: Σ over clusters of (size - 1). This is
+  /// the |L_E| statistic of paper Table 7.
+  std::size_t NumDuplicateRecords() const;
+
+  /// Number of duplicate pairs: Σ over clusters of C(size, 2).
+  std::size_t NumDuplicatePairs() const;
+
+  /// Members of e's true cluster, including e.
+  const std::vector<EntityId>& ClusterMembers(EntityId e) const;
+
+  /// \brief Pair Completeness of a comparison set w.r.t. a query selection.
+  ///
+  /// PC = (ground-truth pairs with >= 1 endpoint in `query_entities` that
+  /// appear in `comparisons`) / (all such ground-truth pairs). Pairs whose
+  /// outcome is already recorded (e.g. found by a previous query) can be
+  /// passed via `already_linked` and count as covered.
+  double PairCompleteness(const std::vector<queryer::Comparison>& comparisons,
+                          const std::vector<EntityId>& query_entities) const;
+
+ private:
+  void BuildClusters();
+
+  std::vector<std::uint32_t> cluster_of_entity_;
+  // cluster id -> members (ascending).
+  std::vector<std::vector<EntityId>> cluster_members_;
+};
+
+/// \brief A generated dirty table plus its ground truth.
+struct GeneratedDataset {
+  queryer::TablePtr table;
+  GroundTruth ground_truth;
+};
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_GROUND_TRUTH_H_

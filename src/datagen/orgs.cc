@@ -1,0 +1,118 @@
+#include "datagen/orgs.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/dictionaries.h"
+
+namespace queryer::datagen {
+
+GeneratedDataset MakeOrganisations(std::size_t total_rows, std::uint64_t seed,
+                                   const OrgOptions& options) {
+  RandomEngine rng(seed);
+  queryer::Schema schema(std::vector<std::string>{"id", "name", "country"});
+
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  std::set<std::string> used_names;
+  // When a place+kind base repeats, names are disambiguated with a topic
+  // qualifier whose first word is unique per base, so two organisations
+  // never differ only in their trailing word.
+  std::map<std::string, std::set<std::string>> used_topics;
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    std::string place(ZipfPick(OrgPlaces(), &rng, 0.3));
+    std::string kind(ZipfPick(OrgKinds(), &rng, 0.3));
+    std::string name = place + " " + kind;
+    if (used_names.count(name) > 0) {
+      std::set<std::string>& taken = used_topics[name];
+      auto fresh_topic = [&]() {
+        std::string topic(ZipfPick(TopicWords(), &rng, 0.0));
+        while (taken.count(topic) > 0) {
+          // Once the topic pool is exhausted for a base, synthesize one.
+          topic = taken.size() < TopicWords().size()
+                      ? std::string(ZipfPick(TopicWords(), &rng, 0.0))
+                      : rng.AlphaString(7);
+        }
+        taken.insert(topic);
+        return topic;
+      };
+      std::string first = fresh_topic();
+      std::string second = fresh_topic();
+      name += " of " + first + " " + second;
+    }
+    used_names.insert(name);
+    originals.push_back({
+        "",
+        name,
+        std::string(ZipfPick(Countries(), &rng, 0.4)),
+    });
+  }
+
+  std::vector<std::size_t> corruptible = {1, 2};
+  return AssembleDirtyTable("oao", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+std::vector<std::string> OrganisationNamePool(const GeneratedDataset& orgs) {
+  const queryer::Table& table = *orgs.table;
+  auto name_idx = table.schema().IndexOf("name");
+  std::vector<std::string> pool;
+  for (queryer::EntityId e = 0; e < table.num_rows(); ++e) {
+    // One name per true cluster: its lowest-id member (deterministic; the
+    // variant chosen is immaterial, any of them joins with the table).
+    if (orgs.ground_truth.ClusterMembers(e).front() != e) continue;
+    pool.push_back(table.value(e, *name_idx));
+  }
+  return pool;
+}
+
+GeneratedDataset MakeProjects(std::size_t total_rows,
+                              const std::vector<std::string>& org_names,
+                              std::uint64_t seed,
+                              const ProjectOptions& options) {
+  RandomEngine rng(seed);
+  queryer::Schema schema(std::vector<std::string>{
+      "id", "title", "acronym", "funder", "start_year", "end_year", "org",
+      "budget"});
+
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    std::string title = MakeTitle(&rng, 4 + static_cast<std::size_t>(rng.Uniform(0, 3)));
+    // Acronym: initials of the title's first tokens, upper-cased.
+    std::string acronym;
+    for (const auto& token : Split(title, ' ')) {
+      if (!token.empty()) acronym += static_cast<char>(std::toupper(token[0]));
+      if (acronym.size() >= 5) break;
+    }
+    int start_year = static_cast<int>(rng.Uniform(2004, 2021));
+    std::string org;
+    if (!org_names.empty() && rng.Bernoulli(options.org_join_fraction)) {
+      org = rng.Pick(org_names);
+    } else {
+      org = std::string(ZipfPick(OrgPlaces(), &rng, 0.3)) + " external " +
+            std::string(ZipfPick(OrgKinds(), &rng, 0.3));
+    }
+    originals.push_back({
+        "",
+        title,
+        acronym,
+        std::string(ZipfPick(Funders(), &rng, 0.5)),
+        std::to_string(start_year),
+        std::to_string(start_year + static_cast<int>(rng.Uniform(1, 5))),
+        org,
+        std::to_string(rng.Uniform(50, 4000) * 1000),
+    });
+  }
+
+  std::vector<std::size_t> corruptible = {1, 2, 3, 4, 5, 6, 7};
+  return AssembleDirtyTable("oap", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+}  // namespace queryer::datagen

@@ -1,0 +1,59 @@
+// OAO/OAP-like datasets: research organisations and the projects they
+// participate in, mirroring the OpenAIRE-derived tables of the paper
+// (both modified febrl-style to contain 10% duplicate records).
+
+#ifndef QUERYER_DATAGEN_ORGS_H_
+#define QUERYER_DATAGEN_ORGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generator_util.h"
+
+namespace queryer::datagen {
+
+struct OrgOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.1,
+      /*max_duplicates_per_record=*/2,
+      /*corruption=*/{/*max_mods_per_attribute=*/2, /*max_mods_per_record=*/3,
+                      /*missing_value_probability=*/0.08,
+                      /*abbreviation_probability=*/0.25,
+                      /*token_swap_probability=*/0.1},
+  };
+};
+
+/// \brief OAO-like organisations table (3 attributes: id, name, country).
+GeneratedDataset MakeOrganisations(std::size_t total_rows, std::uint64_t seed,
+                                   const OrgOptions& options = {});
+
+/// \brief Distinct clean organisation names of a generated OAO table, for
+/// use as the foreign-key pool of MakePeople / MakeProjects. Only original
+/// (cluster-representative) rows contribute, so referencing rows join with
+/// the clean variant of each organisation.
+std::vector<std::string> OrganisationNamePool(const GeneratedDataset& orgs);
+
+struct ProjectOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.1,
+      /*max_duplicates_per_record=*/2,
+      /*corruption=*/{/*max_mods_per_attribute=*/2, /*max_mods_per_record=*/4,
+                      /*missing_value_probability=*/0.1,
+                      /*abbreviation_probability=*/0.25,
+                      /*token_swap_probability=*/0.12},
+  };
+  /// Fraction of projects whose `org` is drawn from the OAO name pool.
+  double org_join_fraction = 1.0;
+};
+
+/// \brief OAP-like projects table (8 attributes: id, title, acronym,
+/// funder, start_year, end_year, org, budget).
+GeneratedDataset MakeProjects(std::size_t total_rows,
+                              const std::vector<std::string>& org_names,
+                              std::uint64_t seed,
+                              const ProjectOptions& options = {});
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_ORGS_H_

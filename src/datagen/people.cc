@@ -1,0 +1,57 @@
+#include "datagen/people.h"
+
+#include "common/logging.h"
+#include "datagen/dictionaries.h"
+
+namespace queryer::datagen {
+
+GeneratedDataset MakePeople(std::size_t total_rows,
+                            const std::vector<std::string>& org_names,
+                            std::uint64_t seed, const PeopleOptions& options) {
+  RandomEngine rng(seed);
+  queryer::Schema schema(std::vector<std::string>{
+      "id", "given_name", "surname", "street_number", "address", "suburb",
+      "postcode", "state", "date_of_birth", "age", "phone", "org"});
+
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    int birth_year = static_cast<int>(rng.Uniform(1930, 2005));
+    int month = static_cast<int>(rng.Uniform(1, 12));
+    int day = static_cast<int>(rng.Uniform(1, 28));
+    std::string dob = std::to_string(birth_year) + "-" +
+                      (month < 10 ? "0" : "") + std::to_string(month) + "-" +
+                      (day < 10 ? "0" : "") + std::to_string(day);
+    std::string org;
+    if (!org_names.empty() && rng.Bernoulli(options.org_join_fraction)) {
+      org = rng.Pick(org_names);
+    } else {
+      // An organisation name that does not occur in the OAO table.
+      org = std::string(ZipfPick(OrgPlaces(), &rng, 0.3)) + " external " +
+            std::string(ZipfPick(OrgKinds(), &rng, 0.3));
+    }
+    originals.push_back({
+        "",  // id assigned at assembly.
+        std::string(ZipfPick(FirstNames(), &rng, 0.2)),
+        std::string(ZipfPick(LastNames(), &rng, 0.2)),
+        std::to_string(rng.Uniform(1, 450)),
+        std::string(ZipfPick(StreetNames(), &rng, 0.4)),
+        std::string(ZipfPick(Suburbs(), &rng, 0.4)),
+        std::to_string(rng.Uniform(2000, 7999)),
+        std::string(ZipfPick(States(), &rng, 0.5)),
+        dob,
+        std::to_string(2022 - birth_year),
+        "0" + std::to_string(rng.Uniform(400000000, 499999999)),
+        org,
+    });
+  }
+
+  // Everything but id and state is corruptible (state is a code list).
+  std::vector<std::size_t> corruptible = {1, 2, 3, 4, 5, 6, 8, 9, 10, 11};
+  return AssembleDirtyTable("ppl", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+}  // namespace queryer::datagen

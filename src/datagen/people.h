@@ -1,0 +1,43 @@
+// PPL-like synthetic people datasets (paper Sec. 9.1): febrl-style person
+// records with 40% duplicates (<= 3 duplicates per record, <= 2
+// modifications per attribute, <= 4 per record) and an `org` attribute
+// linking each person to an organisation, creating the PPL ⋈ OAO join the
+// planner experiments use.
+
+#ifndef QUERYER_DATAGEN_PEOPLE_H_
+#define QUERYER_DATAGEN_PEOPLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generator_util.h"
+
+namespace queryer::datagen {
+
+struct PeopleOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.4,
+      /*max_duplicates_per_record=*/3,
+      /*corruption=*/{/*max_mods_per_attribute=*/2, /*max_mods_per_record=*/4,
+                      /*missing_value_probability=*/0.08,
+                      /*abbreviation_probability=*/0.2,
+                      /*token_swap_probability=*/0.12},
+  };
+  /// Fraction of people whose `org` value is drawn from `org_names`
+  /// (the rest get organisations absent from the OAO table, controlling the
+  /// join percentage between PPL and OAO).
+  double org_join_fraction = 1.0;
+};
+
+/// \brief Generates a PPL-like table of `total_rows` records (12 attributes:
+/// id, given_name, surname, street_number, address, suburb, postcode,
+/// state, date_of_birth, age, phone, org).
+GeneratedDataset MakePeople(std::size_t total_rows,
+                            const std::vector<std::string>& org_names,
+                            std::uint64_t seed,
+                            const PeopleOptions& options = {});
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_PEOPLE_H_

@@ -1,0 +1,263 @@
+#include "datagen/scholarly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "datagen/dictionaries.h"
+
+namespace queryer::datagen {
+
+namespace {
+
+// Makes an author list of 2..3 "First Last" names, comma separated.
+// At least two authors: a single frequent name agreeing by chance is the
+// main source of false-positive matches between distinct records.
+std::string MakeAuthors(RandomEngine* rng) {
+  std::size_t count = 2 + static_cast<std::size_t>(rng->Uniform(0, 1));
+  std::string authors;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (i > 0) authors += ", ";
+    authors += MakePersonName(rng);
+  }
+  return authors;
+}
+
+// Picks a venue index from the universe. With probability `join_fraction`
+// the venue comes from the first `coverage` share (which the OAGV table
+// contains); otherwise from the remainder.
+std::size_t PickVenueIndex(const std::vector<VenueUniverseEntry>& universe,
+                           double join_fraction, double coverage,
+                           RandomEngine* rng) {
+  auto covered = static_cast<std::size_t>(
+      std::max(1.0, coverage * static_cast<double>(universe.size())));
+  covered = std::min(covered, universe.size());
+  if (covered >= universe.size() || rng->Bernoulli(join_fraction)) {
+    return rng->Zipf(covered, 0.4);
+  }
+  return covered + static_cast<std::size_t>(rng->Uniform(
+                       0, static_cast<std::int64_t>(universe.size() - covered) - 1));
+}
+
+}  // namespace
+
+std::vector<VenueUniverseEntry> MakeVenueUniverse(std::size_t size,
+                                                  std::uint64_t seed) {
+  RandomEngine rng(seed);
+  std::vector<VenueUniverseEntry> universe;
+  universe.reserve(size);
+  for (const VenueEntry& v : Venues()) {
+    if (universe.size() >= size) break;
+    universe.push_back({std::string(v.short_name), std::string(v.full_name),
+                        v.rank, v.established, std::string(v.frequency)});
+  }
+  const std::vector<std::string_view> kBodies = {
+      "international conference on", "symposium on", "workshop on",
+      "european conference on", "transactions on", "journal of"};
+  const std::vector<std::string_view> kFrequencies = {"annual", "biennial",
+                                                      "quarterly", "monthly"};
+  while (universe.size() < size) {
+    std::string t1(ZipfPick(TopicWords(), &rng, 0.3));
+    std::string t2(ZipfPick(TopicWords(), &rng, 0.3));
+    if (t1 == t2) continue;
+    std::string full = std::string(rng.Pick(kBodies)) + " " + t1 + " " + t2;
+    std::string abbrev;
+    for (const auto& token : TokenizeAlnum(full, 1)) {
+      if (token == "on" || token == "of") continue;
+      abbrev += static_cast<char>(std::toupper(token[0]));
+    }
+    abbrev += std::to_string(universe.size());  // Disambiguate acronyms.
+    universe.push_back({std::move(abbrev), std::move(full),
+                        static_cast<int>(rng.Uniform(1, 3)),
+                        static_cast<int>(rng.Uniform(1970, 2018)),
+                        std::string(rng.Pick(kFrequencies))});
+  }
+  return universe;
+}
+
+GeneratedDataset MakeDsdLike(std::size_t total_rows, std::uint64_t seed,
+                             const DsdOptions& options) {
+  RandomEngine rng(seed);
+  queryer::Schema schema(
+      std::vector<std::string>{"id", "title", "authors", "venue", "year"});
+
+  std::vector<VenueUniverseEntry> universe = MakeVenueUniverse(60, seed ^ 0x9e37);
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    const VenueUniverseEntry& venue = universe[rng.Zipf(universe.size(), 0.5)];
+    // Source-style split: DBLP-style rows use the short venue name, Google
+    // Scholar-style rows the full name.
+    bool dblp_style = rng.Bernoulli(0.6);
+    originals.push_back({
+        "",
+        MakeTitle(&rng, 5 + static_cast<std::size_t>(rng.Uniform(0, 3))),
+        MakeAuthors(&rng),
+        dblp_style ? venue.short_name : venue.full_name,
+        rng.Bernoulli(0.9) ? std::to_string(rng.Uniform(1990, 2021)) : "",
+    });
+  }
+
+  std::vector<std::size_t> corruptible = {1, 2, 3, 4};
+  return AssembleDirtyTable("dsd", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+GeneratedDataset MakeOagpLike(std::size_t total_rows,
+                              const std::vector<VenueUniverseEntry>& universe,
+                              std::uint64_t seed, const OagpOptions& options) {
+  QUERYER_CHECK(!universe.empty());
+  RandomEngine rng(seed);
+  queryer::Schema schema(std::vector<std::string>{
+      "id", "title", "authors", "venue", "year", "keywords", "abstract",
+      "doi", "publisher", "volume", "issue", "pages", "lang", "doc_type",
+      "issn", "url", "n_citation", "page_count"});
+
+  const std::vector<std::string_view> kPublishers = {
+      "acm", "ieee", "springer", "elsevier", "vldb endowment",
+      "openproceedings", "usenix", "wiley", "mit press", "now publishers"};
+  const std::vector<std::string_view> kLangs = {"en", "en", "en", "de", "fr",
+                                                "es", "el"};
+  const std::vector<std::string_view> kDocTypes = {"conference", "journal",
+                                                   "workshop", "book chapter"};
+
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    std::size_t venue_idx = PickVenueIndex(
+        universe, options.venue_join_fraction, options.venue_table_coverage, &rng);
+    const VenueUniverseEntry& venue = universe[venue_idx];
+    int year = static_cast<int>(rng.Uniform(1998, 2021));
+    int first_page = static_cast<int>(rng.Uniform(1, 1800));
+    int page_count = static_cast<int>(rng.Uniform(4, 16));
+    std::string title = MakeTitle(&rng, 4 + static_cast<std::size_t>(rng.Uniform(0, 4)));
+    originals.push_back({
+        "",
+        title,
+        MakeAuthors(&rng),
+        rng.Bernoulli(0.55) ? venue.short_name : venue.full_name,
+        std::to_string(year),
+        MakeTitle(&rng, 3),  // Keywords: topic words.
+        MakeTitle(&rng, 8),  // Abstract-like snippet.
+        "10." + std::to_string(rng.Uniform(1000, 9999)) + "/" + rng.AlphaString(7),
+        std::string(ZipfPick(kPublishers, &rng, 0.5)),
+        std::to_string(rng.Uniform(1, 40)),
+        std::to_string(rng.Uniform(1, 12)),
+        std::to_string(first_page) + "-" + std::to_string(first_page + page_count),
+        std::string(rng.Pick(kLangs)),
+        std::string(ZipfPick(kDocTypes, &rng, 0.6)),
+        std::to_string(rng.Uniform(1000, 2999)) + "-" + std::to_string(rng.Uniform(1000, 9999)),
+        "https://doi.example.org/" + rng.AlphaString(10),
+        std::to_string(rng.Zipf(800, 1.2)),
+        std::to_string(page_count),
+    });
+  }
+
+  std::vector<std::size_t> corruptible = {1, 2, 3, 4, 5, 6, 8, 11, 15};
+  return AssembleDirtyTable("oagp", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+GeneratedDataset MakeOagvLike(std::size_t total_rows,
+                              const std::vector<VenueUniverseEntry>& universe,
+                              std::uint64_t seed, const OagvOptions& options) {
+  QUERYER_CHECK(!universe.empty());
+  RandomEngine rng(seed);
+  queryer::Schema schema(std::vector<std::string>{
+      "id", "title", "description", "rank", "frequency", "established"});
+
+  auto covered = static_cast<std::size_t>(std::max(
+      1.0, options.universe_coverage * static_cast<double>(universe.size())));
+  covered = std::min(covered, universe.size());
+
+  const std::size_t num_originals =
+      NumOriginalsFor(total_rows, options.duplication.duplicate_ratio);
+  std::vector<std::vector<std::string>> originals;
+  originals.reserve(num_originals);
+  for (std::size_t i = 0; i < num_originals; ++i) {
+    // Cycle through the covered share so every joinable venue appears; the
+    // rest of the rows are filled with repeated picks (venue tables list
+    // editions/series, so repeats with differing descriptions are natural).
+    const VenueUniverseEntry& venue =
+        universe[i < covered ? i : rng.Zipf(covered, 0.4)];
+    bool short_form = rng.Bernoulli(0.5);
+    originals.push_back({
+        "",
+        short_form ? venue.short_name : venue.full_name,
+        short_form ? venue.full_name
+                   : MakeTitle(&rng, 2),  // Motivating example: V4 carries the
+                                          // full name in its description.
+        rng.Bernoulli(0.8) ? std::to_string(venue.rank) : "",
+        rng.Bernoulli(0.8) ? venue.frequency : "",
+        rng.Bernoulli(0.8) ? std::to_string(venue.established) : "",
+    });
+  }
+
+  std::vector<std::size_t> corruptible = {1, 2, 4, 5};
+  return AssembleDirtyTable("oagv", std::move(schema), std::move(originals),
+                            corruptible, options.duplication, &rng);
+}
+
+namespace {
+
+GeneratedDataset DatasetFromRows(
+    std::string name, std::vector<std::string> attributes,
+    std::vector<std::vector<std::string>> rows,
+    std::vector<std::uint32_t> clusters) {
+  auto table = std::make_shared<queryer::Table>(
+      std::move(name), queryer::Schema(std::move(attributes)));
+  for (auto& row : rows) QUERYER_CHECK(table->AppendRow(std::move(row)).ok());
+  return {std::move(table), GroundTruth(std::move(clusters))};
+}
+
+}  // namespace
+
+GeneratedDataset MakeMotivatingPublications() {
+  // Table 1 of the paper: publications P1..P8 (entity ids 0..7).
+  return DatasetFromRows(
+      "p", {"id", "title", "author", "venue", "year"},
+      {
+          {"P1", "Collective Entity Resolution", "", "EDBT", "2008"},
+          {"P2", "Collective E.R.", "Allan Blake",
+           "International Conference on Extending Database Technology", "2008"},
+          {"P3", "Entity Resolution on Big Data", "Jane Davids, John Doe",
+           "ACM Sigmod", "2017"},
+          {"P4", "E.R on Big Data", "J. Davids, J. Doe", "Sigmod", ""},
+          {"P5", "Entity Resolution on Big Data", "J. Davids, John Doe.",
+           "Proc of ACM SIGMOD", "2017"},
+          {"P6", "E.R for consumer data", "Allan Blake, Lisa Davidson", "EDBT",
+           "2015"},
+          {"P7", "Entity-Resolution for consumer data", "A. Blake, L. Davidson",
+           "International Conference on Extending Database Technology", ""},
+          {"P8", "Entity-Resolution for consumer data",
+           "Allan Blake , Davidson Lisa", "EDBT", "2015"},
+      },
+      {0, 0, 1, 1, 1, 2, 2, 2});
+}
+
+GeneratedDataset MakeMotivatingVenues() {
+  // Table 2 of the paper: venues V1..V6 (entity ids 0..5).
+  return DatasetFromRows(
+      "v", {"id", "title", "description", "rank", "frequency", "established"},
+      {
+          {"V1", "International Conference on Extending Database Technology",
+           "Extending Database Technology", "1", "annual", "1984"},
+          {"V2", "SIGMOD", "ACM SIGMOD Conference", "1", "", "1975"},
+          {"V3", "ACM SIGMOD", "", "1", "annual", "1975"},
+          {"V4", "EDBT",
+           "International Conference on Extending Database Technology", "",
+           "yearly", ""},
+          {"V5", "CIDR", "Conference on Innovative Data Systems Research", "",
+           "biennial", "2002"},
+          {"V6", "Conference on Innovative Data Systems Research", "", "2",
+           "biyearly", "2002"},
+      },
+      {0, 1, 1, 0, 2, 2});
+}
+
+}  // namespace queryer::datagen

@@ -1,0 +1,104 @@
+// Scholarly datasets: DSD-like bibliography records (DBLP-Scholar style,
+// records harvested from two "sources" with different formatting habits),
+// OAGP-like paper records (18 attributes) and OAGV-like venue records
+// (5 attributes), plus the paper's motivating-example tables P and V.
+
+#ifndef QUERYER_DATAGEN_SCHOLARLY_H_
+#define QUERYER_DATAGEN_SCHOLARLY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generator_util.h"
+
+namespace queryer::datagen {
+
+/// \brief A synthetic venue with a short and a full name variant.
+struct VenueUniverseEntry {
+  std::string short_name;
+  std::string full_name;
+  int rank;
+  int established;
+  std::string frequency;
+};
+
+/// \brief The venue universe: the curated real-world venue list extended
+/// with composed synthetic venues up to `size` entries. Deterministic in
+/// `seed`.
+std::vector<VenueUniverseEntry> MakeVenueUniverse(std::size_t size,
+                                                  std::uint64_t seed);
+
+struct DsdOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.08,
+      /*max_duplicates_per_record=*/1,
+      /*corruption=*/{/*max_mods_per_attribute=*/2, /*max_mods_per_record=*/4,
+                      /*missing_value_probability=*/0.12,
+                      /*abbreviation_probability=*/0.35,
+                      /*token_swap_probability=*/0.1},
+  };
+};
+
+/// \brief DSD-like bibliography table (5 attributes: id, title, authors,
+/// venue, year). Duplicates mimic the DBLP vs Google-Scholar formatting
+/// differences: abbreviated venues/authors and missing years.
+GeneratedDataset MakeDsdLike(std::size_t total_rows, std::uint64_t seed,
+                             const DsdOptions& options = {});
+
+struct OagpOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.12,
+      /*max_duplicates_per_record=*/2,
+      /*corruption=*/{/*max_mods_per_attribute=*/2, /*max_mods_per_record=*/4,
+                      /*missing_value_probability=*/0.1,
+                      /*abbreviation_probability=*/0.3,
+                      /*token_swap_probability=*/0.1},
+  };
+  /// Fraction of papers whose venue comes from the first
+  /// `venue_table_coverage` share of the universe (the part an OAGV table
+  /// generated from the same universe actually contains). Controls the
+  /// OAGP ⋈ OAGV join percentage, which the paper reports as low (~5%).
+  double venue_join_fraction = 0.05;
+  /// Share of the universe covered by the OAGV table (see above).
+  double venue_table_coverage = 0.2;
+};
+
+/// \brief OAGP-like paper table (18 attributes).
+GeneratedDataset MakeOagpLike(std::size_t total_rows,
+                              const std::vector<VenueUniverseEntry>& universe,
+                              std::uint64_t seed,
+                              const OagpOptions& options = {});
+
+struct OagvOptions {
+  DuplicationOptions duplication = {
+      /*duplicate_ratio=*/0.22,
+      /*max_duplicates_per_record=*/2,
+      /*corruption=*/{/*max_mods_per_attribute=*/1, /*max_mods_per_record=*/2,
+                      /*missing_value_probability=*/0.15,
+                      /*abbreviation_probability=*/0.2,
+                      /*token_swap_probability=*/0.05},
+  };
+  /// Share of the universe the table draws venues from (must match the
+  /// OagpOptions::venue_table_coverage of the paper table it joins with).
+  double universe_coverage = 0.2;
+};
+
+/// \brief OAGV-like venue table (6 attributes: id, title, description,
+/// rank, frequency, established). Duplicate venue rows use the opposite
+/// name variant (short vs full), reproducing the motivating example's
+/// V1/V4-style duplicates.
+GeneratedDataset MakeOagvLike(std::size_t total_rows,
+                              const std::vector<VenueUniverseEntry>& universe,
+                              std::uint64_t seed,
+                              const OagvOptions& options = {});
+
+/// \brief The exact Tables 1 and 2 of the paper (publications P with
+/// entities P1..P8, venues V with V1..V6), for the quickstart example and
+/// the Table 5 cleaning-order experiment.
+GeneratedDataset MakeMotivatingPublications();
+GeneratedDataset MakeMotivatingVenues();
+
+}  // namespace queryer::datagen
+
+#endif  // QUERYER_DATAGEN_SCHOLARLY_H_

@@ -1,0 +1,140 @@
+#include "engine/query_engine.h"
+
+#include "baseline/batch_er.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace queryer {
+
+std::string_view ExecutionModeToString(ExecutionMode mode) {
+  switch (mode) {
+    case ExecutionMode::kBatch: return "BA";
+    case ExecutionMode::kNaive: return "NES";
+    case ExecutionMode::kNaive2: return "NES2";
+    case ExecutionMode::kAdvanced: return "AES";
+  }
+  return "?";
+}
+
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(std::move(options)) {}
+
+Status QueryEngine::RegisterTable(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  QUERYER_RETURN_NOT_OK(catalog_.Register(table));
+  // The e_id attribute names the row; it carries no descriptive content, so
+  // it takes part in neither blocking nor matching.
+  BlockingOptions blocking = options_.blocking;
+  MatchingConfig matching = options_.matching;
+  if (auto id_column = table->schema().IndexOf("id"); id_column.has_value()) {
+    blocking.excluded_attributes.push_back(*id_column);
+    matching.excluded_attributes.push_back(*id_column);
+  }
+  runtimes_[ToLower(table->name())] = std::make_shared<TableRuntime>(
+      table, std::move(blocking), options_.meta_blocking, matching);
+  return Status::OK();
+}
+
+Status QueryEngine::RegisterCsvFile(const std::string& path,
+                                    std::string table_name) {
+  QUERYER_ASSIGN_OR_RETURN(TablePtr table,
+                           ReadCsvFile(path, std::move(table_name)));
+  return RegisterTable(std::move(table));
+}
+
+Status QueryEngine::WarmIndices(const std::string& table_name) {
+  QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
+                           FindRuntime(runtimes_, table_name));
+  runtime->tbi();
+  runtime->attribute_weights();
+  return Status::OK();
+}
+
+Result<std::shared_ptr<TableRuntime>> QueryEngine::GetRuntime(
+    const std::string& table_name) {
+  return FindRuntime(runtimes_, table_name);
+}
+
+Result<SelectStatement> QueryEngine::Parse(const std::string& sql) const {
+  return ParseSelect(sql);
+}
+
+Result<std::vector<std::shared_ptr<TableRuntime>>>
+QueryEngine::InvolvedRuntimes(const SelectStatement& stmt) {
+  std::vector<std::shared_ptr<TableRuntime>> involved;
+  QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> from,
+                           FindRuntime(runtimes_, stmt.from.name));
+  involved.push_back(std::move(from));
+  for (const JoinSpec& join : stmt.joins) {
+    QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
+                             FindRuntime(runtimes_, join.table.name));
+    involved.push_back(std::move(runtime));
+  }
+  return involved;
+}
+
+PlannerMode QueryEngine::PlannerModeFor(ExecutionMode mode) const {
+  switch (mode) {
+    case ExecutionMode::kNaive:
+      return PlannerMode::kNaive;
+    case ExecutionMode::kNaive2:
+      return PlannerMode::kNaive2;
+    case ExecutionMode::kBatch:
+      // Everything is resolved up front, so the plan shape is immaterial;
+      // NES2 keeps the dedup operators cheap (they find all links in LI).
+      return PlannerMode::kNaive2;
+    case ExecutionMode::kAdvanced:
+      return PlannerMode::kAdvanced;
+  }
+  return PlannerMode::kAdvanced;
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  Stopwatch total;
+  QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+
+  QueryResult result;
+  result.stats.collect_comparisons = options_.collect_comparisons;
+
+  if (stmt.dedup) {
+    QUERYER_ASSIGN_OR_RETURN(auto involved, InvolvedRuntimes(stmt));
+    if (options_.mode == ExecutionMode::kBatch) {
+      // BA: clean every involved table in full before answering.
+      for (const auto& runtime : involved) {
+        if (runtime->link_index().num_resolved() <
+            runtime->table().num_rows()) {
+          BatchDeduplicate(runtime.get(), &result.stats);
+        }
+      }
+    } else if (!options_.use_link_index) {
+      // "Without LI": no reuse of links across queries.
+      for (const auto& runtime : involved) runtime->ResetLinkIndex();
+    }
+  }
+
+  Planner planner(&catalog_, &runtimes_, &statistics_);
+  QUERYER_ASSIGN_OR_RETURN(
+      PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
+  result.plan_text = plan->ToString();
+
+  Executor executor(&catalog_, &runtimes_, &result.stats);
+  QUERYER_ASSIGN_OR_RETURN(QueryOutput output, executor.Run(*plan));
+
+  result.columns = std::move(output.columns);
+  result.rows.reserve(output.rows.size());
+  for (Row& row : output.rows) {
+    result.rows.push_back(std::move(row.values));
+  }
+  result.stats.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+Result<std::string> QueryEngine::Explain(const std::string& sql) {
+  QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  Planner planner(&catalog_, &runtimes_, &statistics_);
+  QUERYER_ASSIGN_OR_RETURN(
+      PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
+  return plan->ToString();
+}
+
+}  // namespace queryer

@@ -1,0 +1,118 @@
+// QueryEngine: the public facade of QueryER.
+//
+//   QueryEngine engine;
+//   engine.RegisterTable(my_table);                  // or RegisterCsvFile
+//   auto result = engine.Execute(
+//       "SELECT DEDUP p.title, v.rank FROM p "
+//       "INNER JOIN v ON p.venue = v.title WHERE p.venue = 'EDBT'");
+//
+// The engine owns the catalog, the per-table ER runtimes (Table Block Index
+// + Link Index, built once-off), the statistics cache of the cost-based
+// planner, and the execution-mode switch that selects between the Batch
+// Approach baseline and the Naive/Advanced ER solutions of the paper.
+
+#ifndef QUERYER_ENGINE_QUERY_ENGINE_H_
+#define QUERYER_ENGINE_QUERY_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/executor.h"
+#include "exec/table_runtime.h"
+#include "planner/planner.h"
+#include "planner/statistics.h"
+#include "sql/parser.h"
+#include "storage/catalog.h"
+#include "storage/csv.h"
+
+namespace queryer {
+
+/// \brief How DEDUP queries are evaluated.
+enum class ExecutionMode {
+  /// Batch Approach (BA): fully deduplicate every involved table first,
+  /// then answer the query. The paper's baseline.
+  kBatch,
+  /// Naive ER Solution (NES): Deduplicate directly above each Table Scan.
+  kNaive,
+  /// Naive ER plan 2: Deduplicate above each Filter.
+  kNaive2,
+  /// Advanced ER Solution (AES): cost-based operator placement.
+  kAdvanced,
+};
+
+std::string_view ExecutionModeToString(ExecutionMode mode);
+
+/// \brief Engine-wide configuration. Blocking/meta-blocking/matching apply
+/// to tables registered afterwards.
+struct EngineOptions {
+  BlockingOptions blocking;
+  MetaBlockingConfig meta_blocking;
+  MatchingConfig matching;
+  ExecutionMode mode = ExecutionMode::kAdvanced;
+  /// When false, resolved links are forgotten before every DEDUP query —
+  /// the "Without LI" arm of the paper's Fig. 11.
+  bool use_link_index = true;
+  /// When true, every ER operator appends its surviving comparisons to the
+  /// result stats (for Pair Completeness measurement).
+  bool collect_comparisons = false;
+};
+
+/// \brief A materialized query answer plus its execution statistics.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  ExecStats stats;
+  std::string plan_text;
+};
+
+/// \brief The QueryER engine. Not thread-safe.
+class QueryEngine {
+ public:
+  explicit QueryEngine(EngineOptions options = {});
+
+  /// Registers an in-memory table. Fails on duplicate names.
+  Status RegisterTable(TablePtr table);
+
+  /// Loads a CSV file as a table named `table_name`.
+  Status RegisterCsvFile(const std::string& path, std::string table_name);
+
+  /// Parses, plans and executes one SELECT statement.
+  Result<QueryResult> Execute(const std::string& sql);
+
+  /// Returns the logical plan the current mode would execute.
+  Result<std::string> Explain(const std::string& sql);
+
+  /// Eagerly builds the once-off indices of a table (otherwise they are
+  /// built on first use).
+  Status WarmIndices(const std::string& table_name);
+
+  Result<std::shared_ptr<TableRuntime>> GetRuntime(
+      const std::string& table_name);
+
+  const Catalog& catalog() const { return catalog_; }
+  StatisticsCache& statistics() { return statistics_; }
+
+  ExecutionMode mode() const { return options_.mode; }
+  void set_mode(ExecutionMode mode) { options_.mode = mode; }
+  void set_use_link_index(bool use) { options_.use_link_index = use; }
+  void set_collect_comparisons(bool collect) {
+    options_.collect_comparisons = collect;
+  }
+
+ private:
+  Result<SelectStatement> Parse(const std::string& sql) const;
+  Result<std::vector<std::shared_ptr<TableRuntime>>> InvolvedRuntimes(
+      const SelectStatement& stmt);
+  PlannerMode PlannerModeFor(ExecutionMode mode) const;
+
+  EngineOptions options_;
+  Catalog catalog_;
+  RuntimeRegistry runtimes_;
+  StatisticsCache statistics_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_ENGINE_QUERY_ENGINE_H_

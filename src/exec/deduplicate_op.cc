@@ -1,0 +1,46 @@
+#include "exec/deduplicate_op.h"
+
+#include "common/logging.h"
+
+namespace queryer {
+
+DeduplicateOp::DeduplicateOp(OperatorPtr child,
+                             std::shared_ptr<TableRuntime> runtime,
+                             ExecStats* stats)
+    : child_(std::move(child)), runtime_(std::move(runtime)), stats_(stats) {
+  // DR_E rows come from the base table, so the child must expose all of its
+  // columns (same arity).
+  QUERYER_CHECK(child_->output_columns().size() ==
+                runtime_->table().num_attributes());
+  output_columns_ = child_->output_columns();
+}
+
+Status DeduplicateOp::Open() {
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  std::vector<EntityId> query_entities;
+  query_entities.reserve(input.size());
+  for (const Row& row : input) {
+    if (row.entity_id == kInvalidEntityId) {
+      return Status::ExecutionError(
+          "Deduplicate input rows must come from a base table");
+    }
+    query_entities.push_back(row.entity_id);
+  }
+  Deduplicator deduplicator(runtime_.get(), stats_);
+  result_entities_ = deduplicator.Resolve(query_entities);
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> DeduplicateOp::Next(Row* row) {
+  if (position_ >= result_entities_.size()) return false;
+  EntityId e = result_entities_[position_++];
+  row->values = runtime_->table().row(e);
+  row->entity_id = e;
+  row->group_key = runtime_->link_index().Representative(e);
+  return true;
+}
+
+void DeduplicateOp::Close() { result_entities_.clear(); }
+
+}  // namespace queryer

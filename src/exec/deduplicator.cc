@@ -1,0 +1,93 @@
+#include "exec/deduplicator.h"
+
+#include <algorithm>
+
+#include "blocking/block_join.h"
+#include "common/stopwatch.h"
+
+namespace queryer {
+
+std::vector<EntityId> Deduplicator::Resolve(
+    const std::vector<EntityId>& query_entities) {
+  LinkIndex& li = runtime_->link_index();
+  stats_->query_entities += query_entities.size();
+
+  // Split QE into already-resolved (link-set known) and fresh entities.
+  std::vector<EntityId> unresolved;
+  unresolved.reserve(query_entities.size());
+  for (EntityId e : query_entities) {
+    if (li.IsResolved(e)) {
+      ++stats_->entities_already_resolved;
+    } else {
+      unresolved.push_back(e);
+    }
+  }
+
+  if (!unresolved.empty()) {
+    // (i) Query Blocking: build the QBI with the table's blocking function.
+    Stopwatch watch;
+    QueryBlockIndex qbi = QueryBlockIndex::Build(
+        runtime_->table(), unresolved, runtime_->blocking_options());
+    stats_->blocking_seconds += watch.ElapsedSeconds();
+
+    // (ii) Block-Join against the TBI (built once per table).
+    const TableBlockIndex& tbi = runtime_->tbi();
+    watch.Restart();
+    BlockCollection enriched = BlockJoin(qbi, tbi);
+    stats_->block_join_seconds += watch.ElapsedSeconds();
+    stats_->blocks_after_join += enriched.size();
+
+    // (iii) Meta-Blocking: BP -> BF -> EP per the table's configuration.
+    const MetaBlockingConfig& config = runtime_->meta_blocking_config();
+    BlockCollection refined = std::move(enriched);
+    if (config.block_purging) {
+      watch.Restart();
+      refined = BlockPurging(std::move(refined), config.purging_outlier_factor);
+      stats_->purging_seconds += watch.ElapsedSeconds();
+    }
+    if (config.block_filtering) {
+      watch.Restart();
+      refined = BlockFiltering(refined, config.filtering_ratio);
+      stats_->filtering_seconds += watch.ElapsedSeconds();
+    }
+    std::vector<Comparison> comparisons;
+    if (config.edge_pruning) {
+      watch.Restart();
+      comparisons = EdgePruning(refined, config.edge_weighting);
+      stats_->edge_pruning_seconds += watch.ElapsedSeconds();
+    } else {
+      watch.Restart();
+      comparisons = DistinctComparisons(refined);
+      stats_->edge_pruning_seconds += watch.ElapsedSeconds();
+    }
+    stats_->comparisons_after_metablocking += comparisons.size();
+    if (stats_->collect_comparisons) {
+      stats_->collected_comparisons.insert(stats_->collected_comparisons.end(),
+                                           comparisons.begin(),
+                                           comparisons.end());
+    }
+
+    // (iv) Comparison-Execution; amends the Link Index with new links.
+    watch.Restart();
+    ComparisonExecStats exec_stats = ExecuteComparisons(
+        runtime_->table(), comparisons, runtime_->matching_config(), &li,
+        &runtime_->attribute_weights());
+    stats_->resolution_seconds += watch.ElapsedSeconds();
+    stats_->comparisons_executed += exec_stats.executed;
+    stats_->comparisons_skipped_linked += exec_stats.skipped_linked;
+    stats_->matches_found += exec_stats.matches_found;
+
+    for (EntityId e : unresolved) li.MarkResolved(e);
+  }
+
+  // DR_E = QE ∪ duplicates(QE), ascending and distinct.
+  std::vector<EntityId> result;
+  for (EntityId e : query_entities) {
+    for (EntityId member : li.Cluster(e)) result.push_back(member);
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+}  // namespace queryer

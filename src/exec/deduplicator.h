@@ -1,0 +1,39 @@
+// The Deduplicate pipeline (paper Sec. 6.1) as a reusable component:
+// Query Blocking -> Block-Join -> Meta-Blocking -> Comparison-Execution,
+// consulting and amending the table's Link Index.
+//
+// Both the Deduplicate operator and the Deduplicate-Join operator (which
+// runs the pipeline on its dirty input, Alg. 1 line 5) use this class.
+
+#ifndef QUERYER_EXEC_DEDUPLICATOR_H_
+#define QUERYER_EXEC_DEDUPLICATOR_H_
+
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/table_runtime.h"
+
+namespace queryer {
+
+/// \brief Runs the ER pipeline over query selections of one table.
+class Deduplicator {
+ public:
+  Deduplicator(TableRuntime* runtime, ExecStats* stats)
+      : runtime_(runtime), stats_(stats) {}
+
+  /// \brief Resolves `query_entities` against the whole table.
+  ///
+  /// Entities already resolved by earlier queries are served from the Link
+  /// Index; the rest go through the full pipeline, after which they are
+  /// marked resolved. Returns DR_E's entity set: the query entities plus
+  /// all their discovered duplicates, ascending and distinct.
+  std::vector<EntityId> Resolve(const std::vector<EntityId>& query_entities);
+
+ private:
+  TableRuntime* runtime_;
+  ExecStats* stats_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_DEDUPLICATOR_H_

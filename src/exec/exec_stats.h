@@ -1,0 +1,58 @@
+// Per-query execution statistics: the measures the paper's evaluation
+// reports (executed comparisons, per-stage time breakdown) are collected
+// here by the ER operators.
+
+#ifndef QUERYER_EXEC_EXEC_STATS_H_
+#define QUERYER_EXEC_EXEC_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "metablocking/edge_pruning.h"
+
+namespace queryer {
+
+/// \brief Counters and stage timings of one query execution.
+struct ExecStats {
+  // Comparison-Execution counters.
+  std::size_t comparisons_executed = 0;
+  std::size_t comparisons_skipped_linked = 0;
+  std::size_t matches_found = 0;
+
+  // ER pipeline counters.
+  std::size_t query_entities = 0;        // |QE| fed into Deduplicate.
+  std::size_t entities_already_resolved = 0;  // Served from the Link Index.
+  std::size_t blocks_after_join = 0;     // |EQBI|.
+  std::size_t comparisons_after_metablocking = 0;
+
+  // Stage timings (seconds), cumulative over all ER operators of the query.
+  double blocking_seconds = 0;      // QBI construction.
+  double block_join_seconds = 0;
+  double purging_seconds = 0;
+  double filtering_seconds = 0;
+  double edge_pruning_seconds = 0;
+  double resolution_seconds = 0;    // Comparison-Execution.
+  double group_seconds = 0;         // Group-Entities.
+  double total_seconds = 0;         // Whole query, set by the engine.
+
+  /// When set, ER operators append every surviving comparison here so the
+  /// benches can measure Pair Completeness against ground truth.
+  bool collect_comparisons = false;
+  std::vector<Comparison> collected_comparisons;
+
+  double meta_blocking_seconds() const {
+    return purging_seconds + filtering_seconds + edge_pruning_seconds;
+  }
+  /// Time not attributed to any ER stage (table scan, filter, join, ...).
+  double other_seconds() const;
+
+  /// Merges another stats object into this one (BA = batch ER + query run).
+  void Accumulate(const ExecStats& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_EXEC_STATS_H_

@@ -1,0 +1,120 @@
+#include "exec/executor.h"
+
+#include "exec/dedup_join_op.h"
+#include "exec/deduplicate_op.h"
+#include "exec/filter.h"
+#include "exec/group_entities_op.h"
+#include "exec/group_filter.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/table_scan.h"
+
+namespace queryer {
+
+namespace {
+
+// Binds the pair of join keys to the children, swapping them when the plan
+// stored them in the opposite orientation (ON a.x = b.y vs ON b.y = a.x).
+Status BindJoinKeys(const std::vector<std::string>& left_columns,
+                    const std::vector<std::string>& right_columns,
+                    ExprPtr* left_key, ExprPtr* right_key) {
+  Status left_status = (*left_key)->Bind(left_columns);
+  if (left_status.ok()) {
+    return (*right_key)->Bind(right_columns);
+  }
+  // Try the swapped orientation.
+  Status swapped_left = (*right_key)->Bind(left_columns);
+  if (!swapped_left.ok()) return left_status;
+  QUERYER_RETURN_NOT_OK((*left_key)->Bind(right_columns));
+  std::swap(*left_key, *right_key);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
+  switch (plan.kind) {
+    case PlanKind::kScan: {
+      QUERYER_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan.table_name));
+      return OperatorPtr(new TableScanOp(std::move(table), plan.table_alias));
+    }
+    case PlanKind::kFilter: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      ExprPtr predicate = plan.predicate->Clone();
+      QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
+      return OperatorPtr(new FilterOp(std::move(child), std::move(predicate)));
+    }
+    case PlanKind::kGroupFilter: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      ExprPtr predicate = plan.predicate->Clone();
+      QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
+      return OperatorPtr(
+          new GroupFilterOp(std::move(child), std::move(predicate)));
+    }
+    case PlanKind::kProject: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      std::vector<ExprPtr> exprs;
+      std::vector<std::string> names;
+      for (const SelectItem& item : plan.items) {
+        ExprPtr expr = item.expr->Clone();
+        QUERYER_RETURN_NOT_OK(expr->Bind(child->output_columns()));
+        names.push_back(item.alias.empty() ? item.expr->ToString()
+                                           : item.alias);
+        exprs.push_back(std::move(expr));
+      }
+      return OperatorPtr(
+          new ProjectOp(std::move(child), std::move(exprs), std::move(names)));
+    }
+    case PlanKind::kHashJoin: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*plan.children[1]));
+      ExprPtr left_key = plan.left_key->Clone();
+      ExprPtr right_key = plan.right_key->Clone();
+      QUERYER_RETURN_NOT_OK(BindJoinKeys(left->output_columns(),
+                                         right->output_columns(), &left_key,
+                                         &right_key));
+      return OperatorPtr(new HashJoinOp(std::move(left), std::move(right),
+                                        std::move(left_key),
+                                        std::move(right_key)));
+    }
+    case PlanKind::kDeduplicate: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
+                               FindRuntime(*runtimes_, plan.table_name));
+      return OperatorPtr(
+          new DeduplicateOp(std::move(child), std::move(runtime), stats_));
+    }
+    case PlanKind::kDedupJoin: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*plan.children[1]));
+      ExprPtr left_key = plan.left_key->Clone();
+      ExprPtr right_key = plan.right_key->Clone();
+      QUERYER_RETURN_NOT_OK(BindJoinKeys(left->output_columns(),
+                                         right->output_columns(), &left_key,
+                                         &right_key));
+      std::shared_ptr<TableRuntime> runtime;
+      if (plan.dirty_side != DirtySide::kNone) {
+        QUERYER_ASSIGN_OR_RETURN(runtime,
+                                 FindRuntime(*runtimes_, plan.table_name));
+      }
+      return OperatorPtr(new DedupJoinOp(
+          std::move(left), std::move(right), std::move(left_key),
+          std::move(right_key), plan.dirty_side, std::move(runtime), stats_));
+    }
+    case PlanKind::kGroupEntities: {
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      return OperatorPtr(new GroupEntitiesOp(std::move(child), stats_));
+    }
+  }
+  return Status::Internal("unknown plan kind");
+}
+
+Result<QueryOutput> Executor::Run(const LogicalPlan& plan) {
+  QUERYER_ASSIGN_OR_RETURN(OperatorPtr root, Lower(plan));
+  QueryOutput output;
+  output.columns = root->output_columns();
+  QUERYER_ASSIGN_OR_RETURN(output.rows, DrainOperator(root.get()));
+  return output;
+}
+
+}  // namespace queryer

@@ -1,0 +1,45 @@
+// Executor: lowers a logical plan to physical operators and runs it.
+
+#ifndef QUERYER_EXEC_EXECUTOR_H_
+#define QUERYER_EXEC_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "plan/logical_plan.h"
+#include "storage/catalog.h"
+
+namespace queryer {
+
+/// \brief Materialized result of one query.
+struct QueryOutput {
+  std::vector<std::string> columns;
+  std::vector<Row> rows;
+};
+
+/// \brief Plan lowering + execution against a catalog and the per-table ER
+/// runtimes. Stateless across queries apart from what the runtimes carry
+/// (notably the Link Index).
+class Executor {
+ public:
+  Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats)
+      : catalog_(catalog), runtimes_(runtimes), stats_(stats) {}
+
+  /// Builds the physical operator tree (binding all expressions).
+  Result<OperatorPtr> Lower(const LogicalPlan& plan);
+
+  /// Lowers and drains the plan.
+  Result<QueryOutput> Run(const LogicalPlan& plan);
+
+ private:
+  const Catalog* catalog_;
+  RuntimeRegistry* runtimes_;
+  ExecStats* stats_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_EXECUTOR_H_

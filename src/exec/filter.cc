@@ -1,0 +1,25 @@
+#include "exec/filter.h"
+
+#include "common/logging.h"
+
+namespace queryer {
+
+FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  output_columns_ = child_->output_columns();
+  QUERYER_CHECK(predicate_->IsBound());
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(Row* row) {
+  while (true) {
+    QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(row));
+    if (!has) return false;
+    if (predicate_->EvalBool(row->values)) return true;
+  }
+}
+
+void FilterOp::Close() { child_->Close(); }
+
+}  // namespace queryer

@@ -1,0 +1,28 @@
+// Filter: forwards child rows satisfying a bound predicate.
+
+#ifndef QUERYER_EXEC_FILTER_H_
+#define QUERYER_EXEC_FILTER_H_
+
+#include "exec/operator.h"
+#include "plan/expr.h"
+
+namespace queryer {
+
+/// \brief Relational selection. The predicate must already be bound against
+/// the child's output columns.
+class FilterOp final : public PhysicalOperator {
+ public:
+  FilterOp(OperatorPtr child, ExprPtr predicate);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  ExprPtr predicate_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_FILTER_H_

@@ -1,0 +1,78 @@
+#include "exec/group_entities_op.h"
+
+#include <unordered_map>
+
+#include "common/stopwatch.h"
+
+namespace queryer {
+
+GroupEntitiesOp::GroupEntitiesOp(OperatorPtr child, ExecStats* stats)
+    : child_(std::move(child)), stats_(stats) {
+  output_columns_ = child_->output_columns();
+}
+
+Status GroupEntitiesOp::Open() {
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  Stopwatch watch;
+
+  const std::size_t width = output_columns_.size();
+  struct Group {
+    // Per attribute: distinct non-empty variants in first-seen order.
+    std::vector<std::vector<std::string>> variants;
+  };
+  std::vector<std::uint64_t> group_order;
+  std::unordered_map<std::uint64_t, Group> groups;
+  for (Row& row : input) {
+    auto [it, inserted] = groups.try_emplace(row.group_key);
+    if (inserted) {
+      it->second.variants.resize(width);
+      group_order.push_back(row.group_key);
+    }
+    Group& group = it->second;
+    for (std::size_t a = 0; a < width && a < row.values.size(); ++a) {
+      const std::string& value = row.values[a];
+      if (value.empty()) continue;  // Nulls map to the empty variant.
+      auto& seen = group.variants[a];
+      bool duplicate = false;
+      for (const std::string& existing : seen) {
+        if (existing == value) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) seen.push_back(value);
+    }
+  }
+
+  output_.clear();
+  output_.reserve(group_order.size());
+  for (std::uint64_t key : group_order) {
+    const Group& group = groups[key];
+    Row row;
+    row.group_key = key;
+    row.values.reserve(width);
+    for (const auto& variants : group.variants) {
+      std::string fused;
+      for (std::size_t i = 0; i < variants.size(); ++i) {
+        if (i > 0) fused += kVariantSeparator;
+        fused += variants[i];
+      }
+      row.values.push_back(std::move(fused));
+    }
+    output_.push_back(std::move(row));
+  }
+
+  stats_->group_seconds += watch.ElapsedSeconds();
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> GroupEntitiesOp::Next(Row* row) {
+  if (position_ >= output_.size()) return false;
+  *row = output_[position_++];
+  return true;
+}
+
+void GroupEntitiesOp::Close() { output_.clear(); }
+
+}  // namespace queryer

@@ -1,0 +1,36 @@
+// The Group-Entities operator (paper Sec. 6.3): groups the rows of a DR
+// stream into one record per duplicate group, concatenating the distinct
+// attribute variants with " | " (the paper's hyper-entity presentation;
+// nulls map to the empty value and are skipped).
+
+#ifndef QUERYER_EXEC_GROUP_ENTITIES_OP_H_
+#define QUERYER_EXEC_GROUP_ENTITIES_OP_H_
+
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+
+namespace queryer {
+
+/// \brief Physical Group-Entities operator. Groups child rows by group key
+/// (first-appearance order) and emits one fused row per group.
+class GroupEntitiesOp final : public PhysicalOperator {
+ public:
+  GroupEntitiesOp(OperatorPtr child, ExecStats* stats);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+  /// Separator between grouped value variants.
+  static constexpr const char* kVariantSeparator = " | ";
+
+ private:
+  OperatorPtr child_;
+  ExecStats* stats_;
+  std::vector<Row> output_;
+  std::size_t position_ = 0;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_GROUP_ENTITIES_OP_H_

@@ -1,0 +1,39 @@
+#include "exec/group_filter.h"
+
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace queryer {
+
+GroupFilterOp::GroupFilterOp(OperatorPtr child, ExprPtr predicate)
+    : child_(std::move(child)), predicate_(std::move(predicate)) {
+  output_columns_ = child_->output_columns();
+  QUERYER_CHECK(predicate_->IsBound());
+}
+
+Status GroupFilterOp::Open() {
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  std::unordered_set<std::uint64_t> passing_groups;
+  for (const Row& row : input) {
+    if (predicate_->EvalBool(row.values)) passing_groups.insert(row.group_key);
+  }
+  output_.clear();
+  for (Row& row : input) {
+    if (passing_groups.count(row.group_key) > 0) {
+      output_.push_back(std::move(row));
+    }
+  }
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> GroupFilterOp::Next(Row* row) {
+  if (position_ >= output_.size()) return false;
+  *row = output_[position_++];
+  return true;
+}
+
+void GroupFilterOp::Close() { output_.clear(); }
+
+}  // namespace queryer

@@ -1,0 +1,82 @@
+#include "exec/hash_join.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace queryer {
+
+std::string CanonicalJoinKey(const std::string& value) {
+  std::optional<double> number = ParseNumber(value);
+  if (number.has_value()) {
+    // Canonical numeric form so "7", "7.0" and " 7" join.
+    if (*number == static_cast<double>(static_cast<long long>(*number))) {
+      return "#" + std::to_string(static_cast<long long>(*number));
+    }
+    return "#" + std::to_string(*number);
+  }
+  return ToLower(value);
+}
+
+std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row) {
+  return CanonicalJoinKey(key_expr.EvalValue(row).text);
+}
+
+HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
+                       ExprPtr right_key)
+    : left_(std::move(left)),
+      right_(std::move(right)),
+      left_key_(std::move(left_key)),
+      right_key_(std::move(right_key)) {
+  QUERYER_CHECK(left_key_->IsBound());
+  QUERYER_CHECK(right_key_->IsBound());
+  output_columns_ = left_->output_columns();
+  for (const std::string& column : right_->output_columns()) {
+    output_columns_.push_back(column);
+  }
+}
+
+Status HashJoinOp::Open() {
+  QUERYER_RETURN_NOT_OK(left_->Open());
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> rows, DrainOperator(right_.get()));
+  build_side_.clear();
+  for (Row& row : rows) {
+    std::string key = JoinKeyOf(*right_key_, row.values);
+    if (key.empty()) continue;  // NULL keys never join.
+    build_side_[std::move(key)].push_back(std::move(row));
+  }
+  current_matches_ = nullptr;
+  match_index_ = 0;
+  output_counter_ = 0;
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::Next(Row* row) {
+  while (true) {
+    if (current_matches_ != nullptr && match_index_ < current_matches_->size()) {
+      const Row& right = (*current_matches_)[match_index_++];
+      row->values = current_left_.values;
+      row->values.insert(row->values.end(), right.values.begin(),
+                         right.values.end());
+      // A plain join output is its own group; dedup plans use DedupJoinOp
+      // which assigns real group keys.
+      row->group_key = output_counter_++;
+      row->entity_id = kInvalidEntityId;
+      return true;
+    }
+    QUERYER_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
+    if (!has) return false;
+    std::string key = JoinKeyOf(*left_key_, current_left_.values);
+    if (key.empty()) continue;
+    auto it = build_side_.find(key);
+    current_matches_ = it == build_side_.end() ? nullptr : &it->second;
+    match_index_ = 0;
+  }
+}
+
+void HashJoinOp::Close() {
+  left_->Close();
+  // Right child already closed by DrainOperator in Open().
+  build_side_.clear();
+}
+
+}  // namespace queryer

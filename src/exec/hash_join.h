@@ -1,0 +1,51 @@
+// HashJoin: classic equi hash join (build right, probe left). Used for
+// plain (non-DEDUP) queries and as the relational sub-join inside the
+// Deduplicate-Join operator.
+
+#ifndef QUERYER_EXEC_HASH_JOIN_H_
+#define QUERYER_EXEC_HASH_JOIN_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/expr.h"
+
+namespace queryer {
+
+/// \brief Join-key canonicalization under the engine's value semantics:
+/// numeric values normalized, strings lower-cased (joins are
+/// case-insensitive, consistent with predicate evaluation).
+std::string CanonicalJoinKey(const std::string& value);
+
+/// \brief Evaluates a key expression on a row and canonicalizes it.
+std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row);
+
+/// \brief Inner equi hash join. Key expressions must be bound against the
+/// respective child's columns. Output: left columns ++ right columns.
+class HashJoinOp final : public PhysicalOperator {
+ public:
+  HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
+             ExprPtr right_key);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+ private:
+  OperatorPtr left_;
+  OperatorPtr right_;
+  ExprPtr left_key_;
+  ExprPtr right_key_;
+
+  std::unordered_map<std::string, std::vector<Row>> build_side_;
+  Row current_left_;
+  const std::vector<Row>* current_matches_ = nullptr;
+  std::size_t match_index_ = 0;
+  std::uint64_t output_counter_ = 0;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_HASH_JOIN_H_

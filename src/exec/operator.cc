@@ -1,0 +1,19 @@
+#include "exec/operator.h"
+
+namespace queryer {
+
+Result<std::vector<Row>> DrainOperator(PhysicalOperator* op) {
+  QUERYER_RETURN_NOT_OK(op->Open());
+  std::vector<Row> rows;
+  Row row;
+  while (true) {
+    QUERYER_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+    if (!has) break;
+    rows.push_back(std::move(row));
+    row = Row();
+  }
+  op->Close();
+  return rows;
+}
+
+}  // namespace queryer

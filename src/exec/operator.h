@@ -1,0 +1,47 @@
+// The Volcano iterator interface all physical operators implement
+// (paper Sec. 7.2.2: "QueryER utilizes the established database pipelining
+// architecture where the output of an operator is passed to its parent by
+// implementing the Iterator Interface").
+
+#ifndef QUERYER_EXEC_OPERATOR_H_
+#define QUERYER_EXEC_OPERATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/row.h"
+
+namespace queryer {
+
+/// \brief Pull-based physical operator.
+///
+/// Protocol: Open() once, Next() until it returns false, Close() once.
+/// `output_columns()` is valid after construction and lists qualified
+/// column names ("alias.column") of the produced rows.
+class PhysicalOperator {
+ public:
+  virtual ~PhysicalOperator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row into `row`; returns false at end of stream.
+  virtual Result<bool> Next(Row* row) = 0;
+  virtual void Close() = 0;
+
+  const std::vector<std::string>& output_columns() const {
+    return output_columns_;
+  }
+
+ protected:
+  std::vector<std::string> output_columns_;
+};
+
+using OperatorPtr = std::unique_ptr<PhysicalOperator>;
+
+/// \brief Drains an operator into a vector (Open/Next*/Close).
+Result<std::vector<Row>> DrainOperator(PhysicalOperator* op);
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_OPERATOR_H_

@@ -1,0 +1,33 @@
+#include "exec/project.h"
+
+#include "common/logging.h"
+
+namespace queryer {
+
+ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+                     std::vector<std::string> names)
+    : child_(std::move(child)), exprs_(std::move(exprs)) {
+  QUERYER_CHECK(exprs_.size() == names.size());
+  for (const auto& expr : exprs_) QUERYER_CHECK(expr->IsBound());
+  output_columns_ = std::move(names);
+}
+
+Status ProjectOp::Open() { return child_->Open(); }
+
+Result<bool> ProjectOp::Next(Row* row) {
+  Row input;
+  QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
+  if (!has) return false;
+  row->values.clear();
+  row->values.reserve(exprs_.size());
+  for (const auto& expr : exprs_) {
+    row->values.push_back(expr->EvalValue(input.values).text);
+  }
+  row->group_key = input.group_key;
+  row->entity_id = input.entity_id;
+  return true;
+}
+
+void ProjectOp::Close() { child_->Close(); }
+
+}  // namespace queryer

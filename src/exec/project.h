@@ -1,0 +1,32 @@
+// Project: evaluates the SELECT list over child rows.
+
+#ifndef QUERYER_EXEC_PROJECT_H_
+#define QUERYER_EXEC_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "plan/expr.h"
+
+namespace queryer {
+
+/// \brief Projection. Item expressions must be bound against the child.
+/// Output column names come from aliases, or the expressions otherwise.
+class ProjectOp final : public PhysicalOperator {
+ public:
+  ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
+            std::vector<std::string> names);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+ private:
+  OperatorPtr child_;
+  std::vector<ExprPtr> exprs_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_PROJECT_H_

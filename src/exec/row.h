@@ -1,0 +1,36 @@
+// The tuple flowing between physical operators.
+
+#ifndef QUERYER_EXEC_ROW_H_
+#define QUERYER_EXEC_ROW_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "storage/table.h"
+
+namespace queryer {
+
+/// Sentinel for rows that no longer map to a single base-table entity
+/// (e.g. join outputs).
+inline constexpr EntityId kInvalidEntityId =
+    std::numeric_limits<EntityId>::max();
+
+/// \brief One tuple.
+///
+/// `group_key` identifies the duplicate group the row belongs to: rows that
+/// are manifestations of the same real-world entity (or, after a join, of
+/// the same pair of real-world entities) share a group key, which is what
+/// the Group-Entities operator groups on. `entity_id` is the base-table row
+/// the tuple came from, needed by the ER operators; it is invalid for
+/// composite rows.
+struct Row {
+  std::vector<std::string> values;
+  std::uint64_t group_key = 0;
+  EntityId entity_id = kInvalidEntityId;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_ROW_H_

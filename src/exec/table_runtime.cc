@@ -1,0 +1,40 @@
+#include "exec/table_runtime.h"
+
+#include "common/string_util.h"
+
+namespace queryer {
+
+TableRuntime::TableRuntime(TablePtr table, BlockingOptions blocking,
+                           MetaBlockingConfig meta_blocking,
+                           MatchingConfig matching)
+    : table_(std::move(table)),
+      blocking_(std::move(blocking)),
+      meta_blocking_(meta_blocking),
+      matching_(matching),
+      link_index_(table_->num_rows()) {}
+
+const TableBlockIndex& TableRuntime::tbi() {
+  if (tbi_ == nullptr) {
+    tbi_ = TableBlockIndex::Build(*table_, blocking_);
+  }
+  return *tbi_;
+}
+
+const AttributeWeights& TableRuntime::attribute_weights() {
+  if (attribute_weights_ == nullptr) {
+    attribute_weights_ =
+        std::make_unique<AttributeWeights>(AttributeWeights::Compute(*table_));
+  }
+  return *attribute_weights_;
+}
+
+Result<std::shared_ptr<TableRuntime>> FindRuntime(
+    const RuntimeRegistry& registry, const std::string& table_name) {
+  auto it = registry.find(ToLower(table_name));
+  if (it == registry.end()) {
+    return Status::NotFound("no runtime for table: " + table_name);
+  }
+  return it->second;
+}
+
+}  // namespace queryer

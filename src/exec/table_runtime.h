@@ -1,0 +1,72 @@
+// Per-table ER runtime: the once-off indices (TBI/ITBI via TableBlockIndex,
+// Link Index) plus the blocking / meta-blocking / matching configuration a
+// table was registered with. Owned by the engine, shared by the operators.
+
+#ifndef QUERYER_EXEC_TABLE_RUNTIME_H_
+#define QUERYER_EXEC_TABLE_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "blocking/token_blocking.h"
+#include "common/status.h"
+#include "matching/comparison_execution.h"
+#include "matching/link_index.h"
+#include "metablocking/meta_blocking.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief ER state of one registered table.
+class TableRuntime {
+ public:
+  TableRuntime(TablePtr table, BlockingOptions blocking,
+               MetaBlockingConfig meta_blocking, MatchingConfig matching);
+
+  const Table& table() const { return *table_; }
+  TablePtr table_ptr() const { return table_; }
+  const BlockingOptions& blocking_options() const { return blocking_; }
+  const MetaBlockingConfig& meta_blocking_config() const {
+    return meta_blocking_;
+  }
+  void set_meta_blocking_config(const MetaBlockingConfig& config) {
+    meta_blocking_ = config;
+  }
+  const MatchingConfig& matching_config() const { return matching_; }
+  void set_matching_config(const MatchingConfig& config) { matching_ = config; }
+
+  /// Builds the TBI on first access (once-off initialization, paper Sec. 3).
+  const TableBlockIndex& tbi();
+  bool tbi_built() const { return tbi_ != nullptr; }
+
+  /// Attribute-distinctiveness weights for matching (computed once).
+  const AttributeWeights& attribute_weights();
+
+  LinkIndex& link_index() { return link_index_; }
+  const LinkIndex& link_index() const { return link_index_; }
+
+  /// Forgets all resolved links (used by the without-LI experiment arm and
+  /// to reset state between benchmark runs).
+  void ResetLinkIndex() { link_index_.Reset(); }
+
+ private:
+  TablePtr table_;
+  BlockingOptions blocking_;
+  MetaBlockingConfig meta_blocking_;
+  MatchingConfig matching_;
+  std::shared_ptr<TableBlockIndex> tbi_;
+  std::unique_ptr<AttributeWeights> attribute_weights_;
+  LinkIndex link_index_;
+};
+
+/// \brief name -> runtime registry handed to the executor.
+using RuntimeRegistry = std::map<std::string, std::shared_ptr<TableRuntime>>;
+
+/// \brief Case-insensitive lookup helper.
+Result<std::shared_ptr<TableRuntime>> FindRuntime(
+    const RuntimeRegistry& registry, const std::string& table_name);
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_TABLE_RUNTIME_H_

@@ -1,0 +1,29 @@
+#include "exec/table_scan.h"
+
+namespace queryer {
+
+TableScanOp::TableScanOp(TablePtr table, std::string alias)
+    : table_(std::move(table)) {
+  output_columns_.reserve(table_->num_attributes());
+  for (const std::string& name : table_->schema().names()) {
+    output_columns_.push_back(alias + "." + name);
+  }
+}
+
+Status TableScanOp::Open() {
+  position_ = 0;
+  return Status::OK();
+}
+
+Result<bool> TableScanOp::Next(Row* row) {
+  if (position_ >= table_->num_rows()) return false;
+  row->values = table_->row(position_);
+  row->entity_id = position_;
+  row->group_key = position_;
+  ++position_;
+  return true;
+}
+
+void TableScanOp::Close() {}
+
+}  // namespace queryer

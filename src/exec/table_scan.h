@@ -1,0 +1,31 @@
+// TableScan: emits every row of a base table with its entity id.
+
+#ifndef QUERYER_EXEC_TABLE_SCAN_H_
+#define QUERYER_EXEC_TABLE_SCAN_H_
+
+#include <string>
+
+#include "exec/operator.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Full scan of one base table. Each emitted row carries its
+/// EntityId and a singleton group key (its own id), so an unresolved row is
+/// its own duplicate group.
+class TableScanOp final : public PhysicalOperator {
+ public:
+  TableScanOp(TablePtr table, std::string alias);
+
+  Status Open() override;
+  Result<bool> Next(Row* row) override;
+  void Close() override;
+
+ private:
+  TablePtr table_;
+  EntityId position_ = 0;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_TABLE_SCAN_H_

@@ -1,0 +1,27 @@
+#include "matching/comparison_execution.h"
+
+namespace queryer {
+
+ComparisonExecStats ExecuteComparisons(const Table& table,
+                                       const std::vector<Comparison>& comparisons,
+                                       const MatchingConfig& config,
+                                       LinkIndex* link_index,
+                                       const AttributeWeights* weights) {
+  ComparisonExecStats stats;
+  for (const auto& [a, b] : comparisons) {
+    if (link_index->AreLinked(a, b)) {
+      ++stats.skipped_linked;
+      continue;
+    }
+    ++stats.executed;
+    double similarity =
+        ProfileSimilarity(table.row(a), table.row(b), config, weights);
+    if (similarity >= config.threshold) {
+      link_index->AddLink(a, b);
+      ++stats.matches_found;
+    }
+  }
+  return stats;
+}
+
+}  // namespace queryer

@@ -1,0 +1,41 @@
+// Comparison-Execution (paper Sec. 6.1(iv)): runs the comparisons that
+// survived Meta-Blocking, records matches in the Link Index, and reports
+// the executed-comparison count that the paper's evaluation tracks.
+
+#ifndef QUERYER_MATCHING_COMPARISON_EXECUTION_H_
+#define QUERYER_MATCHING_COMPARISON_EXECUTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "matching/link_index.h"
+#include "matching/profile_matcher.h"
+#include "metablocking/edge_pruning.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Counters of one Comparison-Execution run.
+struct ComparisonExecStats {
+  /// Comparisons actually evaluated with the similarity function.
+  std::size_t executed = 0;
+  /// Comparisons skipped because the pair was already linked in LI.
+  std::size_t skipped_linked = 0;
+  std::size_t matches_found = 0;
+};
+
+/// \brief Executes the comparisons, amending `link_index` with new links.
+///
+/// A pair already linked in the index is not re-compared (its outcome is
+/// known), which is how the LI makes repeated/overlapping queries cheaper.
+/// `weights` are the table's attribute-distinctiveness weights (may be
+/// null for uniform weighting).
+ComparisonExecStats ExecuteComparisons(const Table& table,
+                                       const std::vector<Comparison>& comparisons,
+                                       const MatchingConfig& config,
+                                       LinkIndex* link_index,
+                                       const AttributeWeights* weights = nullptr);
+
+}  // namespace queryer
+
+#endif  // QUERYER_MATCHING_COMPARISON_EXECUTION_H_

@@ -1,0 +1,86 @@
+#include "matching/link_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace queryer {
+
+LinkIndex::LinkIndex(std::size_t num_entities)
+    : parent_(num_entities),
+      cluster_size_(num_entities, 1),
+      next_in_cluster_(num_entities),
+      resolved_(num_entities, false) {
+  std::iota(parent_.begin(), parent_.end(), 0);
+  std::iota(next_in_cluster_.begin(), next_in_cluster_.end(), 0);
+}
+
+EntityId LinkIndex::Find(EntityId e) const {
+  QUERYER_DCHECK(e < parent_.size());
+  // Path halving: safe under const since it only rewires parents within the
+  // same set; keeps Find amortized near-constant.
+  while (parent_[e] != e) {
+    parent_[e] = parent_[parent_[e]];
+    e = parent_[e];
+  }
+  return e;
+}
+
+void LinkIndex::AddLink(EntityId a, EntityId b) {
+  EntityId ra = Find(a);
+  EntityId rb = Find(b);
+  if (ra == rb) return;
+  if (cluster_size_[ra] < cluster_size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  cluster_size_[ra] += cluster_size_[rb];
+  // Splice the two circular lists.
+  std::swap(next_in_cluster_[ra], next_in_cluster_[rb]);
+  ++num_links_;
+}
+
+bool LinkIndex::AreLinked(EntityId a, EntityId b) const {
+  return Find(a) == Find(b);
+}
+
+EntityId LinkIndex::Representative(EntityId e) const { return Find(e); }
+
+std::vector<EntityId> LinkIndex::Cluster(EntityId e) const {
+  std::vector<EntityId> members;
+  EntityId current = e;
+  do {
+    members.push_back(current);
+    current = next_in_cluster_[current];
+  } while (current != e);
+  std::sort(members.begin(), members.end());
+  return members;
+}
+
+std::vector<EntityId> LinkIndex::Duplicates(EntityId e) const {
+  std::vector<EntityId> members = Cluster(e);
+  members.erase(std::remove(members.begin(), members.end(), e), members.end());
+  return members;
+}
+
+void LinkIndex::MarkResolved(EntityId e) {
+  if (!resolved_[e]) {
+    resolved_[e] = true;
+    ++num_resolved_count_;
+  }
+}
+
+void LinkIndex::Reset() {
+  std::iota(parent_.begin(), parent_.end(), 0);
+  std::fill(cluster_size_.begin(), cluster_size_.end(), 1);
+  std::iota(next_in_cluster_.begin(), next_in_cluster_.end(), 0);
+  std::fill(resolved_.begin(), resolved_.end(), false);
+  num_resolved_count_ = 0;
+  num_links_ = 0;
+}
+
+std::size_t LinkIndex::MemoryFootprint() const {
+  return parent_.size() * (sizeof(EntityId) * 2 + sizeof(std::uint32_t)) +
+         resolved_.size() / 8;
+}
+
+}  // namespace queryer

@@ -1,0 +1,100 @@
+// Schema-agnostic entity matching (paper Sec. 6.1(iv)): "we compare the
+// values of all corresponding attributes between entity pairs ... it
+// requires no configuration from the user".
+//
+// The profile similarity combines two schema-agnostic signals:
+//
+//  1. Aligned attribute similarity — the mean, over attributes where both
+//     entities have a value, of a fuzzy token-set Jaccard: two tokens count
+//     as shared when they are equal, when one is a single-letter
+//     abbreviation of the other ("e." ~ "entity", "j" ~ "jane"), or when
+//     their Jaro-Winkler similarity clears `token_match_threshold` (typos).
+//     Purely numeric values compare by equality (string distance between
+//     numbers is meaningless).
+//
+//  2. Whole-profile token cosine — cosine similarity over the token
+//     multiset of *all* attribute values, which catches duplicates whose
+//     content migrated across attributes (the motivating example's V1/V4,
+//     where one record's title is the other's description).
+//
+// Both signals are weighted by per-attribute *distinctiveness* — the ratio
+// of distinct non-empty values to non-empty rows, computed once per table.
+// This is the schema-agnostic analogue of a Fellegi-Sunter u-probability:
+// agreeing on a near-unique attribute (a title, a phone number) is strong
+// evidence; agreeing on a code-list attribute (a country, a state) is weak.
+// Without it, low-arity tables (e.g. organisations with only name+country)
+// produce false matches whenever the weak attribute agrees.
+//
+// The profile score is the max of the two signals; a pair matches when the
+// score reaches `threshold`. The entity-identifier attribute (the paper's
+// e_id) is excluded: it names the row, it does not describe the entity.
+
+#ifndef QUERYER_MATCHING_PROFILE_MATCHER_H_
+#define QUERYER_MATCHING_PROFILE_MATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "matching/similarity.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Resolution-function configuration.
+struct MatchingConfig {
+  /// Token-level string kernel for fuzzy token matching.
+  SimilarityFunction function = SimilarityFunction::kJaroWinkler;
+  /// Profile similarity at or above this value declares a match.
+  double threshold = 0.65;
+  /// The cosine signal needs a stricter bar than the aligned signal: two
+  /// short values sharing most tokens ("geneva institute" / "turin
+  /// institute") reach 2/3 cosine without being the same entity. The
+  /// cosine is folded into the profile score scaled by
+  /// threshold / cosine_threshold, so one `threshold` check covers both.
+  double cosine_threshold = 0.72;
+  /// Tokens with kernel similarity >= this are considered the same token.
+  double token_match_threshold = 0.88;
+  /// Attribute positions excluded from matching (the e_id column; set
+  /// automatically by the engine for the column named "id").
+  std::vector<std::size_t> excluded_attributes;
+};
+
+/// \brief Per-attribute distinctiveness weights of one table (see above).
+class AttributeWeights {
+ public:
+  AttributeWeights() = default;
+
+  /// weight_i = |distinct non-empty values of attribute i| / |non-empty
+  /// rows of attribute i| (0 when the attribute is always empty).
+  static AttributeWeights Compute(const Table& table);
+
+  double weight(std::size_t attribute) const {
+    return attribute < weights_.size() ? weights_[attribute] : 1.0;
+  }
+  std::size_t size() const { return weights_.size(); }
+
+ private:
+  std::vector<double> weights_;
+};
+
+/// \brief Fuzzy token-set similarity of two attribute values (see above).
+/// Returns 1 when both are empty, 0 when exactly one is.
+double ValueSimilarity(const std::string& a, const std::string& b,
+                       const MatchingConfig& config);
+
+/// \brief Schema-agnostic profile similarity of two entities (see above).
+/// `weights` may be null (uniform attribute weights).
+double ProfileSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b,
+                         const MatchingConfig& config,
+                         const AttributeWeights* weights = nullptr);
+
+/// \brief Convenience predicate: ProfileSimilarity >= config.threshold.
+bool ProfilesMatch(const std::vector<std::string>& a,
+                   const std::vector<std::string>& b,
+                   const MatchingConfig& config,
+                   const AttributeWeights* weights = nullptr);
+
+}  // namespace queryer
+
+#endif  // QUERYER_MATCHING_PROFILE_MATCHER_H_

@@ -1,0 +1,53 @@
+#include "metablocking/block_filtering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace queryer {
+
+BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio) {
+  if (ratio >= 1.0) return blocks;
+  // entity -> indices of its blocks, to be sorted ascending by block size.
+  std::unordered_map<EntityId, std::vector<std::uint32_t>> entity_blocks;
+  for (std::uint32_t i = 0; i < blocks.size(); ++i) {
+    for (EntityId e : blocks[i].entities) entity_blocks[e].push_back(i);
+  }
+
+  // For each entity keep the first ceil(p * n) smallest blocks.
+  // (entity, block) pairs that survive:
+  std::vector<std::unordered_set<EntityId>> retained(blocks.size());
+  for (auto& [entity, block_ids] : entity_blocks) {
+    std::sort(block_ids.begin(), block_ids.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return blocks[a].size() != blocks[b].size()
+                           ? blocks[a].size() < blocks[b].size()
+                           : a < b;
+              });
+    auto keep = static_cast<std::size_t>(
+        std::ceil(ratio * static_cast<double>(block_ids.size())));
+    if (keep == 0) keep = 1;
+    if (keep > block_ids.size()) keep = block_ids.size();
+    for (std::size_t i = 0; i < keep; ++i) retained[block_ids[i]].insert(entity);
+  }
+
+  BlockCollection filtered;
+  filtered.reserve(blocks.size());
+  for (std::uint32_t i = 0; i < blocks.size(); ++i) {
+    const Block& src = blocks[i];
+    Block out;
+    out.key = src.key;
+    for (EntityId e : src.entities) {
+      if (retained[i].count(e) > 0) out.entities.push_back(e);
+    }
+    for (EntityId e : src.query_entities) {
+      if (retained[i].count(e) > 0) out.query_entities.push_back(e);
+    }
+    if (out.entities.size() < 2 || out.query_entities.empty()) continue;
+    filtered.push_back(std::move(out));
+  }
+  return filtered;
+}
+
+}  // namespace queryer

@@ -1,0 +1,27 @@
+// Block Filtering (paper Sec. 4, [27]): each block has different importance
+// for each of its entities, so every entity is retained only in its `p`
+// fraction of smallest blocks. Applied per entity, unlike Block Purging
+// which removes whole blocks.
+
+#ifndef QUERYER_METABLOCKING_BLOCK_FILTERING_H_
+#define QUERYER_METABLOCKING_BLOCK_FILTERING_H_
+
+#include "blocking/block.h"
+
+namespace queryer {
+
+/// Default retention ratio; 0.8 is the standard setting in the
+/// meta-blocking literature the paper builds on.
+inline constexpr double kDefaultBlockFilteringRatio = 0.8;
+
+/// \brief Retains each entity only in its ceil(p * #blocks) smallest blocks.
+///
+/// Block lists per entity are ordered ascending by block size (ties by block
+/// order), matching the pre-sorted ITBI the paper describes. Blocks that end
+/// up with fewer than two entities, or with no query entity, are dropped —
+/// they can no longer produce a query comparison.
+BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio);
+
+}  // namespace queryer
+
+#endif  // QUERYER_METABLOCKING_BLOCK_FILTERING_H_

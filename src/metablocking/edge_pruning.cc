@@ -1,0 +1,116 @@
+#include "metablocking/edge_pruning.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace queryer {
+
+namespace {
+
+inline std::uint64_t PairKey(EntityId a, EntityId b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+inline Comparison MakeComparison(EntityId a, EntityId b) {
+  return a < b ? Comparison{a, b} : Comparison{b, a};
+}
+
+// Enumerates each query-relevant pair of each block exactly once per block,
+// invoking fn(pair, block_index).
+template <typename Fn>
+void ForEachQueryPair(const BlockCollection& blocks, Fn&& fn) {
+  std::unordered_set<EntityId> query_set;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const Block& b = blocks[bi];
+    query_set.clear();
+    query_set.insert(b.query_entities.begin(), b.query_entities.end());
+    // Query entity x everything after it (counts q-q pairs once); plus
+    // query entity x preceding non-query entities.
+    for (std::size_t i = 0; i < b.entities.size(); ++i) {
+      EntityId ei = b.entities[i];
+      bool ei_query = query_set.count(ei) > 0;
+      for (std::size_t j = i + 1; j < b.entities.size(); ++j) {
+        EntityId ej = b.entities[j];
+        if (!ei_query && query_set.count(ej) == 0) continue;
+        fn(MakeComparison(ei, ej), bi);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
+                                 EdgeWeighting weighting) {
+  // Per-entity block counts for the JS denominator.
+  std::unordered_map<EntityId, double> entity_block_count;
+  if (weighting == EdgeWeighting::kJs) {
+    for (const Block& b : blocks) {
+      for (EntityId e : b.entities) entity_block_count[e] += 1;
+    }
+  }
+
+  // Accumulate per-pair weights. CBS and JS need the shared-block count;
+  // ARCS needs Σ 1/||b||.
+  std::unordered_map<std::uint64_t, double> accum;
+  ForEachQueryPair(blocks, [&](Comparison pair, std::size_t block_index) {
+    double increment = 1.0;
+    if (weighting == EdgeWeighting::kArcs) {
+      double cardinality = blocks[block_index].Cardinality();
+      increment = cardinality > 0 ? 1.0 / cardinality : 0.0;
+    }
+    accum[PairKey(pair.first, pair.second)] += increment;
+  });
+
+  BlockingGraph graph;
+  graph.edges.reserve(accum.size());
+  double total_weight = 0;
+  for (const auto& [key, raw_weight] : accum) {
+    auto a = static_cast<EntityId>(key >> 32);
+    auto b = static_cast<EntityId>(key & 0xffffffffu);
+    double weight = raw_weight;
+    if (weighting == EdgeWeighting::kJs) {
+      double denom = entity_block_count[a] + entity_block_count[b] - raw_weight;
+      weight = denom > 0 ? raw_weight / denom : 0.0;
+    }
+    graph.edges.push_back({{a, b}, weight});
+    total_weight += weight;
+  }
+  graph.mean_weight =
+      graph.edges.empty() ? 0.0 : total_weight / static_cast<double>(graph.edges.size());
+  // Deterministic order for reproducible downstream behaviour.
+  std::sort(graph.edges.begin(), graph.edges.end(),
+            [](const WeightedEdge& x, const WeightedEdge& y) {
+              return x.pair < y.pair;
+            });
+  return graph;
+}
+
+std::vector<Comparison> EdgePruning(const BlockingGraph& graph) {
+  std::vector<Comparison> kept;
+  kept.reserve(graph.edges.size());
+  for (const WeightedEdge& edge : graph.edges) {
+    if (edge.weight >= graph.mean_weight) kept.push_back(edge.pair);
+  }
+  return kept;
+}
+
+std::vector<Comparison> EdgePruning(const BlockCollection& blocks,
+                                    EdgeWeighting weighting) {
+  return EdgePruning(BuildBlockingGraph(blocks, weighting));
+}
+
+std::vector<Comparison> DistinctComparisons(const BlockCollection& blocks) {
+  std::unordered_set<std::uint64_t> seen;
+  std::vector<Comparison> comparisons;
+  ForEachQueryPair(blocks, [&](Comparison pair, std::size_t) {
+    if (seen.insert(PairKey(pair.first, pair.second)).second) {
+      comparisons.push_back(pair);
+    }
+  });
+  std::sort(comparisons.begin(), comparisons.end());
+  return comparisons;
+}
+
+}  // namespace queryer

@@ -1,0 +1,74 @@
+// Edge Pruning (paper Sec. 4, [27]): comparison-refinement meta-blocking.
+//
+// The block collection is turned into a blocking graph — a node per entity,
+// an edge per pair of co-occurring entities — and every edge is weighted by
+// the likelihood its endpoints match. Weighted Edge Pruning then discards
+// edges below the mean edge weight, eliminating most superfluous comparisons
+// while keeping nearly all matching ones.
+//
+// In QueryER only edges with at least one query-entity endpoint matter
+// (Comparison-Execution never compares two non-query entities), so the graph
+// is built restricted to those edges.
+
+#ifndef QUERYER_METABLOCKING_EDGE_PRUNING_H_
+#define QUERYER_METABLOCKING_EDGE_PRUNING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "blocking/block.h"
+
+namespace queryer {
+
+/// A candidate comparison between two entities, canonically ordered
+/// (first < second).
+using Comparison = std::pair<EntityId, EntityId>;
+
+/// \brief Edge weighting schemes of the meta-blocking literature.
+enum class EdgeWeighting {
+  /// Common Blocks Scheme: number of blocks both entities share.
+  kCbs,
+  /// Jaccard Scheme: shared blocks / (blocks(a) + blocks(b) - shared).
+  kJs,
+  /// Aggregate Reciprocal Comparisons: Σ over shared blocks of 1 / ||b||.
+  kArcs,
+};
+
+/// \brief One weighted edge of the blocking graph.
+struct WeightedEdge {
+  Comparison pair;
+  double weight = 0;
+};
+
+/// \brief Blocking graph restricted to query-relevant edges.
+struct BlockingGraph {
+  std::vector<WeightedEdge> edges;
+  double mean_weight = 0;
+};
+
+/// \brief Builds the (query-restricted) blocking graph with edge weights.
+///
+/// Per-entity block counts for the JS denominator are computed over the
+/// input collection itself, i.e. after any block-refinement steps, following
+/// the strict BP -> BF -> EP order of the paper.
+BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
+                                 EdgeWeighting weighting);
+
+/// \brief Weighted Edge Pruning: keeps edges with weight >= mean weight.
+///
+/// Returns the surviving comparisons in deterministic order.
+std::vector<Comparison> EdgePruning(const BlockingGraph& graph);
+
+/// \brief Convenience: graph construction + pruning.
+std::vector<Comparison> EdgePruning(const BlockCollection& blocks,
+                                    EdgeWeighting weighting);
+
+/// \brief All distinct query-relevant comparisons of a block collection,
+/// without pruning (the BP+BF configuration of paper Table 8). Each pair is
+/// listed once even if it co-occurs in many blocks.
+std::vector<Comparison> DistinctComparisons(const BlockCollection& blocks);
+
+}  // namespace queryer
+
+#endif  // QUERYER_METABLOCKING_EDGE_PRUNING_H_

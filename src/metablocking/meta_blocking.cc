@@ -1,0 +1,31 @@
+#include "metablocking/meta_blocking.h"
+
+namespace queryer {
+
+MetaBlockingResult RunMetaBlocking(BlockCollection blocks,
+                                   const MetaBlockingConfig& config) {
+  MetaBlockingResult result;
+  result.blocks_in = blocks.size();
+
+  if (config.block_purging) {
+    blocks = BlockPurging(std::move(blocks), config.purging_outlier_factor);
+  }
+  result.blocks_after_purging = blocks.size();
+
+  if (config.block_filtering) {
+    blocks = BlockFiltering(blocks, config.filtering_ratio);
+  }
+  result.blocks_after_filtering = blocks.size();
+
+  if (config.edge_pruning) {
+    BlockingGraph graph = BuildBlockingGraph(blocks, config.edge_weighting);
+    result.comparisons_before_pruning = graph.edges.size();
+    result.comparisons = EdgePruning(graph);
+  } else {
+    result.comparisons = DistinctComparisons(blocks);
+    result.comparisons_before_pruning = result.comparisons.size();
+  }
+  return result;
+}
+
+}  // namespace queryer

@@ -1,0 +1,295 @@
+#include "plan/expr.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace queryer {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "<>";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+int CompareValues(const Expr::Value& a, const Expr::Value& b) {
+  if (a.number.has_value() && b.number.has_value()) {
+    if (*a.number < *b.number) return -1;
+    if (*a.number > *b.number) return 1;
+    return 0;
+  }
+  std::string la = ToLower(a.text);
+  std::string lb = ToLower(b.text);
+  return la.compare(lb) < 0 ? -1 : (la == lb ? 0 : 1);
+}
+
+ExprPtr Expr::Column(std::string table, std::string column) {
+  auto e = ExprPtr(new Expr(ExprKind::kColumn));
+  e->table_ = std::move(table);
+  e->column_ = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Literal(std::string text) {
+  auto e = ExprPtr(new Expr(ExprKind::kLiteral));
+  e->literal_.number = ParseNumber(text);
+  e->literal_.text = std::move(text);
+  return e;
+}
+
+ExprPtr Expr::NumberLiteral(double value) {
+  auto e = ExprPtr(new Expr(ExprKind::kLiteral));
+  // Integral doubles print without a trailing ".000000".
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    e->literal_.text = std::to_string(static_cast<long long>(value));
+  } else {
+    e->literal_.text = std::to_string(value);
+  }
+  e->literal_.number = value;
+  return e;
+}
+
+ExprPtr Expr::Compare(CompareOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr(ExprKind::kCompare));
+  e->compare_op_ = op;
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr(ExprKind::kAnd));
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr(ExprKind::kOr));
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Not(ExprPtr operand) {
+  auto e = ExprPtr(new Expr(ExprKind::kNot));
+  e->children_.push_back(std::move(operand));
+  return e;
+}
+
+ExprPtr Expr::In(ExprPtr operand, std::vector<ExprPtr> list) {
+  auto e = ExprPtr(new Expr(ExprKind::kIn));
+  e->children_.push_back(std::move(operand));
+  for (auto& item : list) e->children_.push_back(std::move(item));
+  return e;
+}
+
+ExprPtr Expr::Like(ExprPtr operand, std::string pattern) {
+  auto e = ExprPtr(new Expr(ExprKind::kLike));
+  e->children_.push_back(std::move(operand));
+  e->children_.push_back(Expr::Literal(std::move(pattern)));
+  return e;
+}
+
+ExprPtr Expr::Between(ExprPtr operand, ExprPtr low, ExprPtr high) {
+  auto e = ExprPtr(new Expr(ExprKind::kBetween));
+  e->children_.push_back(std::move(operand));
+  e->children_.push_back(std::move(low));
+  e->children_.push_back(std::move(high));
+  return e;
+}
+
+ExprPtr Expr::Mod(ExprPtr lhs, ExprPtr rhs) {
+  auto e = ExprPtr(new Expr(ExprKind::kMod));
+  e->children_.push_back(std::move(lhs));
+  e->children_.push_back(std::move(rhs));
+  return e;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = ExprPtr(new Expr(kind_));
+  e->compare_op_ = compare_op_;
+  e->table_ = table_;
+  e->column_ = column_;
+  e->bound_index_ = bound_index_;
+  e->literal_ = literal_;
+  e->children_.reserve(children_.size());
+  for (const auto& child : children_) e->children_.push_back(child->Clone());
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumn:
+      return table_.empty() ? column_ : table_ + "." + column_;
+    case ExprKind::kLiteral:
+      return literal_.number.has_value() ? literal_.text
+                                         : "'" + literal_.text + "'";
+    case ExprKind::kCompare:
+      return children_[0]->ToString() + " " +
+             std::string(CompareOpToString(compare_op_)) + " " +
+             children_[1]->ToString();
+    case ExprKind::kAnd:
+      return "(" + children_[0]->ToString() + " AND " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + children_[0]->ToString() + " OR " +
+             children_[1]->ToString() + ")";
+    case ExprKind::kNot:
+      return "NOT (" + children_[0]->ToString() + ")";
+    case ExprKind::kIn: {
+      std::string out = children_[0]->ToString() + " IN (";
+      for (std::size_t i = 1; i < children_.size(); ++i) {
+        if (i > 1) out += ", ";
+        out += children_[i]->ToString();
+      }
+      return out + ")";
+    }
+    case ExprKind::kLike:
+      return children_[0]->ToString() + " LIKE " + children_[1]->ToString();
+    case ExprKind::kBetween:
+      return children_[0]->ToString() + " BETWEEN " +
+             children_[1]->ToString() + " AND " + children_[2]->ToString();
+    case ExprKind::kMod:
+      return "MOD(" + children_[0]->ToString() + ", " +
+             children_[1]->ToString() + ")";
+  }
+  return "?";
+}
+
+Status Expr::Bind(const std::vector<std::string>& columns) {
+  if (kind_ == ExprKind::kColumn) {
+    const std::string wanted_qualified =
+        table_.empty() ? "" : ToLower(table_) + "." + ToLower(column_);
+    const std::string wanted_bare = ToLower(column_);
+    std::size_t match = kUnbound;
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      const std::string col = ToLower(columns[i]);
+      bool hit;
+      if (!table_.empty()) {
+        hit = col == wanted_qualified;
+      } else {
+        // Bare reference: match the suffix after the qualifier dot, or the
+        // whole name when unqualified.
+        std::size_t dot = col.rfind('.');
+        hit = (dot == std::string::npos ? col : col.substr(dot + 1)) ==
+              wanted_bare;
+      }
+      if (hit) {
+        if (match != kUnbound) {
+          return Status::PlanError("ambiguous column reference: " + ToString());
+        }
+        match = i;
+      }
+    }
+    if (match == kUnbound) {
+      return Status::PlanError("unknown column: " + ToString());
+    }
+    bound_index_ = match;
+    return Status::OK();
+  }
+  for (auto& child : children_) QUERYER_RETURN_NOT_OK(child->Bind(columns));
+  return Status::OK();
+}
+
+bool Expr::IsBound() const {
+  if (kind_ == ExprKind::kColumn) return bound_index_ != kUnbound;
+  for (const auto& child : children_) {
+    if (!child->IsBound()) return false;
+  }
+  return true;
+}
+
+Expr::Value Expr::EvalValue(const std::vector<std::string>& row) const {
+  switch (kind_) {
+    case ExprKind::kColumn: {
+      QUERYER_DCHECK(bound_index_ != kUnbound && bound_index_ < row.size());
+      Value v;
+      v.text = row[bound_index_];
+      v.number = ParseNumber(v.text);
+      return v;
+    }
+    case ExprKind::kLiteral:
+      return literal_;
+    case ExprKind::kMod: {
+      Value lhs = children_[0]->EvalValue(row);
+      Value rhs = children_[1]->EvalValue(row);
+      Value v;
+      if (lhs.number.has_value() && rhs.number.has_value() && *rhs.number != 0) {
+        auto result = static_cast<double>(
+            static_cast<long long>(*lhs.number) %
+            static_cast<long long>(*rhs.number));
+        v.number = result;
+        v.text = std::to_string(static_cast<long long>(result));
+      }
+      return v;  // Non-numeric inputs yield an empty (non-numeric) value.
+    }
+    default:
+      // Predicates used in value position evaluate to "1"/"0".
+      return EvalBool(row) ? Value{"1", 1.0} : Value{"0", 0.0};
+  }
+}
+
+bool Expr::EvalBool(const std::vector<std::string>& row) const {
+  switch (kind_) {
+    case ExprKind::kCompare: {
+      Value lhs = children_[0]->EvalValue(row);
+      Value rhs = children_[1]->EvalValue(row);
+      int cmp = CompareValues(lhs, rhs);
+      switch (compare_op_) {
+        case CompareOp::kEq: return cmp == 0;
+        case CompareOp::kNe: return cmp != 0;
+        case CompareOp::kLt: return cmp < 0;
+        case CompareOp::kLe: return cmp <= 0;
+        case CompareOp::kGt: return cmp > 0;
+        case CompareOp::kGe: return cmp >= 0;
+      }
+      return false;
+    }
+    case ExprKind::kAnd:
+      return children_[0]->EvalBool(row) && children_[1]->EvalBool(row);
+    case ExprKind::kOr:
+      return children_[0]->EvalBool(row) || children_[1]->EvalBool(row);
+    case ExprKind::kNot:
+      return !children_[0]->EvalBool(row);
+    case ExprKind::kIn: {
+      Value operand = children_[0]->EvalValue(row);
+      for (std::size_t i = 1; i < children_.size(); ++i) {
+        if (CompareValues(operand, children_[i]->EvalValue(row)) == 0) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case ExprKind::kLike: {
+      Value operand = children_[0]->EvalValue(row);
+      return LikeMatch(operand.text, children_[1]->literal().text);
+    }
+    case ExprKind::kBetween: {
+      Value operand = children_[0]->EvalValue(row);
+      return CompareValues(operand, children_[1]->EvalValue(row)) >= 0 &&
+             CompareValues(operand, children_[2]->EvalValue(row)) <= 0;
+    }
+    default:
+      // A bare value in predicate position is true when numerically nonzero.
+      Value v = EvalValue(row);
+      return v.number.has_value() && *v.number != 0;
+  }
+}
+
+void Expr::CollectColumns(std::vector<const Expr*>* out) const {
+  if (kind_ == ExprKind::kColumn) {
+    out->push_back(this);
+    return;
+  }
+  for (const auto& child : children_) child->CollectColumns(out);
+}
+
+}  // namespace queryer

@@ -1,0 +1,129 @@
+#include "plan/logical_plan.h"
+
+namespace queryer {
+
+PlanPtr LogicalPlan::Scan(std::string table, std::string alias) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kScan;
+  plan->table_name = std::move(table);
+  plan->table_alias = alias.empty() ? plan->table_name : std::move(alias);
+  return plan;
+}
+
+PlanPtr LogicalPlan::Filter(PlanPtr child, ExprPtr predicate) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kFilter;
+  plan->children.push_back(std::move(child));
+  plan->predicate = std::move(predicate);
+  return plan;
+}
+
+PlanPtr LogicalPlan::GroupFilter(PlanPtr child, ExprPtr predicate) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kGroupFilter;
+  plan->children.push_back(std::move(child));
+  plan->predicate = std::move(predicate);
+  return plan;
+}
+
+PlanPtr LogicalPlan::Project(PlanPtr child, std::vector<SelectItem> items) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kProject;
+  plan->children.push_back(std::move(child));
+  plan->items = std::move(items);
+  return plan;
+}
+
+PlanPtr LogicalPlan::HashJoin(PlanPtr left, PlanPtr right, ExprPtr left_key,
+                              ExprPtr right_key) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kHashJoin;
+  plan->children.push_back(std::move(left));
+  plan->children.push_back(std::move(right));
+  plan->left_key = std::move(left_key);
+  plan->right_key = std::move(right_key);
+  return plan;
+}
+
+PlanPtr LogicalPlan::Deduplicate(PlanPtr child, std::string table,
+                                 std::string alias) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kDeduplicate;
+  plan->children.push_back(std::move(child));
+  plan->table_name = std::move(table);
+  plan->table_alias = alias.empty() ? plan->table_name : std::move(alias);
+  return plan;
+}
+
+PlanPtr LogicalPlan::DedupJoin(PlanPtr left, PlanPtr right, ExprPtr left_key,
+                               ExprPtr right_key, DirtySide dirty_side,
+                               std::string dirty_table,
+                               std::string dirty_alias) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kDedupJoin;
+  plan->children.push_back(std::move(left));
+  plan->children.push_back(std::move(right));
+  plan->left_key = std::move(left_key);
+  plan->right_key = std::move(right_key);
+  plan->dirty_side = dirty_side;
+  plan->table_name = std::move(dirty_table);
+  plan->table_alias = dirty_alias.empty() ? plan->table_name : std::move(dirty_alias);
+  return plan;
+}
+
+PlanPtr LogicalPlan::GroupEntities(PlanPtr child) {
+  auto plan = std::make_unique<LogicalPlan>();
+  plan->kind = PlanKind::kGroupEntities;
+  plan->children.push_back(std::move(child));
+  return plan;
+}
+
+std::string LogicalPlan::ToString(int indent) const {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  std::string out = pad;
+  switch (kind) {
+    case PlanKind::kScan:
+      out += "TableScan(" + table_name +
+             (table_alias != table_name ? " AS " + table_alias : "") + ")";
+      break;
+    case PlanKind::kFilter:
+      out += "Filter(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kGroupFilter:
+      out += "GroupFilter(" + predicate->ToString() + ")";
+      break;
+    case PlanKind::kProject: {
+      out += "Project(";
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += items[i].expr->ToString();
+        if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+      }
+      out += ")";
+      break;
+    }
+    case PlanKind::kHashJoin:
+      out += "HashJoin(" + left_key->ToString() + " = " +
+             right_key->ToString() + ")";
+      break;
+    case PlanKind::kDeduplicate:
+      out += "Deduplicate(" + table_alias + ")";
+      break;
+    case PlanKind::kDedupJoin: {
+      const char* side = dirty_side == DirtySide::kLeft    ? "Dirty-Left"
+                         : dirty_side == DirtySide::kRight ? "Dirty-Right"
+                                                           : "Clean";
+      out += std::string("DedupJoin[") + side + "](" + left_key->ToString() +
+             " = " + right_key->ToString() + ")";
+      break;
+    }
+    case PlanKind::kGroupEntities:
+      out += "GroupEntities";
+      break;
+  }
+  out += "\n";
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+}  // namespace queryer

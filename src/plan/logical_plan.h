@@ -1,0 +1,84 @@
+// Logical query plans. The planner builds these trees from a parsed
+// statement; the executor lowers each node to a physical operator.
+//
+// The tree mirrors the plans in the paper's figures: Scan, Filter, Project
+// and HashJoin are the classic relational operators; Deduplicate,
+// DedupJoin (with a Dirty-Left/Dirty-Right side) and GroupEntities are the
+// three QueryER operators of Sec. 6.
+
+#ifndef QUERYER_PLAN_LOGICAL_PLAN_H_
+#define QUERYER_PLAN_LOGICAL_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "plan/expr.h"
+
+namespace queryer {
+
+enum class PlanKind {
+  kScan,
+  kFilter,
+  kGroupFilter,  // Duplicate-group-aware filter (for Filter above Dedup).
+  kProject,
+  kHashJoin,
+  kDeduplicate,
+  kDedupJoin,
+  kGroupEntities,
+};
+
+/// Which input of a DedupJoin is still dirty and must be resolved inside
+/// the operator (paper Alg. 1). kNone means both inputs arrive resolved and
+/// only the Deduplicate-Join *operation* (Alg. 2) runs.
+enum class DirtySide { kNone, kLeft, kRight };
+
+struct LogicalPlan;
+using PlanPtr = std::unique_ptr<LogicalPlan>;
+
+/// \brief One item of the SELECT list.
+struct SelectItem {
+  ExprPtr expr;
+  std::string alias;  // Empty: derive from the expression.
+};
+
+/// \brief A logical plan node; the meaning of the fields depends on `kind`.
+struct LogicalPlan {
+  PlanKind kind;
+  std::vector<PlanPtr> children;
+
+  // kScan / kDeduplicate: the base table involved.
+  std::string table_name;
+  std::string table_alias;  // Qualifier used in column names; defaults to name.
+
+  // kFilter.
+  ExprPtr predicate;
+
+  // kProject.
+  std::vector<SelectItem> items;
+
+  // kHashJoin / kDedupJoin: equi-join keys (column refs).
+  ExprPtr left_key;
+  ExprPtr right_key;
+  DirtySide dirty_side = DirtySide::kNone;
+
+  static PlanPtr Scan(std::string table, std::string alias);
+  static PlanPtr Filter(PlanPtr child, ExprPtr predicate);
+  static PlanPtr GroupFilter(PlanPtr child, ExprPtr predicate);
+  static PlanPtr Project(PlanPtr child, std::vector<SelectItem> items);
+  static PlanPtr HashJoin(PlanPtr left, PlanPtr right, ExprPtr left_key,
+                          ExprPtr right_key);
+  static PlanPtr Deduplicate(PlanPtr child, std::string table,
+                             std::string alias);
+  static PlanPtr DedupJoin(PlanPtr left, PlanPtr right, ExprPtr left_key,
+                           ExprPtr right_key, DirtySide dirty_side,
+                           std::string dirty_table, std::string dirty_alias);
+  static PlanPtr GroupEntities(PlanPtr child);
+
+  /// Indented EXPLAIN-style rendering of the subtree.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PLAN_LOGICAL_PLAN_H_

@@ -1,0 +1,72 @@
+// ER-specific statistics of the cost-based planner (paper Sec. 7.2.1):
+//
+//  * Estimated comparisons of deduplicating a query selection: the selected
+//    set is approximated from the WHERE clause's literal blocking keys
+//    (falling back to an exact in-memory filter scan for predicates without
+//    usable literals, e.g. MOD ranges), its blocks are gathered from the
+//    ITBI, Block Purging and Block Filtering are *approximated* on those
+//    blocks, and the comparison formula is summed. Estimation deliberately
+//    stops before Edge Pruning, whose output is too expensive to predict —
+//    the paper terminates at the BF step for the same reason.
+//
+//  * Duplication factor df: |DR|/|sample| measured by eagerly cleaning a
+//    sample at load time, used to predict |DR_E| sizes.
+//
+//  * Join fraction: percentage of one table's entities whose join key
+//    appears in another table, used to predict DR sizes after a join.
+
+#ifndef QUERYER_PLANNER_STATISTICS_H_
+#define QUERYER_PLANNER_STATISTICS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "exec/table_runtime.h"
+#include "plan/expr.h"
+
+namespace queryer {
+
+/// \brief Cached statistics over the registered table runtimes.
+class StatisticsCache {
+ public:
+  /// Sample size for the eager offline cleaning that yields df.
+  static constexpr std::size_t kDuplicationSampleSize = 400;
+
+  /// \brief Estimated comparisons for resolving the entities of `runtime`
+  /// selected by `predicate` (nullptr = whole table). `alias` is the
+  /// qualifier under which the predicate's column refs address this table.
+  Result<double> EstimateComparisons(TableRuntime* runtime,
+                                     const Expr* predicate,
+                                     const std::string& alias);
+
+  /// \brief Duplication factor: estimated |DR_E| / |QE_E| (>= 1).
+  double DuplicationFactor(TableRuntime* runtime);
+
+  /// \brief Fraction of `left` entities whose `left_column` join key occurs
+  /// in `right`'s `right_column` (in [0, 1]).
+  double JoinFraction(TableRuntime* left, const std::string& left_column,
+                      TableRuntime* right, const std::string& right_column);
+
+  /// \brief Estimated selected-set size for a predicate (|SE| ≈ |QE|).
+  Result<std::size_t> EstimateSelectionSize(TableRuntime* runtime,
+                                            const Expr* predicate,
+                                            const std::string& alias);
+
+ private:
+  Result<std::vector<EntityId>> EstimateSelectedEntities(
+      TableRuntime* runtime, const Expr* predicate, const std::string& alias);
+
+  std::map<const TableRuntime*, double> duplication_factor_;
+  std::map<std::string, double> join_fraction_;
+};
+
+/// \brief The comparison approximation core, exposed for tests and the
+/// ablation bench: applies approximate BP + BF over the ITBI blocks of
+/// `selected` and evaluates Σ |qb|·(|Sb| − (|qb|+1)/2).
+double ApproximateComparisonsAfterMetaBlocking(
+    TableRuntime* runtime, const std::vector<EntityId>& selected);
+
+}  // namespace queryer
+
+#endif  // QUERYER_PLANNER_STATISTICS_H_

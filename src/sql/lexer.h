@@ -1,0 +1,47 @@
+// SQL lexer: turns a query string into a token stream for the parser.
+
+#ifndef QUERYER_SQL_LEXER_H_
+#define QUERYER_SQL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace queryer {
+
+enum class TokenType {
+  kIdentifier,  // Unquoted word or "quoted" identifier.
+  kString,      // 'single-quoted' literal.
+  kNumber,
+  kComma,
+  kDot,
+  kLParen,
+  kRParen,
+  kStar,
+  kEq,
+  kNe,   // <> or !=
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // Identifier/string/number text (unquoted).
+  std::size_t offset = 0;  // Byte offset in the input, for error messages.
+
+  /// Case-insensitive keyword test (only meaningful for identifiers).
+  bool IsKeyword(std::string_view keyword) const;
+};
+
+/// \brief Tokenizes a SQL string; fails on unterminated literals or
+/// unexpected characters.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace queryer
+
+#endif  // QUERYER_SQL_LEXER_H_

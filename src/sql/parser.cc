@@ -1,0 +1,308 @@
+#include "sql/parser.h"
+
+#include "common/string_util.h"
+#include "sql/lexer.h"
+
+namespace queryer {
+
+namespace {
+
+// Reserved words that terminate an identifier-consuming production (e.g. an
+// optional alias must not swallow the next clause's keyword).
+bool IsReservedKeyword(const Token& token) {
+  static constexpr std::string_view kReserved[] = {
+      "select", "dedup", "from",    "where", "inner", "join", "on",
+      "and",    "or",    "not",     "in",    "like",  "between", "as",
+      "mod",
+  };
+  if (token.type != TokenType::kIdentifier) return false;
+  for (std::string_view keyword : kReserved) {
+    if (EqualsIgnoreCase(token.text, keyword)) return true;
+  }
+  return false;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStatement> ParseStatement() {
+    SelectStatement stmt;
+    QUERYER_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    if (Peek().IsKeyword("DEDUP")) {
+      stmt.dedup = true;
+      Advance();
+    }
+    QUERYER_RETURN_NOT_OK(ParseSelectList(&stmt));
+    QUERYER_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    QUERYER_ASSIGN_OR_RETURN(stmt.from, ParseTableRef());
+    while (Peek().IsKeyword("INNER") || Peek().IsKeyword("JOIN")) {
+      QUERYER_ASSIGN_OR_RETURN(JoinSpec join, ParseJoin());
+      stmt.joins.push_back(std::move(join));
+    }
+    if (Peek().IsKeyword("WHERE")) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(stmt.where, ParseOr());
+    }
+    if (Peek().type == TokenType::kEnd) return stmt;
+    return Error("unexpected trailing input");
+  }
+
+ private:
+  const Token& Peek(std::size_t ahead = 0) const {
+    std::size_t index = pos_ + ahead;
+    return index < tokens_.size() ? tokens_[index] : tokens_.back();
+  }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError(message + " at offset " +
+                              std::to_string(Peek().offset));
+  }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Error("expected " + std::string(keyword));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenType type, const char* what) {
+    if (Peek().type != type) return Error(std::string("expected ") + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseSelectList(SelectStatement* stmt) {
+    if (Peek().type == TokenType::kStar) {
+      Advance();
+      stmt->select_star = true;
+      return Status::OK();
+    }
+    while (true) {
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr expr, ParseOperand());
+      SelectItem item;
+      item.expr = std::move(expr);
+      if (Peek().IsKeyword("AS")) {
+        Advance();
+        if (Peek().type != TokenType::kIdentifier) {
+          return Error("expected alias after AS");
+        }
+        item.alias = Advance().text;
+      }
+      stmt->items.push_back(std::move(item));
+      if (Peek().type != TokenType::kComma) break;
+      Advance();
+    }
+    return Status::OK();
+  }
+
+  Result<TableRef> ParseTableRef() {
+    if (Peek().type != TokenType::kIdentifier || IsReservedKeyword(Peek())) {
+      return Error("expected table name");
+    }
+    TableRef ref;
+    ref.name = Advance().text;
+    ref.alias = ref.name;
+    if (Peek().IsKeyword("AS")) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected alias after AS");
+      }
+      ref.alias = Advance().text;
+    } else if (Peek().type == TokenType::kIdentifier &&
+               !IsReservedKeyword(Peek())) {
+      ref.alias = Advance().text;
+    }
+    return ref;
+  }
+
+  Result<JoinSpec> ParseJoin() {
+    if (Peek().IsKeyword("INNER")) Advance();
+    QUERYER_RETURN_NOT_OK(ExpectKeyword("JOIN"));
+    JoinSpec join;
+    QUERYER_ASSIGN_OR_RETURN(join.table, ParseTableRef());
+    QUERYER_RETURN_NOT_OK(ExpectKeyword("ON"));
+    QUERYER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseColumnRef());
+    QUERYER_RETURN_NOT_OK(Expect(TokenType::kEq, "'=' in join condition"));
+    QUERYER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseColumnRef());
+    join.left_key = std::move(lhs);
+    join.right_key = std::move(rhs);
+    return join;
+  }
+
+  Result<ExprPtr> ParseColumnRef() {
+    if (Peek().type != TokenType::kIdentifier || IsReservedKeyword(Peek())) {
+      return Error("expected column reference");
+    }
+    std::string first = Advance().text;
+    if (Peek().type == TokenType::kDot) {
+      Advance();
+      if (Peek().type != TokenType::kIdentifier) {
+        return Error("expected column after '.'");
+      }
+      return Expr::Column(std::move(first), Advance().text);
+    }
+    return Expr::Column("", std::move(first));
+  }
+
+  // Value operand: column ref, literal, or MOD(operand, operand).
+  Result<ExprPtr> ParseOperand() {
+    const Token& token = Peek();
+    if (token.type == TokenType::kString) {
+      Advance();
+      return Expr::Literal(token.text);
+    }
+    if (token.type == TokenType::kNumber) {
+      Advance();
+      return Expr::Literal(token.text);
+    }
+    if (token.IsKeyword("MOD")) {
+      Advance();
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after MOD"));
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOperand());
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kComma, "',' in MOD"));
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')' after MOD"));
+      return Expr::Mod(std::move(lhs), std::move(rhs));
+    }
+    if (token.type == TokenType::kIdentifier && !IsReservedKeyword(token)) {
+      return ParseColumnRef();
+    }
+    return Error("expected value expression");
+  }
+
+  Result<ExprPtr> ParseOr() {
+    QUERYER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (Peek().IsKeyword("OR")) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    QUERYER_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (Peek().IsKeyword("AND")) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnary());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (Peek().IsKeyword("NOT")) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
+      return Expr::Not(std::move(operand));
+    }
+    if (Peek().type == TokenType::kLParen) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')'"));
+      return inner;
+    }
+    return ParsePredicate();
+  }
+
+  Result<ExprPtr> ParsePredicate() {
+    QUERYER_ASSIGN_OR_RETURN(ExprPtr operand, ParseOperand());
+    const Token& token = Peek();
+    switch (token.type) {
+      case TokenType::kEq:
+      case TokenType::kNe:
+      case TokenType::kLt:
+      case TokenType::kLe:
+      case TokenType::kGt:
+      case TokenType::kGe: {
+        CompareOp op;
+        switch (token.type) {
+          case TokenType::kEq: op = CompareOp::kEq; break;
+          case TokenType::kNe: op = CompareOp::kNe; break;
+          case TokenType::kLt: op = CompareOp::kLt; break;
+          case TokenType::kLe: op = CompareOp::kLe; break;
+          case TokenType::kGt: op = CompareOp::kGt; break;
+          default: op = CompareOp::kGe; break;
+        }
+        Advance();
+        QUERYER_ASSIGN_OR_RETURN(ExprPtr rhs, ParseOperand());
+        return Expr::Compare(op, std::move(operand), std::move(rhs));
+      }
+      default:
+        break;
+    }
+    if (token.IsKeyword("IN")) {
+      Advance();
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kLParen, "'(' after IN"));
+      std::vector<ExprPtr> list;
+      while (true) {
+        QUERYER_ASSIGN_OR_RETURN(ExprPtr item, ParseOperand());
+        list.push_back(std::move(item));
+        if (Peek().type != TokenType::kComma) break;
+        Advance();
+      }
+      QUERYER_RETURN_NOT_OK(Expect(TokenType::kRParen, "')' after IN list"));
+      return Expr::In(std::move(operand), std::move(list));
+    }
+    if (token.IsKeyword("LIKE")) {
+      Advance();
+      if (Peek().type != TokenType::kString) {
+        return Error("expected pattern string after LIKE");
+      }
+      return Expr::Like(std::move(operand), Advance().text);
+    }
+    if (token.IsKeyword("BETWEEN")) {
+      Advance();
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr low, ParseOperand());
+      QUERYER_RETURN_NOT_OK(ExpectKeyword("AND"));
+      QUERYER_ASSIGN_OR_RETURN(ExprPtr high, ParseOperand());
+      return Expr::Between(std::move(operand), std::move(low), std::move(high));
+    }
+    return Error("expected comparison operator");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string SelectStatement::ToString() const {
+  std::string out = "SELECT ";
+  if (dedup) out += "DEDUP ";
+  if (select_star) {
+    out += "*";
+  } else {
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += items[i].expr->ToString();
+      if (!items[i].alias.empty()) out += " AS " + items[i].alias;
+    }
+  }
+  out += " FROM " + from.name;
+  if (from.alias != from.name) out += " AS " + from.alias;
+  for (const JoinSpec& join : joins) {
+    out += " INNER JOIN " + join.table.name;
+    if (join.table.alias != join.table.name) out += " AS " + join.table.alias;
+    out += " ON " + join.left_key->ToString() + " = " +
+           join.right_key->ToString();
+  }
+  if (where != nullptr) out += " WHERE " + where->ToString();
+  return out;
+}
+
+Result<SelectStatement> ParseSelect(std::string_view sql) {
+  // Tolerate a trailing semicolon.
+  std::string_view trimmed = TrimView(sql);
+  if (!trimmed.empty() && trimmed.back() == ';') {
+    trimmed.remove_suffix(1);
+  }
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(trimmed));
+  Parser parser(std::move(tokens));
+  return parser.ParseStatement();
+}
+
+}  // namespace queryer

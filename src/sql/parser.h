@@ -1,0 +1,57 @@
+// SQL parser for QueryER's flat SPJ dialect (paper Sec. 5):
+//
+//   SELECT [DEDUP] <items|*>
+//   FROM <table> [AS alias]
+//   [INNER JOIN <table> [AS alias] ON <col> = <col>]...
+//   [WHERE <conjunctive/disjunctive predicate>]
+//
+// Condition expressions: col op literal (op in =, <>, <, <=, >, >=),
+// col IN (...), col LIKE '...', col BETWEEN a AND b, MOD(col, n) op m,
+// and equijoins col = col (also accepted in the WHERE clause).
+// The DEDUP keyword requests duplicate-resolved results (a Dedupe Query);
+// without it the statement has plain SQL semantics.
+
+#ifndef QUERYER_SQL_PARSER_H_
+#define QUERYER_SQL_PARSER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "plan/expr.h"
+#include "plan/logical_plan.h"
+
+namespace queryer {
+
+/// \brief A table in the FROM clause.
+struct TableRef {
+  std::string name;
+  std::string alias;  // Defaults to the name.
+};
+
+/// \brief One INNER JOIN clause with its equi-join keys.
+struct JoinSpec {
+  TableRef table;
+  ExprPtr left_key;   // Column ref into tables mentioned earlier.
+  ExprPtr right_key;  // Column ref into the joined table.
+};
+
+/// \brief Parsed SELECT statement.
+struct SelectStatement {
+  bool dedup = false;
+  bool select_star = false;
+  std::vector<SelectItem> items;  // Empty iff select_star.
+  TableRef from;
+  std::vector<JoinSpec> joins;
+  ExprPtr where;  // Null when absent.
+
+  std::string ToString() const;
+};
+
+/// \brief Parses a single SELECT statement (optionally ';'-terminated).
+Result<SelectStatement> ParseSelect(std::string_view sql);
+
+}  // namespace queryer
+
+#endif  // QUERYER_SQL_PARSER_H_

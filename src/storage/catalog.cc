@@ -1,0 +1,42 @@
+#include "storage/catalog.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace queryer {
+
+std::string Catalog::Key(const std::string& name) { return ToLower(name); }
+
+Status Catalog::Register(TablePtr table) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  std::string key = Key(table->name());
+  if (tables_.count(key) > 0) {
+    return Status::AlreadyExists("table already registered: " + table->name());
+  }
+  tables_[key] = std::move(table);
+  return Status::OK();
+}
+
+void Catalog::RegisterOrReplace(TablePtr table) {
+  QUERYER_CHECK(table != nullptr);
+  tables_[Key(table->name())] = std::move(table);
+}
+
+Result<TablePtr> Catalog::Get(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) return Status::NotFound("unknown table: " + name);
+  return it->second;
+}
+
+bool Catalog::Contains(const std::string& name) const {
+  return tables_.count(Key(name)) > 0;
+}
+
+std::vector<std::string> Catalog::table_names() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) names.push_back(table->name());
+  return names;
+}
+
+}  // namespace queryer

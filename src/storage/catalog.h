@@ -1,0 +1,35 @@
+// Catalog: name -> table registry used by the planner and executor.
+
+#ifndef QUERYER_STORAGE_CATALOG_H_
+#define QUERYER_STORAGE_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Registry of loaded entity collections, keyed case-insensitively.
+class Catalog {
+ public:
+  Status Register(TablePtr table);
+  /// Replaces an existing table of the same name (or registers a new one).
+  void RegisterOrReplace(TablePtr table);
+
+  Result<TablePtr> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+
+  std::vector<std::string> table_names() const;
+  std::size_t size() const { return tables_.size(); }
+
+ private:
+  static std::string Key(const std::string& name);
+  std::map<std::string, TablePtr> tables_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_CATALOG_H_

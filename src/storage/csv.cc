@@ -1,0 +1,141 @@
+#include "storage/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace queryer {
+
+namespace {
+
+// Parses one CSV record starting at `pos`; advances `pos` past the record's
+// trailing newline. Handles quoted fields with embedded delimiters/newlines
+// and doubled quotes.
+Result<std::vector<std::string>> ParseRecord(std::string_view text,
+                                             std::size_t* pos,
+                                             char delimiter) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  std::size_t i = *pos;
+  for (; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field += c;
+      }
+    } else if (c == '"') {
+      if (!field.empty()) {
+        return Status::ParseError("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+    } else if (c == delimiter) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\r') {
+      // Swallow; handled with the following '\n' (or ignored).
+    } else if (c == '\n') {
+      ++i;
+      break;
+    } else {
+      field += c;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  fields.push_back(std::move(field));
+  *pos = i;
+  return fields;
+}
+
+std::string EscapeField(const std::string& field, char delimiter) {
+  bool needs_quotes = field.find(delimiter) != std::string::npos ||
+                      field.find('"') != std::string::npos ||
+                      field.find('\n') != std::string::npos ||
+                      field.find('\r') != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsvString(std::string_view text, std::string table_name,
+                               const CsvOptions& options) {
+  std::size_t pos = 0;
+  std::vector<std::string> header;
+  if (options.has_header) {
+    if (pos >= text.size()) return Status::ParseError("empty CSV input");
+    QUERYER_ASSIGN_OR_RETURN(header, ParseRecord(text, &pos, options.delimiter));
+  }
+
+  std::vector<std::vector<std::string>> rows;
+  while (pos < text.size()) {
+    QUERYER_ASSIGN_OR_RETURN(std::vector<std::string> record,
+                             ParseRecord(text, &pos, options.delimiter));
+    // Skip blank trailing lines.
+    if (record.size() == 1 && record[0].empty()) continue;
+    rows.push_back(std::move(record));
+  }
+
+  if (!options.has_header) {
+    std::size_t arity = rows.empty() ? 1 : rows[0].size();
+    for (std::size_t i = 0; i < arity; ++i) header.push_back("c" + std::to_string(i));
+  }
+
+  QUERYER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(header)));
+  auto table = std::make_shared<Table>(std::move(table_name), std::move(schema));
+  table->Reserve(rows.size());
+  for (auto& row : rows) {
+    QUERYER_RETURN_NOT_OK(table->AppendRow(std::move(row)));
+  }
+  return table;
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path, std::string table_name,
+                             const CsvOptions& options) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open file: " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ReadCsvString(buffer.str(), std::move(table_name), options);
+}
+
+std::string WriteCsvString(const Table& table, const CsvOptions& options) {
+  std::string out;
+  const Schema& schema = table.schema();
+  for (std::size_t i = 0; i < schema.num_attributes(); ++i) {
+    if (i > 0) out += options.delimiter;
+    out += EscapeField(schema.name(i), options.delimiter);
+  }
+  out += '\n';
+  for (const auto& row : table.rows()) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += options.delimiter;
+      out += EscapeField(row[i], options.delimiter);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open file for writing: " + path);
+  out << WriteCsvString(table, options);
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace queryer

@@ -1,0 +1,41 @@
+// CSV import/export so QueryER can run directly over raw data files,
+// as the paper's deployment mode describes ("directly used over raw data
+// files (e.g. csv)"). RFC-4180-style quoting is supported.
+
+#ifndef QUERYER_STORAGE_CSV_H_
+#define QUERYER_STORAGE_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// First line holds attribute names.
+  bool has_header = true;
+};
+
+/// \brief Parses CSV text into a table named `table_name`.
+///
+/// When `options.has_header` is false, attributes are named c0, c1, ...
+Result<TablePtr> ReadCsvString(std::string_view text, std::string table_name,
+                               const CsvOptions& options = {});
+
+/// \brief Loads a CSV file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path, std::string table_name,
+                             const CsvOptions& options = {});
+
+/// \brief Serializes a table to CSV text (with header).
+std::string WriteCsvString(const Table& table, const CsvOptions& options = {});
+
+/// \brief Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_CSV_H_

@@ -1,0 +1,40 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace queryer {
+
+Schema::Schema(std::vector<std::string> attribute_names)
+    : names_(std::move(attribute_names)) {}
+
+Result<Schema> Schema::Make(std::vector<std::string> attribute_names) {
+  if (attribute_names.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  for (std::size_t i = 0; i < attribute_names.size(); ++i) {
+    for (std::size_t j = i + 1; j < attribute_names.size(); ++j) {
+      if (EqualsIgnoreCase(attribute_names[i], attribute_names[j])) {
+        return Status::InvalidArgument("duplicate attribute name: " +
+                                       attribute_names[i]);
+      }
+    }
+  }
+  return Schema(std::move(attribute_names));
+}
+
+std::optional<std::size_t> Schema::IndexOf(std::string_view attribute) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (EqualsIgnoreCase(names_[i], attribute)) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::Equals(const Schema& other) const {
+  if (names_.size() != other.names_.size()) return false;
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (!EqualsIgnoreCase(names_[i], other.names_[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace queryer

@@ -1,0 +1,44 @@
+// Schema of an entity collection: an ordered list of attribute names.
+//
+// QueryER is schema-agnostic for ER purposes (every attribute value is
+// tokenized for blocking), so attributes are untyped strings. Numeric
+// comparisons in predicates are handled by the expression evaluator, which
+// parses values on demand.
+
+#ifndef QUERYER_STORAGE_SCHEMA_H_
+#define QUERYER_STORAGE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace queryer {
+
+/// \brief Ordered attribute names of a table. Lookup is case-insensitive.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> attribute_names);
+
+  /// Fails if names are empty or contain (case-insensitive) duplicates.
+  static Result<Schema> Make(std::vector<std::string> attribute_names);
+
+  std::size_t num_attributes() const { return names_.size(); }
+  const std::vector<std::string>& names() const { return names_; }
+  const std::string& name(std::size_t i) const { return names_[i]; }
+
+  /// Case-insensitive position lookup.
+  std::optional<std::size_t> IndexOf(std::string_view attribute) const;
+
+  bool Equals(const Schema& other) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_SCHEMA_H_

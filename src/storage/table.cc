@@ -1,0 +1,15 @@
+#include "storage/table.h"
+
+namespace queryer {
+
+Status Table::AppendRow(std::vector<std::string> values) {
+  if (values.size() != schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) + " does not match schema arity " +
+        std::to_string(schema_.num_attributes()) + " of table " + name_);
+  }
+  rows_.push_back(std::move(values));
+  return Status::OK();
+}
+
+}  // namespace queryer

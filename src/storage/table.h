@@ -1,0 +1,54 @@
+// In-memory entity collection: a named table of string records.
+//
+// An entity is one row; its EntityId is its row position, which all blocking
+// and matching indices use as the record identifier (the paper's e_id).
+
+#ifndef QUERYER_STORAGE_TABLE_H_
+#define QUERYER_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+
+namespace queryer {
+
+/// Row position within a table; the canonical entity identifier.
+using EntityId = std::uint32_t;
+
+/// \brief A dirty (or clean) entity collection.
+class Table {
+ public:
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status AppendRow(std::vector<std::string> values);
+
+  const std::vector<std::string>& row(EntityId id) const { return rows_[id]; }
+  const std::string& value(EntityId id, std::size_t attribute) const {
+    return rows_[id][attribute];
+  }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  void Reserve(std::size_t n) { rows_.reserve(n); }
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+using TablePtr = std::shared_ptr<Table>;
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_TABLE_H_

@@ -1,0 +1,162 @@
+// Unit tests for Token Blocking, the table/query block indices and
+// Block-Join, using the paper's motivating-example data where possible.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blocking/block_join.h"
+#include "blocking/token_blocking.h"
+#include "datagen/scholarly.h"
+
+namespace queryer {
+namespace {
+
+TablePtr MotivatingP() { return datagen::MakeMotivatingPublications().table; }
+
+TEST(EntityBlockingKeysTest, DistinctLowercasedTokens) {
+  TablePtr p = MotivatingP();
+  // P1 = {P1, "Collective Entity Resolution", "", "EDBT", "2008"}.
+  std::vector<std::string> keys = EntityBlockingKeys(*p, 0, BlockingOptions{});
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "collective"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "edbt"), keys.end());
+  EXPECT_NE(std::find(keys.begin(), keys.end(), "2008"), keys.end());
+  // Duplicate tokens across attributes appear once.
+  EXPECT_EQ(std::count(keys.begin(), keys.end(), "edbt"), 1);
+}
+
+TEST(EntityBlockingKeysTest, ExcludedAttributes) {
+  TablePtr p = MotivatingP();
+  BlockingOptions options;
+  options.excluded_attributes = {0};  // Drop the id column.
+  std::vector<std::string> keys = EntityBlockingKeys(*p, 0, options);
+  EXPECT_EQ(std::find(keys.begin(), keys.end(), "p1"), keys.end());
+}
+
+TEST(TableBlockIndexTest, BuildsExpectedBlocks) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  // "edbt" appears in P1, P6, P8.
+  std::int64_t edbt = tbi->FindBlock("edbt");
+  ASSERT_GE(edbt, 0);
+  EXPECT_EQ(tbi->block_entities(static_cast<std::size_t>(edbt)),
+            (std::vector<EntityId>{0, 5, 7}));
+  // "collective" appears in P1, P2.
+  std::int64_t collective = tbi->FindBlock("collective");
+  ASSERT_GE(collective, 0);
+  EXPECT_EQ(tbi->block_entities(static_cast<std::size_t>(collective)),
+            (std::vector<EntityId>{0, 1}));
+}
+
+TEST(TableBlockIndexTest, SingletonBlocksDropped) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  // "collective" is shared; a unique token like "p3" (id of one row) forms
+  // no block.
+  EXPECT_EQ(tbi->FindBlock("p3"), -1);
+  EXPECT_EQ(tbi->FindBlock("nonexistent-token"), -1);
+}
+
+TEST(TableBlockIndexTest, InverseIndexSortedBySize) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  for (EntityId e = 0; e < p->num_rows(); ++e) {
+    const auto& blocks = tbi->entity_blocks(e);
+    for (std::size_t i = 1; i < blocks.size(); ++i) {
+      EXPECT_LE(tbi->block_size(blocks[i - 1]), tbi->block_size(blocks[i]))
+          << "entity " << e << " block list not ascending";
+    }
+  }
+}
+
+TEST(TableBlockIndexTest, EveryBlockMembershipInverted) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  for (std::size_t b = 0; b < tbi->num_blocks(); ++b) {
+    for (EntityId e : tbi->block_entities(b)) {
+      const auto& blocks = tbi->entity_blocks(e);
+      EXPECT_NE(std::find(blocks.begin(), blocks.end(), b), blocks.end());
+    }
+  }
+}
+
+TEST(TableBlockIndexTest, MemoryFootprintPositive) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  EXPECT_GT(tbi->MemoryFootprint(), 0u);
+}
+
+TEST(QueryBlockIndexTest, BuildsOnlyOverQueryEntities) {
+  TablePtr p = MotivatingP();
+  QueryBlockIndex qbi = QueryBlockIndex::Build(*p, {0}, BlockingOptions{});
+  // All keys must be P1's tokens.
+  std::vector<std::string> expected =
+      EntityBlockingKeys(*p, 0, BlockingOptions{});
+  EXPECT_EQ(qbi.num_blocks(), expected.size());
+  for (const auto& [key, entities] : qbi.blocks()) {
+    EXPECT_EQ(entities, (std::vector<EntityId>{0}));
+  }
+}
+
+TEST(BlockJoinTest, EnrichesQueryBlocksWithTableEntities) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  // Query: P1 only (as selected by venue='EDBT' + year 2008, say).
+  QueryBlockIndex qbi = QueryBlockIndex::Build(*p, {0}, BlockingOptions{});
+  BlockJoinStats stats;
+  BlockCollection enriched = BlockJoin(qbi, *tbi, &stats);
+  EXPECT_EQ(stats.qbi_blocks, qbi.num_blocks());
+  EXPECT_EQ(stats.matched_blocks, enriched.size());
+  EXPECT_LE(enriched.size(), qbi.num_blocks());
+
+  // The "collective" block must now contain P2 as well.
+  auto it = std::find_if(enriched.begin(), enriched.end(),
+                         [](const Block& b) { return b.key == "collective"; });
+  ASSERT_NE(it, enriched.end());
+  EXPECT_EQ(it->entities, (std::vector<EntityId>{0, 1}));
+  EXPECT_EQ(it->query_entities, (std::vector<EntityId>{0}));
+}
+
+TEST(BlockJoinTest, KeysAbsentFromTbiProduceNoBlocks) {
+  TablePtr p = MotivatingP();
+  auto tbi = TableBlockIndex::Build(*p, BlockingOptions{});
+  // P4 has tokens ("davids", "doe", ...) shared with P3/P5, but its id token
+  // "p4" has no block; joined blocks only cover shared keys.
+  QueryBlockIndex qbi = QueryBlockIndex::Build(*p, {3}, BlockingOptions{});
+  BlockCollection enriched = BlockJoin(qbi, *tbi);
+  for (const Block& b : enriched) {
+    EXPECT_GE(b.entities.size(), 2u) << "block " << b.key;
+  }
+}
+
+TEST(BlockTest, ComparisonFormulas) {
+  Block b;
+  b.entities = {1, 2, 3, 4};
+  b.query_entities = {1};
+  // |QE|=1, |b|=4: 1 * (4 - (1+1)/2) = 3 comparisons.
+  EXPECT_DOUBLE_EQ(b.QueryComparisons(), 3.0);
+  EXPECT_DOUBLE_EQ(b.Cardinality(), 6.0);
+  b.query_entities = {1, 2, 3, 4};
+  // All query: full cardinality 4*3/2 = 6.
+  EXPECT_DOUBLE_EQ(b.QueryComparisons(), 6.0);
+  b.query_entities.clear();
+  EXPECT_DOUBLE_EQ(b.QueryComparisons(), 0.0);
+}
+
+TEST(BlockTest, CollectionAggregates) {
+  Block a;
+  a.entities = {1, 2};
+  a.query_entities = {1};
+  Block b;
+  b.entities = {3, 4, 5};
+  b.query_entities = {3, 4};
+  BlockCollection blocks = {a, b};
+  EXPECT_DOUBLE_EQ(TotalCardinality(blocks), 1.0 + 3.0);
+  EXPECT_EQ(TotalAssignments(blocks), 5u);
+  // a: 1*(2-1)=1; b: 2*(3-1.5)=3.
+  EXPECT_DOUBLE_EQ(TotalQueryComparisons(blocks), 4.0);
+}
+
+}  // namespace
+}  // namespace queryer

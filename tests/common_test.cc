@@ -1,0 +1,204 @@
+// Unit tests for the common substrate: Status/Result, string utilities and
+// the deterministic random engine.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace queryer {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("missing");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  Status assigned;
+  assigned = copy;
+  EXPECT_TRUE(assigned.IsNotFound());
+}
+
+TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::PlanError("x").code(), StatusCode::kPlanError);
+  EXPECT_EQ(Status::ExecutionError("x").code(), StatusCode::kExecutionError);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::NotImplemented("x").code(), StatusCode::kNotImplemented);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+}
+
+Result<int> ReturnsValue() { return 42; }
+Result<int> ReturnsError() { return Status::NotFound("no value"); }
+Result<int> Propagates() {
+  QUERYER_ASSIGN_OR_RETURN(int value, ReturnsError());
+  return value + 1;
+}
+Result<int> PropagatesOk() {
+  QUERYER_ASSIGN_OR_RETURN(int value, ReturnsValue());
+  return value + 1;
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result = ReturnsValue();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result = ReturnsError();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  EXPECT_FALSE(Propagates().ok());
+  Result<int> ok = PropagatesOk();
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 43);
+}
+
+TEST(StringUtilTest, CaseFolding) {
+  EXPECT_EQ(ToLower("EDBT 2025"), "edbt 2025");
+  EXPECT_EQ(ToUpper("edbt"), "EDBT");
+  EXPECT_TRUE(EqualsIgnoreCase("SIGMOD", "sigmod"));
+  EXPECT_FALSE(EqualsIgnoreCase("SIGMOD", "sigmo"));
+  EXPECT_FALSE(EqualsIgnoreCase("a", "ab"));
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringUtilTest, SplitAndJoin) {
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join(parts, "|"), "a|b||c");
+  EXPECT_EQ(Split("one", ',').size(), 1u);
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("deduplicate", "dedup"));
+  EXPECT_FALSE(StartsWith("dedup", "deduplicate"));
+  EXPECT_TRUE(EndsWith("query.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("query.csv", ".tsv"));
+}
+
+TEST(TokenizeTest, SchemaAgnosticTokens) {
+  std::vector<std::string> tokens =
+      TokenizeAlnum("Collective Entity-Resolution, 2008!");
+  EXPECT_EQ(tokens, (std::vector<std::string>{"collective", "entity",
+                                              "resolution", "2008"}));
+}
+
+TEST(TokenizeTest, MinLengthDropsNoise) {
+  std::vector<std::string> tokens = TokenizeAlnum("E.R on Big Data", 2);
+  // "E" and "R" are dropped at min length 2; "on" stays.
+  EXPECT_EQ(tokens, (std::vector<std::string>{"on", "big", "data"}));
+  std::vector<std::string> all = TokenizeAlnum("E.R on Big Data", 1);
+  EXPECT_EQ(all.size(), 5u);
+}
+
+TEST(TokenizeTest, EmptyInput) {
+  EXPECT_TRUE(TokenizeAlnum("").empty());
+  EXPECT_TRUE(TokenizeAlnum("...---!!!").empty());
+}
+
+TEST(LikeMatchTest, Wildcards) {
+  EXPECT_TRUE(LikeMatch("entity resolution", "%resolution"));
+  EXPECT_TRUE(LikeMatch("entity resolution", "entity%"));
+  EXPECT_TRUE(LikeMatch("entity resolution", "%tity%"));
+  EXPECT_TRUE(LikeMatch("edbt", "e_bt"));
+  EXPECT_FALSE(LikeMatch("edbt", "e_t"));
+  EXPECT_TRUE(LikeMatch("anything", "%"));
+  EXPECT_FALSE(LikeMatch("abc", "abd"));
+}
+
+TEST(LikeMatchTest, CaseInsensitive) {
+  EXPECT_TRUE(LikeMatch("EDBT", "edbt"));
+  EXPECT_TRUE(LikeMatch("SIGMOD Conference", "%conference"));
+}
+
+TEST(LikeMatchTest, BacktrackingPattern) {
+  // Requires backtracking over the '%'.
+  EXPECT_TRUE(LikeMatch("aaab", "%ab"));
+  EXPECT_TRUE(LikeMatch("mississippi", "%issip%"));
+  EXPECT_FALSE(LikeMatch("mississippi", "%issip%x"));
+}
+
+TEST(RandomEngineTest, Deterministic) {
+  RandomEngine a(7);
+  RandomEngine b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Uniform(0, 1000), b.Uniform(0, 1000));
+  }
+}
+
+TEST(RandomEngineTest, UniformBounds) {
+  RandomEngine rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    std::int64_t v = rng.Uniform(5, 9);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(RandomEngineTest, BernoulliEdges) {
+  RandomEngine rng(13);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomEngineTest, ZipfSkewsLow) {
+  RandomEngine rng(17);
+  std::size_t low = 0;
+  const int kDraws = 10000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Zipf(100, 1.0) < 10) ++low;
+  }
+  // With positive skew the first decile must be over-represented.
+  EXPECT_GT(low, kDraws / 10);
+}
+
+TEST(RandomEngineTest, ShuffleIsPermutation) {
+  RandomEngine rng(19);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(&shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace queryer

@@ -1,0 +1,260 @@
+// Unit tests for the dataset generators: determinism, duplicate ratios,
+// ground-truth consistency, corruption model bounds.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+#include "datagen/corruptor.h"
+#include "datagen/dictionaries.h"
+#include "datagen/orgs.h"
+#include "datagen/people.h"
+#include "datagen/scholarly.h"
+
+namespace queryer::datagen {
+namespace {
+
+TEST(CorruptorTest, TypoChangesString) {
+  queryer::RandomEngine rng(1);
+  int changed = 0;
+  for (int i = 0; i < 50; ++i) {
+    std::string out = ApplyTypo("entity resolution", &rng);
+    if (out != "entity resolution") ++changed;
+    // A single typo changes length by at most 1.
+    EXPECT_LE(out.size(), 18u);
+    EXPECT_GE(out.size(), 16u);
+  }
+  EXPECT_GT(changed, 40);  // Transpose of equal chars can no-op, rarely.
+}
+
+TEST(CorruptorTest, AbbreviateToken) {
+  queryer::RandomEngine rng(2);
+  std::string out = AbbreviateToken("collective entity", &rng);
+  EXPECT_TRUE(out == "c. entity" || out == "collective e.") << out;
+  // Short tokens are not abbreviated.
+  EXPECT_EQ(AbbreviateToken("a bc", &rng), "a bc");
+}
+
+TEST(CorruptorTest, SwapTokens) {
+  queryer::RandomEngine rng(3);
+  EXPECT_EQ(SwapTokens("allan blake", &rng), "blake allan");
+  EXPECT_EQ(SwapTokens("single", &rng), "single");
+}
+
+TEST(CorruptorTest, RecordCorruptionAlwaysChangesSomething) {
+  queryer::RandomEngine rng(4);
+  std::vector<std::string> record = {"id9", "allan blake", "edbt", "2015"};
+  CorruptionConfig config;
+  for (int i = 0; i < 100; ++i) {
+    std::vector<std::string> dup = CorruptRecord(record, {1, 2, 3}, &rng, config);
+    EXPECT_EQ(dup[0], record[0]);  // Non-corruptible column intact.
+    EXPECT_NE(dup, record);
+  }
+}
+
+TEST(CorruptorTest, AtMostOneBlankedAttributePerRecord) {
+  queryer::RandomEngine rng(5);
+  CorruptionConfig config;
+  config.missing_value_probability = 0.9;  // Force blanking pressure.
+  config.max_mods_per_record = 6;
+  std::vector<std::string> record = {"id", "alpha beta", "gamma delta",
+                                     "epsilon zeta", "eta theta"};
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::string> dup = CorruptRecord(record, {1, 2, 3, 4}, &rng, config);
+    int blanked = 0;
+    for (std::size_t a = 1; a < dup.size(); ++a) {
+      if (dup[a].empty()) ++blanked;
+    }
+    EXPECT_LE(blanked, 1) << "record lost more than one attribute";
+  }
+}
+
+TEST(CorruptorTest, NumericTokensAreNeverAbbreviated) {
+  queryer::RandomEngine rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(AbbreviateToken("2011", &rng), "2011");
+    std::string out = AbbreviateToken("edbt 2011", &rng);
+    EXPECT_TRUE(out == "e. 2011" || out == "edbt 2011") << out;
+  }
+}
+
+TEST(GroundTruthTest, CountsAndMembership) {
+  // Clusters: {0,1}, {2}, {3,4,5}.
+  GroundTruth gt({0, 0, 1, 2, 2, 2});
+  EXPECT_EQ(gt.NumDuplicateRecords(), 3u);
+  EXPECT_EQ(gt.NumDuplicatePairs(), 1u + 3u);
+  EXPECT_TRUE(gt.AreDuplicates(3, 5));
+  EXPECT_FALSE(gt.AreDuplicates(0, 2));
+  EXPECT_FALSE(gt.AreDuplicates(2, 2));
+  EXPECT_EQ(gt.ClusterMembers(4), (std::vector<queryer::EntityId>{3, 4, 5}));
+}
+
+TEST(GroundTruthTest, PairCompleteness) {
+  GroundTruth gt({0, 0, 1, 2, 2, 2});
+  // Query = {0, 3}: wanted pairs (0,1), (3,4), (3,5).
+  std::vector<queryer::Comparison> comparisons = {{0, 1}, {3, 4}, {1, 2}};
+  EXPECT_NEAR(gt.PairCompleteness(comparisons, {0, 3}), 2.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(gt.PairCompleteness({}, {2}), 1.0);  // Nothing to find.
+}
+
+TEST(PeopleTest, SizeAndDeterminism) {
+  auto a = MakePeople(2000, {"athena institute"}, 42);
+  auto b = MakePeople(2000, {"athena institute"}, 42);
+  EXPECT_NEAR(static_cast<double>(a.table->num_rows()), 2000.0, 40.0);
+  EXPECT_EQ(a.table->rows(), b.table->rows());
+  EXPECT_EQ(a.table->num_attributes(), 12u);
+  auto c = MakePeople(2000, {"athena institute"}, 43);
+  EXPECT_NE(a.table->rows(), c.table->rows());
+}
+
+TEST(PeopleTest, DuplicateRatioRoughlyForty) {
+  auto ppl = MakePeople(5000, {}, 7);
+  double ratio = static_cast<double>(ppl.ground_truth.NumDuplicateRecords()) /
+                 static_cast<double>(ppl.table->num_rows());
+  EXPECT_NEAR(ratio, 0.4, 0.05);
+}
+
+TEST(PeopleTest, IdsAreSequential) {
+  auto ppl = MakePeople(500, {}, 9);
+  auto id_idx = ppl.table->schema().IndexOf("id");
+  ASSERT_TRUE(id_idx.has_value());
+  for (queryer::EntityId e = 0; e < ppl.table->num_rows(); ++e) {
+    EXPECT_EQ(ppl.table->value(e, *id_idx), std::to_string(e));
+  }
+}
+
+TEST(PeopleTest, OrgJoinFractionControlsFk) {
+  std::vector<std::string> orgs = {"athena institute", "ntua lab"};
+  auto ppl = MakePeople(2000, orgs, 11);
+  auto org_idx = ppl.table->schema().IndexOf("org");
+  std::set<std::string> pool(orgs.begin(), orgs.end());
+  std::size_t joining = 0;
+  for (queryer::EntityId e = 0; e < ppl.table->num_rows(); ++e) {
+    if (pool.count(ppl.table->value(e, *org_idx)) > 0) ++joining;
+  }
+  // All originals reference the pool; only corrupted duplicates may differ.
+  EXPECT_GT(static_cast<double>(joining) /
+                static_cast<double>(ppl.table->num_rows()),
+            0.55);
+}
+
+TEST(OrgsTest, PoolNamesJoinBack) {
+  auto oao = MakeOrganisations(800, 21);
+  EXPECT_EQ(oao.table->num_attributes(), 3u);
+  std::vector<std::string> pool = OrganisationNamePool(oao);
+  EXPECT_GT(pool.size(), 0.8 * 0.9 * 800);  // ~one per cluster.
+  // Every pool name exists verbatim in the table.
+  std::set<std::string> names;
+  auto name_idx = oao.table->schema().IndexOf("name");
+  for (queryer::EntityId e = 0; e < oao.table->num_rows(); ++e) {
+    names.insert(oao.table->value(e, *name_idx));
+  }
+  for (const std::string& name : pool) EXPECT_TRUE(names.count(name) > 0);
+}
+
+TEST(OrgsTest, ProjectsReferenceOrgs) {
+  auto oao = MakeOrganisations(400, 22);
+  std::vector<std::string> pool = OrganisationNamePool(oao);
+  auto oap = MakeProjects(1500, pool, 23);
+  EXPECT_EQ(oap.table->num_attributes(), 8u);
+  double ratio = static_cast<double>(oap.ground_truth.NumDuplicateRecords()) /
+                 static_cast<double>(oap.table->num_rows());
+  EXPECT_NEAR(ratio, 0.10, 0.03);
+}
+
+TEST(ScholarlyTest, DsdShape) {
+  auto dsd = MakeDsdLike(3000, 31);
+  EXPECT_EQ(dsd.table->num_attributes(), 5u);
+  double ratio = static_cast<double>(dsd.ground_truth.NumDuplicateRecords()) /
+                 static_cast<double>(dsd.table->num_rows());
+  EXPECT_NEAR(ratio, 0.08, 0.03);
+}
+
+TEST(ScholarlyTest, VenueUniverseDeterministicAndSized) {
+  auto u1 = MakeVenueUniverse(120, 5);
+  auto u2 = MakeVenueUniverse(120, 5);
+  ASSERT_EQ(u1.size(), 120u);
+  for (std::size_t i = 0; i < u1.size(); ++i) {
+    EXPECT_EQ(u1[i].short_name, u2[i].short_name);
+    EXPECT_EQ(u1[i].full_name, u2[i].full_name);
+  }
+  // Short names are distinct (they act as join keys).
+  std::set<std::string> shorts;
+  for (const auto& v : u1) shorts.insert(v.short_name);
+  EXPECT_EQ(shorts.size(), u1.size());
+}
+
+TEST(ScholarlyTest, OagpJoinFraction) {
+  auto universe = MakeVenueUniverse(100, 6);
+  OagpOptions options;
+  options.venue_join_fraction = 0.3;
+  options.venue_table_coverage = 0.2;
+  auto oagp = MakeOagpLike(4000, universe, 33, options);
+  EXPECT_EQ(oagp.table->num_attributes(), 18u);
+
+  // Count papers whose venue is one of the covered (first 20) entries.
+  std::set<std::string> covered;
+  for (std::size_t i = 0; i < 20; ++i) {
+    covered.insert(universe[i].short_name);
+    covered.insert(universe[i].full_name);
+  }
+  auto venue_idx = oagp.table->schema().IndexOf("venue");
+  std::size_t joining = 0;
+  for (queryer::EntityId e = 0; e < oagp.table->num_rows(); ++e) {
+    if (covered.count(oagp.table->value(e, *venue_idx)) > 0) ++joining;
+  }
+  double fraction = static_cast<double>(joining) /
+                    static_cast<double>(oagp.table->num_rows());
+  // Corruption on duplicates blurs it slightly; stays near the knob.
+  EXPECT_NEAR(fraction, 0.3, 0.08);
+}
+
+TEST(ScholarlyTest, OagvCoversJoinableVenues) {
+  auto universe = MakeVenueUniverse(100, 6);
+  OagvOptions options;
+  options.universe_coverage = 0.2;
+  auto oagv = MakeOagvLike(600, universe, 35, options);
+  EXPECT_EQ(oagv.table->num_attributes(), 6u);
+  // Every covered venue appears at least once (short or full form).
+  auto title_idx = oagv.table->schema().IndexOf("title");
+  std::set<std::string> titles;
+  for (queryer::EntityId e = 0; e < oagv.table->num_rows(); ++e) {
+    titles.insert(oagv.table->value(e, *title_idx));
+  }
+  std::size_t present = 0;
+  for (std::size_t i = 0; i < 20; ++i) {
+    if (titles.count(universe[i].short_name) > 0 ||
+        titles.count(universe[i].full_name) > 0) {
+      ++present;
+    }
+  }
+  EXPECT_EQ(present, 20u);
+}
+
+TEST(MotivatingExampleTest, MatchesPaperTables) {
+  auto p = MakeMotivatingPublications();
+  ASSERT_EQ(p.table->num_rows(), 8u);
+  EXPECT_EQ(p.table->value(0, 1), "Collective Entity Resolution");
+  EXPECT_TRUE(p.ground_truth.AreDuplicates(0, 1));    // P1 ≡ P2.
+  EXPECT_TRUE(p.ground_truth.AreDuplicates(5, 7));    // P6 ≡ P8.
+  EXPECT_FALSE(p.ground_truth.AreDuplicates(0, 5));
+  auto v = MakeMotivatingVenues();
+  ASSERT_EQ(v.table->num_rows(), 6u);
+  EXPECT_TRUE(v.ground_truth.AreDuplicates(0, 3));    // V1 ≡ V4.
+  EXPECT_TRUE(v.ground_truth.AreDuplicates(1, 2));    // V2 ≡ V3.
+  EXPECT_TRUE(v.ground_truth.AreDuplicates(4, 5));    // V5 ≡ V6.
+}
+
+TEST(DictionariesTest, PoolsNonEmptyAndTitlesCompose) {
+  EXPECT_GE(FirstNames().size(), 100u);
+  EXPECT_GE(LastNames().size(), 100u);
+  EXPECT_GE(TopicWords().size(), 80u);
+  EXPECT_GE(Venues().size(), 30u);
+  queryer::RandomEngine rng(8);
+  std::string title = MakeTitle(&rng, 5);
+  EXPECT_GE(queryer::Split(title, ' ').size(), 5u);
+}
+
+}  // namespace
+}  // namespace queryer::datagen

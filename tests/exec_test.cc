@@ -1,0 +1,341 @@
+// Unit tests for the physical operators, including the three QueryER ER
+// operators over the paper's motivating example.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "datagen/scholarly.h"
+#include "exec/dedup_join_op.h"
+#include "exec/deduplicate_op.h"
+#include "exec/executor.h"
+#include "exec/filter.h"
+#include "exec/group_entities_op.h"
+#include "exec/group_filter.h"
+#include "exec/hash_join.h"
+#include "exec/project.h"
+#include "exec/table_scan.h"
+
+namespace queryer {
+namespace {
+
+// Exclude the e_id column from blocking and matching, as the engine does.
+BlockingOptions TestBlocking() {
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  return options;
+}
+MatchingConfig TestMatching() {
+  MatchingConfig config;
+  config.excluded_attributes = {0};
+  return config;
+}
+
+class ExecTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto p = datagen::MakeMotivatingPublications();
+    auto v = datagen::MakeMotivatingVenues();
+    p_runtime_ = std::make_shared<TableRuntime>(
+        p.table, TestBlocking(), MetaBlockingConfig::BpBf(), TestMatching());
+    v_runtime_ = std::make_shared<TableRuntime>(
+        v.table, TestBlocking(), MetaBlockingConfig::BpBf(), TestMatching());
+  }
+
+  OperatorPtr ScanP() {
+    return std::make_unique<TableScanOp>(p_runtime_->table_ptr(), "p");
+  }
+  OperatorPtr ScanV() {
+    return std::make_unique<TableScanOp>(v_runtime_->table_ptr(), "v");
+  }
+
+  // venue = 'EDBT' over p.
+  ExprPtr EdbtPredicate(const std::vector<std::string>& columns) {
+    ExprPtr pred = Expr::Compare(CompareOp::kEq, Expr::Column("p", "venue"),
+                                 Expr::Literal("EDBT"));
+    EXPECT_TRUE(pred->Bind(columns).ok());
+    return pred;
+  }
+
+  std::shared_ptr<TableRuntime> p_runtime_;
+  std::shared_ptr<TableRuntime> v_runtime_;
+  ExecStats stats_;
+};
+
+TEST_F(ExecTest, TableScanEmitsAllRowsWithEntityIds) {
+  OperatorPtr scan = ScanP();
+  EXPECT_EQ(scan->output_columns()[1], "p.title");
+  auto rows = DrainOperator(scan.get());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 8u);
+  EXPECT_EQ((*rows)[3].entity_id, 3u);
+  EXPECT_EQ((*rows)[3].values[0], "P4");
+}
+
+TEST_F(ExecTest, FilterSelectsMatchingRows) {
+  OperatorPtr scan = ScanP();
+  ExprPtr pred = EdbtPredicate(scan->output_columns());
+  FilterOp filter(std::move(scan), std::move(pred));
+  auto rows = DrainOperator(&filter);
+  ASSERT_TRUE(rows.ok());
+  // P1, P6, P8 carry venue EDBT.
+  std::set<EntityId> ids;
+  for (const Row& row : *rows) ids.insert(row.entity_id);
+  EXPECT_EQ(ids, (std::set<EntityId>{0, 5, 7}));
+}
+
+TEST_F(ExecTest, ProjectEvaluatesItems) {
+  OperatorPtr scan = ScanP();
+  std::vector<ExprPtr> exprs;
+  ExprPtr title = Expr::Column("p", "title");
+  ASSERT_TRUE(title->Bind(scan->output_columns()).ok());
+  exprs.push_back(std::move(title));
+  ProjectOp project(std::move(scan), std::move(exprs), {"title"});
+  EXPECT_EQ(project.output_columns(), (std::vector<std::string>{"title"}));
+  auto rows = DrainOperator(&project);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].values,
+            (std::vector<std::string>{"Collective Entity Resolution"}));
+}
+
+TEST_F(ExecTest, HashJoinMatchesCaseInsensitively) {
+  OperatorPtr left = ScanP();
+  OperatorPtr right = ScanV();
+  ExprPtr lk = Expr::Column("p", "venue");
+  ExprPtr rk = Expr::Column("v", "title");
+  ASSERT_TRUE(lk->Bind(left->output_columns()).ok());
+  ASSERT_TRUE(rk->Bind(right->output_columns()).ok());
+  HashJoinOp join(std::move(left), std::move(right), std::move(lk),
+                  std::move(rk));
+  auto rows = DrainOperator(&join);
+  ASSERT_TRUE(rows.ok());
+  // Paper Sec. 2: plain SQL retrieves [P1-V4], [P6-V4], [P8-V4]; plus
+  // P2-V1 and P7-V1 (full venue name matches V1's title), P3-V3
+  // ("ACM Sigmod" = "ACM SIGMOD" case-insensitively) and P4-V2
+  // ("Sigmod" = "SIGMOD").
+  EXPECT_EQ(rows->size(), 7u);
+  std::set<std::pair<std::string, std::string>> pairs;
+  for (const Row& row : *rows) pairs.insert({row.values[0], row.values[5]});
+  EXPECT_TRUE(pairs.count({"P1", "V4"}) > 0);
+  EXPECT_TRUE(pairs.count({"P6", "V4"}) > 0);
+  EXPECT_TRUE(pairs.count({"P8", "V4"}) > 0);
+  EXPECT_TRUE(pairs.count({"P2", "V1"}) > 0);
+}
+
+TEST_F(ExecTest, DeduplicateExtendsSelectionWithDuplicates) {
+  OperatorPtr scan = ScanP();
+  ExprPtr pred = EdbtPredicate(scan->output_columns());
+  OperatorPtr filter =
+      std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+  DeduplicateOp dedup(std::move(filter), p_runtime_, &stats_);
+  auto rows = DrainOperator(&dedup);
+  ASSERT_TRUE(rows.ok());
+  // QE = {P1, P6, P8}; duplicates P2 and P7 must be recovered.
+  std::set<EntityId> ids;
+  for (const Row& row : *rows) ids.insert(row.entity_id);
+  EXPECT_EQ(ids, (std::set<EntityId>{0, 1, 5, 6, 7}));
+  EXPECT_GT(stats_.comparisons_executed, 0u);
+  EXPECT_EQ(stats_.query_entities, 3u);
+
+  // Group keys tie duplicates together.
+  std::uint64_t g1 = 0, g2 = 0, g6 = 0;
+  for (const Row& row : *rows) {
+    if (row.entity_id == 0) g1 = row.group_key;
+    if (row.entity_id == 1) g2 = row.group_key;
+    if (row.entity_id == 5) g6 = row.group_key;
+  }
+  EXPECT_EQ(g1, g2);
+  EXPECT_NE(g1, g6);
+}
+
+TEST_F(ExecTest, DeduplicateUsesLinkIndexOnRepeat) {
+  for (int round = 0; round < 2; ++round) {
+    OperatorPtr scan = ScanP();
+    ExprPtr pred = EdbtPredicate(scan->output_columns());
+    OperatorPtr filter =
+        std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+    DeduplicateOp dedup(std::move(filter), p_runtime_, &stats_);
+    ASSERT_TRUE(DrainOperator(&dedup).ok());
+  }
+  // Second round: all three query entities served from the LI.
+  EXPECT_EQ(stats_.entities_already_resolved, 3u);
+}
+
+TEST_F(ExecTest, DeduplicateRejectsCompositeRows) {
+  // Feed join output (no entity ids) into Deduplicate: must error.
+  OperatorPtr left = ScanP();
+  OperatorPtr right = ScanV();
+  ExprPtr lk = Expr::Column("p", "venue");
+  ExprPtr rk = Expr::Column("v", "title");
+  ASSERT_TRUE(lk->Bind(left->output_columns()).ok());
+  ASSERT_TRUE(rk->Bind(right->output_columns()).ok());
+  OperatorPtr join = std::make_unique<HashJoinOp>(
+      std::move(left), std::move(right), std::move(lk), std::move(rk));
+  // Arity differs from p's table; constructor would CHECK. Use a project to
+  // fake the arity and verify the runtime error path instead.
+  std::vector<ExprPtr> exprs;
+  std::vector<std::string> names;
+  for (std::size_t i = 0; i < 5; ++i) {
+    ExprPtr col = Expr::Column("", "");
+    // Direct column selection via join columns.
+    col = Expr::Column("p", p_runtime_->table().schema().name(i));
+    ASSERT_TRUE(col->Bind(join->output_columns()).ok());
+    exprs.push_back(std::move(col));
+    names.push_back(p_runtime_->table().schema().name(i));
+  }
+  OperatorPtr project = std::make_unique<ProjectOp>(
+      std::move(join), std::move(exprs), std::move(names));
+  DeduplicateOp dedup(std::move(project), p_runtime_, &stats_);
+  Status st = dedup.Open();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kExecutionError);
+}
+
+TEST_F(ExecTest, GroupFilterKeepsWholeGroups) {
+  OperatorPtr scan = ScanP();
+  OperatorPtr dedup =
+      std::make_unique<DeduplicateOp>(std::move(scan), p_runtime_, &stats_);
+  ExprPtr pred = EdbtPredicate(dedup->output_columns());
+  GroupFilterOp group_filter(std::move(dedup), std::move(pred));
+  auto rows = DrainOperator(&group_filter);
+  ASSERT_TRUE(rows.ok());
+  std::set<EntityId> ids;
+  for (const Row& row : *rows) ids.insert(row.entity_id);
+  // Whole-table dedup + group filter on venue=EDBT: clusters of P1 and P6.
+  EXPECT_EQ(ids, (std::set<EntityId>{0, 1, 5, 6, 7}));
+}
+
+TEST_F(ExecTest, DedupJoinDirtyRightMatchesPaperExample) {
+  // Left: resolved publications selection (venue = EDBT).
+  OperatorPtr scan = ScanP();
+  ExprPtr pred = EdbtPredicate(scan->output_columns());
+  OperatorPtr filter =
+      std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+  OperatorPtr dedup =
+      std::make_unique<DeduplicateOp>(std::move(filter), p_runtime_, &stats_);
+  // Right: dirty venues.
+  OperatorPtr venues = ScanV();
+  ExprPtr lk = Expr::Column("p", "venue");
+  ExprPtr rk = Expr::Column("v", "title");
+  ASSERT_TRUE(lk->Bind(dedup->output_columns()).ok());
+  ASSERT_TRUE(rk->Bind(venues->output_columns()).ok());
+  DedupJoinOp join(std::move(dedup), std::move(venues), std::move(lk),
+                   std::move(rk), DirtySide::kRight, v_runtime_, &stats_);
+  auto rows = DrainOperator(&join);
+  ASSERT_TRUE(rows.ok());
+
+  // Expected joined groups: (P1-cluster, V4-cluster) and (P6-cluster,
+  // V4-cluster): each left cluster has 2/3 members, right cluster {V1,V4}.
+  // Group keys partition the rows into exactly two groups.
+  std::set<std::uint64_t> groups;
+  for (const Row& row : *rows) groups.insert(row.group_key);
+  EXPECT_EQ(groups.size(), 2u);
+  // P1 cluster (2 rows) x {V1,V4} (2) + P6 cluster (3) x 2 = 10 rows.
+  EXPECT_EQ(rows->size(), 10u);
+  // Every emitted right side is V1 or V4.
+  for (const Row& row : *rows) {
+    EXPECT_TRUE(row.values[5] == "V1" || row.values[5] == "V4")
+        << row.values[5];
+  }
+}
+
+TEST_F(ExecTest, GroupEntitiesFusesVariants) {
+  OperatorPtr scan = ScanP();
+  ExprPtr pred = EdbtPredicate(scan->output_columns());
+  OperatorPtr filter =
+      std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+  OperatorPtr dedup =
+      std::make_unique<DeduplicateOp>(std::move(filter), p_runtime_, &stats_);
+  GroupEntitiesOp group(std::move(dedup), &stats_);
+  auto rows = DrainOperator(&group);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);  // Two hyper-entities.
+
+  // Find the P1/P2 hyper-entity and check the fused title (paper Table 3).
+  bool found = false;
+  for (const Row& row : *rows) {
+    if (row.values[1].find("Collective Entity Resolution") != std::string::npos) {
+      found = true;
+      EXPECT_EQ(row.values[1], "Collective Entity Resolution | Collective E.R.");
+      EXPECT_EQ(row.values[4], "2008");  // Same year fused once; null skipped.
+    }
+  }
+  EXPECT_TRUE(found);
+  EXPECT_GT(stats_.group_seconds, 0.0);
+}
+
+TEST_F(ExecTest, DedupJoinCleanVariantJoinsResolvedSides) {
+  // DirtySide::kNone (the NES shape): both inputs already resolved.
+  OperatorPtr left = std::make_unique<DeduplicateOp>(ScanP(), p_runtime_,
+                                                     &stats_);
+  OperatorPtr right = std::make_unique<DeduplicateOp>(ScanV(), v_runtime_,
+                                                      &stats_);
+  ExprPtr lk = Expr::Column("p", "venue");
+  ExprPtr rk = Expr::Column("v", "title");
+  ASSERT_TRUE(lk->Bind(left->output_columns()).ok());
+  ASSERT_TRUE(rk->Bind(right->output_columns()).ok());
+  DedupJoinOp join(std::move(left), std::move(right), std::move(lk),
+                   std::move(rk), DirtySide::kNone, nullptr, &stats_);
+  auto rows = DrainOperator(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_GT(rows->size(), 0u);
+  // Every joined group pairs one P cluster with one V cluster: group keys
+  // partition rows, and within a group all left ids share a cluster.
+  std::map<std::uint64_t, std::set<std::string>> group_left_ids;
+  for (const Row& row : *rows) {
+    group_left_ids[row.group_key].insert(row.values[0]);
+  }
+  for (const auto& [key, ids] : group_left_ids) {
+    EXPECT_LE(ids.size(), 3u);  // Largest P cluster has 3 members.
+  }
+}
+
+TEST_F(ExecTest, EmptySelectionYieldsEmptyResult) {
+  OperatorPtr scan = ScanP();
+  ExprPtr pred = Expr::Compare(CompareOp::kEq, Expr::Column("p", "venue"),
+                               Expr::Literal("NOPE"));
+  ASSERT_TRUE(pred->Bind(scan->output_columns()).ok());
+  OperatorPtr filter =
+      std::make_unique<FilterOp>(std::move(scan), std::move(pred));
+  DeduplicateOp dedup(std::move(filter), p_runtime_, &stats_);
+  auto rows = DrainOperator(&dedup);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(ExecTest, HashJoinEmptyBuildSide) {
+  OperatorPtr left = ScanP();
+  auto empty = std::make_shared<Table>("e", Schema({"k"}));
+  OperatorPtr right = std::make_unique<TableScanOp>(empty, "e");
+  ExprPtr lk = Expr::Column("p", "venue");
+  ExprPtr rk = Expr::Column("e", "k");
+  ASSERT_TRUE(lk->Bind(left->output_columns()).ok());
+  ASSERT_TRUE(rk->Bind(right->output_columns()).ok());
+  HashJoinOp join(std::move(left), std::move(right), std::move(lk),
+                  std::move(rk));
+  auto rows = DrainOperator(&join);
+  ASSERT_TRUE(rows.ok());
+  EXPECT_TRUE(rows->empty());
+}
+
+TEST_F(ExecTest, GroupEntitiesIdenticalValuesOnce) {
+  OperatorPtr scan = ScanP();
+  OperatorPtr dedup =
+      std::make_unique<DeduplicateOp>(std::move(scan), p_runtime_, &stats_);
+  GroupEntitiesOp group(std::move(dedup), &stats_);
+  auto rows = DrainOperator(&group);
+  ASSERT_TRUE(rows.ok());
+  for (const Row& row : *rows) {
+    // P6/P8 share venue "EDBT": it must appear once, with P7's variant.
+    if (row.values[0].find("P6") != std::string::npos) {
+      EXPECT_EQ(row.values[3],
+                "EDBT | International Conference on Extending Database "
+                "Technology");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace queryer

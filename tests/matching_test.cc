@@ -1,0 +1,311 @@
+// Unit tests for similarity kernels, the Link Index and
+// Comparison-Execution.
+
+#include <gtest/gtest.h>
+
+#include "datagen/scholarly.h"
+#include "matching/comparison_execution.h"
+#include "matching/link_index.h"
+#include "matching/similarity.h"
+
+namespace queryer {
+namespace {
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  // Classic test vector: JARO("martha","marhta") = 0.944444...
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944444, 1e-5);
+  // JARO("dixon","dicksonx") = 0.766667.
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.766667, 1e-5);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  // JW("martha","marhta") = 0.961111 with standard 0.1 scaling.
+  EXPECT_NEAR(JaroWinklerSimilarity("martha", "marhta"), 0.961111, 1e-5);
+  // JW("dixon","dicksonx") = 0.813333.
+  EXPECT_NEAR(JaroWinklerSimilarity("dixon", "dicksonx"), 0.813333, 1e-5);
+  // Boost never lowers the score.
+  EXPECT_GE(JaroWinklerSimilarity("prefix", "pretext"),
+            JaroSimilarity("prefix", "pretext"));
+}
+
+TEST(JaroTest, Symmetric) {
+  const char* samples[] = {"entity", "entty", "resolution", "resolutoin"};
+  for (const char* a : samples) {
+    for (const char* b : samples) {
+      EXPECT_DOUBLE_EQ(JaroSimilarity(a, b), JaroSimilarity(b, a));
+      EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, b), JaroWinklerSimilarity(b, a));
+    }
+  }
+}
+
+TEST(LevenshteinTest, KnownValues) {
+  EXPECT_EQ(LevenshteinDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(LevenshteinDistance("", "abc"), 3u);
+  EXPECT_EQ(LevenshteinDistance("abc", "abc"), 0u);
+  EXPECT_NEAR(NormalizedLevenshtein("kitten", "sitting"), 1.0 - 3.0 / 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+TEST(JaccardTest, TokenSets) {
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("big data", "big data"), 1.0);
+  // {"big","data"} vs {"big","query"}: 1/3.
+  EXPECT_NEAR(JaccardTokenSimilarity("big data", "big query"), 1.0 / 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("", "x"), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("", ""), 1.0);
+  // Repeated tokens count once.
+  EXPECT_DOUBLE_EQ(JaccardTokenSimilarity("data data data", "data"), 1.0);
+}
+
+TEST(CosineTest, TokenMultisets) {
+  EXPECT_NEAR(CosineTokenSimilarity("big data", "big data"), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(CosineTokenSimilarity("abc", "xyz"), 0.0);
+  double sim = CosineTokenSimilarity("entity resolution", "entity matching");
+  EXPECT_GT(sim, 0.4);
+  EXPECT_LT(sim, 0.6);
+}
+
+TEST(ComputeSimilarityTest, Dispatch) {
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kJaro, "abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kJaroWinkler, "abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kNormalizedLevenshtein, "a", "a"),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kJaccardTokens, "a b", "a b"), 1.0);
+  EXPECT_DOUBLE_EQ(
+      ComputeSimilarity(SimilarityFunction::kCosineTokens, "a b", "a b"), 1.0);
+}
+
+MatchingConfig TestConfig() {
+  MatchingConfig config;
+  config.excluded_attributes = {0};  // The e_id column of the test tables.
+  return config;
+}
+
+TEST(ValueSimilarityTest, ExactAndEmpty) {
+  MatchingConfig config;
+  EXPECT_DOUBLE_EQ(ValueSimilarity("edbt", "edbt", config), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("", "", config), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("x", "", config), 0.0);
+}
+
+TEST(ValueSimilarityTest, NumericValuesCompareByEquality) {
+  MatchingConfig config;
+  EXPECT_DOUBLE_EQ(ValueSimilarity("2008", "2008", config), 1.0);
+  // "2008" and "2009" are one edit apart but are different years.
+  EXPECT_DOUBLE_EQ(ValueSimilarity("2008", "2009", config), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("7", "7.0", config), 1.0);
+}
+
+TEST(ValueSimilarityTest, AbbreviationsMatch) {
+  MatchingConfig config;
+  // "Collective E.R." vs "Collective Entity Resolution": e->entity,
+  // r->resolution via the single-letter rule.
+  EXPECT_DOUBLE_EQ(ValueSimilarity("collective e.r.",
+                                   "collective entity resolution", config),
+                   1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity("j. davids", "jane davids", config), 1.0);
+}
+
+TEST(ValueSimilarityTest, TyposMatchViaKernel) {
+  MatchingConfig config;
+  // One transposition: "entity" vs "enitty" clears the 0.88 JW bar.
+  EXPECT_DOUBLE_EQ(ValueSimilarity("entity resolution",
+                                   "enitty resolution", config),
+                   1.0);
+  // Disjoint tokens share nothing.
+  EXPECT_DOUBLE_EQ(ValueSimilarity("alpha beta", "gamma delta", config), 0.0);
+}
+
+TEST(ValueSimilarityTest, TokenSwapsAreFree) {
+  MatchingConfig config;
+  EXPECT_DOUBLE_EQ(
+      ValueSimilarity("davidson lisa", "lisa davidson", config), 1.0);
+}
+
+TEST(ProfileSimilarityTest, SkipsMissingValues) {
+  std::vector<std::string> a = {"id1", "Collective Entity Resolution", "",
+                                "EDBT"};
+  std::vector<std::string> b = {"id2", "Collective Entity Resolution",
+                                "Allan Blake", "EDBT"};
+  // Attribute 2 is skipped (empty on one side); the rest are identical.
+  EXPECT_DOUBLE_EQ(ProfileSimilarity(a, b, TestConfig()), 1.0);
+}
+
+TEST(ProfileSimilarityTest, CaseInsensitive) {
+  std::vector<std::string> a = {"x", "EDBT"};
+  std::vector<std::string> b = {"x", "edbt"};
+  EXPECT_DOUBLE_EQ(ProfileSimilarity(a, b, TestConfig()), 1.0);
+}
+
+TEST(ProfileSimilarityTest, AllMissingIsZero) {
+  std::vector<std::string> a = {"x", "", ""};
+  std::vector<std::string> b = {"x", "", "y"};
+  EXPECT_DOUBLE_EQ(ProfileSimilarity(a, b, TestConfig()), 0.0);
+}
+
+TEST(ProfileSimilarityTest, CrossAttributeContentViaCosine) {
+  // V1 vs V4 of the motivating example: one record's title is the other's
+  // description; the aligned signal misses it, the cosine signal does not.
+  datagen::GeneratedDataset v = datagen::MakeMotivatingVenues();
+  AttributeWeights weights = AttributeWeights::Compute(*v.table);
+  double sim = ProfileSimilarity(v.table->row(0), v.table->row(3),
+                                 TestConfig(), &weights);
+  EXPECT_GE(sim, 0.65);
+}
+
+TEST(ProfileSimilarityTest, SeparatesMotivatingExample) {
+  // Property check over both example tables: every true duplicate pair must
+  // clear the default threshold, every non-duplicate must stay below it —
+  // under the table's attribute-distinctiveness weights, as the engine
+  // evaluates pairs.
+  MatchingConfig config = TestConfig();
+  for (auto dataset : {datagen::MakeMotivatingPublications(),
+                       datagen::MakeMotivatingVenues()}) {
+    const Table& t = *dataset.table;
+    AttributeWeights weights = AttributeWeights::Compute(t);
+    for (EntityId a = 0; a < t.num_rows(); ++a) {
+      for (EntityId b = a + 1; b < t.num_rows(); ++b) {
+        double sim = ProfileSimilarity(t.row(a), t.row(b), config, &weights);
+        if (dataset.ground_truth.AreDuplicates(a, b)) {
+          EXPECT_GE(sim, config.threshold)
+              << t.name() << " rows " << a << "," << b;
+        } else {
+          EXPECT_LT(sim, config.threshold)
+              << t.name() << " rows " << a << "," << b;
+        }
+      }
+    }
+  }
+}
+
+TEST(AttributeWeightsTest, DistinctivenessRatios) {
+  Table table("t", Schema({"id", "name", "country"}));
+  ASSERT_TRUE(table.AppendRow({"0", "alpha", "greece"}).ok());
+  ASSERT_TRUE(table.AppendRow({"1", "beta", "greece"}).ok());
+  ASSERT_TRUE(table.AppendRow({"2", "gamma", "italy"}).ok());
+  ASSERT_TRUE(table.AppendRow({"3", "delta", ""}).ok());
+  AttributeWeights weights = AttributeWeights::Compute(table);
+  EXPECT_DOUBLE_EQ(weights.weight(0), 1.0);        // All distinct.
+  EXPECT_DOUBLE_EQ(weights.weight(1), 1.0);        // All distinct.
+  EXPECT_DOUBLE_EQ(weights.weight(2), 2.0 / 3.0);  // 2 distinct / 3 non-empty.
+  // Out-of-range attributes default to uniform.
+  EXPECT_DOUBLE_EQ(weights.weight(9), 1.0);
+}
+
+TEST(AttributeWeightsTest, WeakAttributeAgreementIsNotEnough) {
+  // Two organisations sharing only a code-list country must not match,
+  // even though the country attribute agrees exactly.
+  Table table("orgs", Schema({"id", "name", "country"}));
+  for (int i = 0; i < 40; ++i) {
+    // Clearly distinct names (string distance between them is large).
+    std::string name(6, static_cast<char>('a' + i % 26));
+    name += " institute";
+    ASSERT_TRUE(table
+                    .AppendRow({std::to_string(i), name,
+                                i % 2 == 0 ? "greece" : "italy"})
+                    .ok());
+  }
+  AttributeWeights weights = AttributeWeights::Compute(table);
+  MatchingConfig config = TestConfig();
+  double sim =
+      ProfileSimilarity(table.row(0), table.row(2), config, &weights);
+  EXPECT_LT(sim, config.threshold);
+}
+
+TEST(LinkIndexTest, SingletonsInitially) {
+  LinkIndex li(5);
+  EXPECT_EQ(li.num_entities(), 5u);
+  EXPECT_FALSE(li.AreLinked(0, 1));
+  EXPECT_EQ(li.Cluster(3), (std::vector<EntityId>{3}));
+  EXPECT_TRUE(li.Duplicates(3).empty());
+  EXPECT_EQ(li.num_links(), 0u);
+}
+
+TEST(LinkIndexTest, TransitiveClosure) {
+  LinkIndex li(6);
+  li.AddLink(0, 1);
+  li.AddLink(1, 2);
+  EXPECT_TRUE(li.AreLinked(0, 2));
+  EXPECT_EQ(li.Cluster(1), (std::vector<EntityId>{0, 1, 2}));
+  EXPECT_EQ(li.Duplicates(0), (std::vector<EntityId>{1, 2}));
+  EXPECT_EQ(li.Representative(0), li.Representative(2));
+  EXPECT_NE(li.Representative(0), li.Representative(3));
+  EXPECT_EQ(li.num_links(), 2u);
+}
+
+TEST(LinkIndexTest, RedundantLinkIgnored) {
+  LinkIndex li(4);
+  li.AddLink(0, 1);
+  li.AddLink(1, 0);
+  li.AddLink(0, 1);
+  EXPECT_EQ(li.num_links(), 1u);
+  EXPECT_EQ(li.Cluster(0).size(), 2u);
+}
+
+TEST(LinkIndexTest, MergeTwoClusters) {
+  LinkIndex li(6);
+  li.AddLink(0, 1);
+  li.AddLink(2, 3);
+  EXPECT_FALSE(li.AreLinked(0, 3));
+  li.AddLink(1, 2);
+  EXPECT_TRUE(li.AreLinked(0, 3));
+  EXPECT_EQ(li.Cluster(3), (std::vector<EntityId>{0, 1, 2, 3}));
+}
+
+TEST(LinkIndexTest, ResolvedMarks) {
+  LinkIndex li(3);
+  EXPECT_FALSE(li.IsResolved(1));
+  li.MarkResolved(1);
+  li.MarkResolved(1);  // Idempotent.
+  EXPECT_TRUE(li.IsResolved(1));
+  EXPECT_EQ(li.num_resolved(), 1u);
+}
+
+TEST(LinkIndexTest, ResetClearsEverything) {
+  LinkIndex li(4);
+  li.AddLink(0, 1);
+  li.MarkResolved(0);
+  li.Reset();
+  EXPECT_FALSE(li.AreLinked(0, 1));
+  EXPECT_FALSE(li.IsResolved(0));
+  EXPECT_EQ(li.num_resolved(), 0u);
+  EXPECT_EQ(li.num_links(), 0u);
+  EXPECT_EQ(li.Cluster(0), (std::vector<EntityId>{0}));
+}
+
+TEST(ComparisonExecutionTest, FindsMotivatingDuplicates) {
+  datagen::GeneratedDataset p = datagen::MakeMotivatingPublications();
+  LinkIndex li(p.table->num_rows());
+  // Compare P6 vs P7 vs P8 (true duplicates) and P1 vs P6 (not duplicates).
+  std::vector<Comparison> comparisons = {{5, 6}, {5, 7}, {0, 5}};
+  MatchingConfig config = TestConfig();
+  ComparisonExecStats stats =
+      ExecuteComparisons(*p.table, comparisons, config, &li);
+  EXPECT_EQ(stats.executed, 3u);
+  EXPECT_TRUE(li.AreLinked(5, 6));
+  EXPECT_TRUE(li.AreLinked(5, 7));
+  EXPECT_TRUE(li.AreLinked(6, 7));  // Transitive.
+  EXPECT_FALSE(li.AreLinked(0, 5));
+  EXPECT_EQ(stats.matches_found, 2u);
+}
+
+TEST(ComparisonExecutionTest, SkipsAlreadyLinkedPairs) {
+  datagen::GeneratedDataset p = datagen::MakeMotivatingPublications();
+  LinkIndex li(p.table->num_rows());
+  li.AddLink(5, 6);
+  std::vector<Comparison> comparisons = {{5, 6}};
+  ComparisonExecStats stats =
+      ExecuteComparisons(*p.table, comparisons, TestConfig(), &li);
+  EXPECT_EQ(stats.executed, 0u);
+  EXPECT_EQ(stats.skipped_linked, 1u);
+}
+
+}  // namespace
+}  // namespace queryer

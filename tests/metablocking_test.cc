@@ -1,0 +1,208 @@
+// Unit tests for Meta-Blocking: Block Purging, Block Filtering, the
+// blocking graph and Edge Pruning.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "metablocking/meta_blocking.h"
+
+namespace queryer {
+namespace {
+
+Block MakeBlock(std::string key, std::vector<EntityId> entities,
+                std::vector<EntityId> query_entities) {
+  Block b;
+  b.key = std::move(key);
+  b.entities = std::move(entities);
+  b.query_entities = std::move(query_entities);
+  return b;
+}
+
+// A synthetic collection with one oversized stop-word block ("entity") and
+// several small discriminative blocks.
+BlockCollection StopWordCollection() {
+  BlockCollection blocks;
+  std::vector<EntityId> everyone;
+  for (EntityId e = 0; e < 40; ++e) everyone.push_back(e);
+  blocks.push_back(MakeBlock("entity", everyone, {0, 1}));
+  blocks.push_back(MakeBlock("collective", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("consumer", {2, 3, 4}, {2}));
+  blocks.push_back(MakeBlock("davids", {5, 6}, {5}));
+  blocks.push_back(MakeBlock("blake", {7, 8, 9}, {7}));
+  blocks.push_back(MakeBlock("2008", {0, 1, 10}, {0}));
+  return blocks;
+}
+
+TEST(BlockPurgingTest, RemovesOversizedBlock) {
+  BlockCollection purged = BlockPurging(StopWordCollection());
+  EXPECT_EQ(purged.size(), 5u);
+  for (const Block& b : purged) EXPECT_NE(b.key, "entity");
+}
+
+TEST(BlockPurgingTest, KeepsUniformCollection) {
+  BlockCollection blocks;
+  for (int i = 0; i < 10; ++i) {
+    blocks.push_back(MakeBlock("k" + std::to_string(i),
+                               {static_cast<EntityId>(2 * i),
+                                static_cast<EntityId>(2 * i + 1)},
+                               {static_cast<EntityId>(2 * i)}));
+  }
+  BlockCollection purged = BlockPurging(blocks);
+  EXPECT_EQ(purged.size(), blocks.size());
+}
+
+TEST(BlockPurgingTest, EmptyCollection) {
+  EXPECT_TRUE(BlockPurging(BlockCollection{}).empty());
+  EXPECT_DOUBLE_EQ(ComputePurgingThreshold({}), 0.0);
+}
+
+TEST(BlockPurgingTest, ThresholdFromSizesMatchesBlockVersion) {
+  BlockCollection blocks = StopWordCollection();
+  std::vector<std::size_t> sizes;
+  for (const Block& b : blocks) sizes.push_back(b.size());
+  EXPECT_DOUBLE_EQ(ComputePurgingThreshold(blocks),
+                   ComputePurgingThresholdFromSizes(sizes));
+}
+
+TEST(BlockFilteringTest, RatioOneKeepsEverything) {
+  BlockCollection blocks = StopWordCollection();
+  BlockCollection filtered = BlockFiltering(blocks, 1.0);
+  EXPECT_EQ(filtered.size(), blocks.size());
+}
+
+TEST(BlockFilteringTest, EntityRetainedInSmallestBlocks) {
+  // Entity 0 appears in three blocks of sizes 2, 3, 40. With ratio 0.5 it
+  // must keep ceil(0.5*3)=2 blocks: the two smallest.
+  BlockCollection blocks;
+  std::vector<EntityId> everyone;
+  for (EntityId e = 0; e < 40; ++e) everyone.push_back(e);
+  blocks.push_back(MakeBlock("big", everyone, {0}));
+  blocks.push_back(MakeBlock("mid", {0, 1, 2}, {0}));
+  blocks.push_back(MakeBlock("small", {0, 1}, {0}));
+  BlockCollection filtered = BlockFiltering(blocks, 0.5);
+  bool saw_big = false;
+  for (const Block& b : filtered) {
+    if (b.key == "big") {
+      saw_big = true;
+      EXPECT_EQ(std::count(b.entities.begin(), b.entities.end(), 0), 0);
+    }
+  }
+  // Entity 1 also kept only 2 of its 3 blocks; entity 0 stays in mid+small.
+  (void)saw_big;
+  auto small_it = std::find_if(filtered.begin(), filtered.end(),
+                               [](const Block& b) { return b.key == "small"; });
+  ASSERT_NE(small_it, filtered.end());
+  EXPECT_NE(std::count(small_it->entities.begin(), small_it->entities.end(), 0), 0);
+}
+
+TEST(BlockFilteringTest, DropsBlocksWithoutQueryEntities) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("a", {0, 1}, {}));  // No query entity.
+  blocks.push_back(MakeBlock("b", {2, 3}, {2}));
+  BlockCollection filtered = BlockFiltering(blocks, 0.9);
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_EQ(filtered[0].key, "b");
+}
+
+TEST(BlockingGraphTest, CbsCountsSharedBlocks) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("y", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("z", {0, 2}, {0}));
+  BlockingGraph graph = BuildBlockingGraph(blocks, EdgeWeighting::kCbs);
+  ASSERT_EQ(graph.edges.size(), 2u);
+  // Edges sorted by pair: (0,1) weight 2, (0,2) weight 1.
+  EXPECT_EQ(graph.edges[0].pair, (Comparison{0, 1}));
+  EXPECT_DOUBLE_EQ(graph.edges[0].weight, 2.0);
+  EXPECT_DOUBLE_EQ(graph.edges[1].weight, 1.0);
+  EXPECT_DOUBLE_EQ(graph.mean_weight, 1.5);
+}
+
+TEST(BlockingGraphTest, JsNormalizesBySharedUniverse) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("y", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("z", {0, 2}, {0}));
+  BlockingGraph graph = BuildBlockingGraph(blocks, EdgeWeighting::kJs);
+  // (0,1): shared 2, |blocks(0)|=3, |blocks(1)|=2 -> 2/(3+2-2) = 2/3.
+  EXPECT_NEAR(graph.edges[0].weight, 2.0 / 3.0, 1e-9);
+  // (0,2): shared 1 -> 1/(3+1-1) = 1/3.
+  EXPECT_NEAR(graph.edges[1].weight, 1.0 / 3.0, 1e-9);
+}
+
+TEST(BlockingGraphTest, ArcsRewardsSmallBlocks) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("small", {0, 1}, {0}));          // ||b|| = 1.
+  blocks.push_back(MakeBlock("large", {0, 2, 3, 4, 5}, {0})); // ||b|| = 10.
+  BlockingGraph graph = BuildBlockingGraph(blocks, EdgeWeighting::kArcs);
+  auto weight_of = [&](Comparison pair) {
+    for (const auto& edge : graph.edges) {
+      if (edge.pair == pair) return edge.weight;
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(weight_of({0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(weight_of({0, 2}), 0.1);
+}
+
+TEST(BlockingGraphTest, OnlyQueryRelevantEdges) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1, 2, 3}, {0}));
+  BlockingGraph graph = BuildBlockingGraph(blocks, EdgeWeighting::kCbs);
+  // Only pairs touching entity 0: (0,1), (0,2), (0,3) — not (1,2) etc.
+  EXPECT_EQ(graph.edges.size(), 3u);
+  for (const auto& edge : graph.edges) EXPECT_EQ(edge.pair.first, 0u);
+}
+
+TEST(EdgePruningTest, KeepsAtOrAboveMean) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("y", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("z", {0, 2}, {0}));
+  std::vector<Comparison> kept = EdgePruning(blocks, EdgeWeighting::kCbs);
+  // Mean = 1.5; only (0,1) with weight 2 survives.
+  EXPECT_EQ(kept, (std::vector<Comparison>{{0, 1}}));
+}
+
+TEST(EdgePruningTest, UniformWeightsKeepAll) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("y", {2, 3}, {2}));
+  std::vector<Comparison> kept = EdgePruning(blocks, EdgeWeighting::kCbs);
+  EXPECT_EQ(kept.size(), 2u);
+}
+
+TEST(DistinctComparisonsTest, DeduplicatesAcrossBlocks) {
+  BlockCollection blocks;
+  blocks.push_back(MakeBlock("x", {0, 1}, {0}));
+  blocks.push_back(MakeBlock("y", {1, 0}, {0}));  // Same pair, other order.
+  std::vector<Comparison> comparisons = DistinctComparisons(blocks);
+  EXPECT_EQ(comparisons, (std::vector<Comparison>{{0, 1}}));
+}
+
+TEST(MetaBlockingTest, AllConfigRunsEveryStage) {
+  MetaBlockingResult result =
+      RunMetaBlocking(StopWordCollection(), MetaBlockingConfig::All());
+  EXPECT_EQ(result.blocks_in, 6u);
+  EXPECT_LT(result.blocks_after_purging, result.blocks_in);
+  EXPECT_LE(result.comparisons.size(), result.comparisons_before_pruning);
+}
+
+TEST(MetaBlockingTest, ConfigsOrderedByAggressiveness) {
+  std::size_t all =
+      RunMetaBlocking(StopWordCollection(), MetaBlockingConfig::All())
+          .comparisons.size();
+  std::size_t bp_bf =
+      RunMetaBlocking(StopWordCollection(), MetaBlockingConfig::BpBf())
+          .comparisons.size();
+  std::size_t none =
+      RunMetaBlocking(StopWordCollection(), MetaBlockingConfig::None())
+          .comparisons.size();
+  EXPECT_LE(all, bp_bf);
+  EXPECT_LE(bp_bf, none);
+  EXPECT_GT(none, 0u);
+}
+
+}  // namespace
+}  // namespace queryer

@@ -1,0 +1,164 @@
+// Unit tests for the SQL lexer and parser.
+
+#include <gtest/gtest.h>
+
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace queryer {
+namespace {
+
+TEST(LexerTest, BasicTokens) {
+  auto tokens = Tokenize("SELECT a.b, * FROM t WHERE x >= 1.5");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kIdentifier, TokenType::kIdentifier,
+                       TokenType::kDot, TokenType::kIdentifier,
+                       TokenType::kComma, TokenType::kStar,
+                       TokenType::kIdentifier, TokenType::kIdentifier,
+                       TokenType::kIdentifier, TokenType::kIdentifier,
+                       TokenType::kGe, TokenType::kNumber, TokenType::kEnd}));
+}
+
+TEST(LexerTest, StringLiterals) {
+  auto tokens = Tokenize("'EDBT' 'it''s' \"quoted\"");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "EDBT");
+  EXPECT_EQ((*tokens)[1].text, "it's");
+  EXPECT_EQ((*tokens)[2].text, "quoted");
+}
+
+TEST(LexerTest, Operators) {
+  auto tokens = Tokenize("= <> != < <= > >=");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenType> types;
+  for (const Token& t : *tokens) types.push_back(t.type);
+  EXPECT_EQ(types, (std::vector<TokenType>{
+                       TokenType::kEq, TokenType::kNe, TokenType::kNe,
+                       TokenType::kLt, TokenType::kLe, TokenType::kGt,
+                       TokenType::kGe, TokenType::kEnd}));
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("\"unterminated").ok());
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+  EXPECT_FALSE(Tokenize("a ; b").ok());
+}
+
+TEST(ParserTest, MotivatingExampleQuery) {
+  auto stmt = ParseSelect(
+      "SELECT P.Title, P.Year, V.Rank FROM P INNER JOIN V ON P.venue = "
+      "V.title WHERE P.venue = 'EDBT'");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_FALSE(stmt->dedup);
+  ASSERT_EQ(stmt->items.size(), 3u);
+  EXPECT_EQ(stmt->items[0].expr->ToString(), "P.Title");
+  EXPECT_EQ(stmt->from.name, "P");
+  ASSERT_EQ(stmt->joins.size(), 1u);
+  EXPECT_EQ(stmt->joins[0].table.name, "V");
+  EXPECT_EQ(stmt->joins[0].left_key->ToString(), "P.venue");
+  ASSERT_NE(stmt->where, nullptr);
+  EXPECT_EQ(stmt->where->ToString(), "P.venue = 'EDBT'");
+}
+
+TEST(ParserTest, DedupKeyword) {
+  auto stmt = ParseSelect("SELECT DEDUP * FROM p");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->dedup);
+  EXPECT_TRUE(stmt->select_star);
+  auto plain = ParseSelect("SELECT * FROM p");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->dedup);
+}
+
+TEST(ParserTest, DoubleQuotedLiteral) {
+  // The paper writes venue="EDBT"; double quotes act as string literals.
+  auto stmt = ParseSelect("SELECT * FROM p WHERE venue = \"EDBT\"");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->ToString(), "venue = 'EDBT'");
+}
+
+TEST(ParserTest, Aliases) {
+  auto stmt = ParseSelect(
+      "SELECT x.a AS first FROM pubs AS x INNER JOIN venues y ON x.v = y.t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->from.alias, "x");
+  EXPECT_EQ(stmt->joins[0].table.alias, "y");
+  EXPECT_EQ(stmt->items[0].alias, "first");
+}
+
+TEST(ParserTest, AndOrPrecedence) {
+  auto stmt =
+      ParseSelect("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  // AND binds tighter: a=1 OR (b=2 AND c=3).
+  EXPECT_EQ(stmt->where->kind(), ExprKind::kOr);
+  EXPECT_EQ(stmt->where->children()[1]->kind(), ExprKind::kAnd);
+}
+
+TEST(ParserTest, Parentheses) {
+  auto stmt =
+      ParseSelect("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->kind(), ExprKind::kAnd);
+  EXPECT_EQ(stmt->where->children()[0]->kind(), ExprKind::kOr);
+}
+
+TEST(ParserTest, InLikeBetweenNot) {
+  auto stmt = ParseSelect(
+      "SELECT * FROM t WHERE a IN ('x', 'y') AND b LIKE '%data%' AND "
+      "c BETWEEN 1 AND 5 AND NOT d = 2");
+  ASSERT_TRUE(stmt.ok());
+  std::string text = stmt->where->ToString();
+  EXPECT_NE(text.find("IN ('x', 'y')"), std::string::npos);
+  EXPECT_NE(text.find("LIKE '%data%'"), std::string::npos);
+  EXPECT_NE(text.find("BETWEEN 1 AND 5"), std::string::npos);
+  EXPECT_NE(text.find("NOT (d = 2)"), std::string::npos);
+}
+
+TEST(ParserTest, ModFunction) {
+  auto stmt = ParseSelect("SELECT * FROM t WHERE MOD(id, 10) < 1");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->where->ToString(), "MOD(id, 10) < 1");
+}
+
+TEST(ParserTest, WhereStyleJoin) {
+  auto stmt = ParseSelect("SELECT * FROM a, b WHERE a.x = b.y");
+  // Comma-joins are not in the dialect; the statement must fail cleanly.
+  EXPECT_FALSE(stmt.ok());
+  auto ok = ParseSelect(
+      "SELECT * FROM a INNER JOIN b ON a.x = b.y WHERE a.x = b.y");
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAndWhitespace) {
+  EXPECT_TRUE(ParseSelect("  SELECT * FROM t ;  ").ok());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a =").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t extra garbage").ok());
+  EXPECT_FALSE(ParseSelect("UPDATE t SET a = 1").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t JOIN u").ok());
+  EXPECT_FALSE(ParseSelect("SELECT * FROM t WHERE a LIKE 5").ok());
+}
+
+TEST(ParserTest, RoundTripToString) {
+  const char* sql =
+      "SELECT DEDUP p.title AS t FROM pubs AS p INNER JOIN v ON p.venue = "
+      "v.title WHERE p.year > 2000 AND p.venue = 'EDBT'";
+  auto stmt = ParseSelect(sql);
+  ASSERT_TRUE(stmt.ok());
+  auto reparsed = ParseSelect(stmt->ToString());
+  ASSERT_TRUE(reparsed.ok()) << stmt->ToString();
+  EXPECT_EQ(stmt->ToString(), reparsed->ToString());
+}
+
+}  // namespace
+}  // namespace queryer

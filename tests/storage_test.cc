@@ -1,0 +1,138 @@
+// Unit tests for storage: schema, table, CSV round-trips, catalog.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/catalog.h"
+#include "storage/csv.h"
+#include "storage/schema.h"
+#include "storage/table.h"
+
+namespace queryer {
+namespace {
+
+TEST(SchemaTest, MakeValidatesNames) {
+  EXPECT_TRUE(Schema::Make({"id", "title"}).ok());
+  EXPECT_FALSE(Schema::Make({}).ok());
+  EXPECT_FALSE(Schema::Make({"id", "ID"}).ok());  // Case-insensitive dup.
+}
+
+TEST(SchemaTest, CaseInsensitiveLookup) {
+  Schema schema({"Id", "Title", "Venue"});
+  EXPECT_EQ(schema.IndexOf("title"), 1u);
+  EXPECT_EQ(schema.IndexOf("VENUE"), 2u);
+  EXPECT_FALSE(schema.IndexOf("missing").has_value());
+}
+
+TEST(SchemaTest, Equals) {
+  Schema a({"id", "x"});
+  Schema b({"ID", "X"});
+  Schema c({"id", "y"});
+  EXPECT_TRUE(a.Equals(b));
+  EXPECT_FALSE(a.Equals(c));
+}
+
+TEST(TableTest, AppendChecksArity) {
+  Table table("t", Schema({"a", "b"}));
+  EXPECT_TRUE(table.AppendRow({"1", "2"}).ok());
+  EXPECT_FALSE(table.AppendRow({"1"}).ok());
+  EXPECT_FALSE(table.AppendRow({"1", "2", "3"}).ok());
+  EXPECT_EQ(table.num_rows(), 1u);
+  EXPECT_EQ(table.value(0, 1), "2");
+}
+
+TEST(CsvTest, ParsesHeaderAndRows) {
+  auto result = ReadCsvString("id,title\n1,Entity Resolution\n2,Blocking\n", "t");
+  ASSERT_TRUE(result.ok());
+  TablePtr table = *result;
+  EXPECT_EQ(table->num_rows(), 2u);
+  EXPECT_EQ(table->schema().name(1), "title");
+  EXPECT_EQ(table->value(1, 1), "Blocking");
+}
+
+TEST(CsvTest, QuotedFields) {
+  auto result = ReadCsvString(
+      "id,title\n1,\"Resolution, collective\"\n2,\"say \"\"hi\"\"\"\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->value(0, 1), "Resolution, collective");
+  EXPECT_EQ((*result)->value(1, 1), "say \"hi\"");
+}
+
+TEST(CsvTest, EmbeddedNewlineInQuotes) {
+  auto result = ReadCsvString("a,b\n\"line1\nline2\",x\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->value(0, 0), "line1\nline2");
+}
+
+TEST(CsvTest, CrLfAndTrailingBlankLines) {
+  auto result = ReadCsvString("a,b\r\n1,2\r\n\r\n", "t");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->num_rows(), 1u);
+  EXPECT_EQ((*result)->value(0, 1), "2");
+}
+
+TEST(CsvTest, NoHeaderGeneratesColumnNames) {
+  CsvOptions options;
+  options.has_header = false;
+  auto result = ReadCsvString("1,2\n3,4\n", "t", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ((*result)->schema().name(0), "c0");
+  EXPECT_EQ((*result)->num_rows(), 2u);
+}
+
+TEST(CsvTest, Errors) {
+  EXPECT_FALSE(ReadCsvString("", "t").ok());                 // Empty input.
+  EXPECT_FALSE(ReadCsvString("a,b\n\"unterminated\n", "t").ok());
+  EXPECT_FALSE(ReadCsvString("a,b\nx\"y,2\n", "t").ok());    // Stray quote.
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table table("t", Schema({"a", "b"}));
+  ASSERT_TRUE(table.AppendRow({"plain", "with, comma"}).ok());
+  ASSERT_TRUE(table.AppendRow({"quote\"inside", ""}).ok());
+  std::string csv = WriteCsvString(table);
+  auto parsed = ReadCsvString(csv, "t2");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->rows(), table.rows());
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table table("t", Schema({"x"}));
+  ASSERT_TRUE(table.AppendRow({"value"}).ok());
+  std::string path =
+      (std::filesystem::temp_directory_path() / "queryer_csv_test.csv").string();
+  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  auto parsed = ReadCsvFile(path, "t");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ((*parsed)->value(0, 0), "value");
+  std::remove(path.c_str());
+  EXPECT_FALSE(ReadCsvFile(path, "t").ok());  // Now missing.
+}
+
+TEST(CatalogTest, RegisterAndLookup) {
+  Catalog catalog;
+  auto table = std::make_shared<Table>("Pubs", Schema({"id"}));
+  ASSERT_TRUE(catalog.Register(table).ok());
+  EXPECT_TRUE(catalog.Contains("pubs"));
+  auto fetched = catalog.Get("PUBS");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->name(), "Pubs");
+  EXPECT_FALSE(catalog.Get("other").ok());
+}
+
+TEST(CatalogTest, DuplicateRejectedReplaceAllowed) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog.Register(std::make_shared<Table>("t", Schema({"a"}))).ok());
+  EXPECT_EQ(catalog.Register(std::make_shared<Table>("T", Schema({"a"}))).code(),
+            StatusCode::kAlreadyExists);
+  catalog.RegisterOrReplace(std::make_shared<Table>("T", Schema({"b"})));
+  auto fetched = catalog.Get("t");
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ((*fetched)->schema().name(0), "b");
+  EXPECT_EQ(catalog.size(), 1u);
+}
+
+}  // namespace
+}  // namespace queryer
