@@ -44,15 +44,27 @@ void RunFamily(const std::string& family, bool people) {
             {family, labels[i], std::to_string(rows),
              std::to_string(result.stats.query_entities),
              queryer::FormatDouble(result.stats.total_seconds, 4),
-             std::to_string(result.stats.comparisons_executed)});
+             std::to_string(result.stats.comparisons_executed),
+             std::to_string(Threads())});
+    JsonLine("fig10",
+             {{"family", family},
+              {"size", labels[i]},
+              {"rows", std::to_string(rows)},
+              {"query_entities", std::to_string(result.stats.query_entities)},
+              {"total_seconds",
+               queryer::FormatDouble(result.stats.total_seconds, 4)},
+              {"comparisons",
+               std::to_string(result.stats.comparisons_executed)}});
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace queryer::bench;
+  InitBenchArgs(&argc, argv);
   Banner("Fig. 10: scalability with fixed |QE| over growing |E| (Q9)");
+  std::printf("engine threads: %zu\n", Threads());
   RunFamily("PPL", /*people=*/true);
   RunFamily("OAGP", /*people=*/false);
   std::printf(

@@ -4,14 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "blocking/block_join.h"
 #include "blocking/token_blocking.h"
 #include "common/string_util.h"
 #include "datagen/scholarly.h"
+#include "matching/comparison_execution.h"
 #include "matching/link_index.h"
 #include "matching/profile_matcher.h"
 #include "matching/similarity.h"
 #include "metablocking/meta_blocking.h"
+#include "parallel/thread_pool.h"
 
 namespace queryer {
 namespace {
@@ -119,7 +122,75 @@ void BM_LinkIndexAddFind(benchmark::State& state) {
 }
 BENCHMARK(BM_LinkIndexAddFind);
 
+// Engine-wide worker pool for the parallel micro benchmarks, sized by the
+// --threads flag (null = sequential path).
+ThreadPool* BenchPool() {
+  static ThreadPool* pool = bench::Threads() == 1
+                                ? nullptr
+                                : new ThreadPool(bench::Threads() == 0
+                                                     ? ThreadPool::
+                                                           HardwareConcurrency()
+                                                     : bench::Threads());
+  return pool;
+}
+
+void BM_ComparisonExecution(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(static_cast<std::size_t>(state.range(0)), 9);
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  auto tbi = TableBlockIndex::Build(*dsd.table, options);
+  BlockCollection blocks;
+  for (std::size_t b = 0; b < tbi->num_blocks(); ++b) {
+    Block block;
+    block.key = tbi->block_key(b);
+    block.entities = tbi->block_entities(b);
+    block.query_entities = block.entities;
+    blocks.push_back(std::move(block));
+  }
+  MetaBlockingResult refined =
+      RunMetaBlocking(std::move(blocks), MetaBlockingConfig::All());
+  MatchingConfig config;
+  config.excluded_attributes = {0};
+  AttributeWeights weights = AttributeWeights::Compute(*dsd.table);
+  for (auto _ : state) {
+    LinkIndex li(dsd.table->num_rows());
+    ComparisonExecStats stats =
+        ExecuteComparisons(*dsd.table, refined.comparisons, config, &li,
+                           &weights, BenchPool());
+    benchmark::DoNotOptimize(stats);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(refined.comparisons.size()));
+}
+// Wall time, not CPU time: with a pool the bench thread mostly sleeps while
+// the workers burn the cycles.
+BENCHMARK(BM_ComparisonExecution)->Arg(2000)->Arg(5000)->UseRealTime();
+
+void BM_TableBlockIndexBuildPooled(benchmark::State& state) {
+  auto dsd = datagen::MakeDsdLike(static_cast<std::size_t>(state.range(0)), 5);
+  BlockingOptions options;
+  options.excluded_attributes = {0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TableBlockIndex::Build(*dsd.table, options, BenchPool()));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TableBlockIndexBuildPooled)->Arg(1000)->Arg(5000)->UseRealTime();
+
 }  // namespace
 }  // namespace queryer
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Shared bench flags (--threads=N) come out first; google-benchmark then
+  // parses its own and the thread count lands in the JSON context block
+  // (--benchmark_format=json).
+  queryer::bench::InitBenchArgs(&argc, argv);
+  benchmark::AddCustomContext("threads",
+                              std::to_string(queryer::bench::Threads()));
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Parallel-scaling sweep: one fixed DEDUP query over a generated people
+// table, executed at 1/2/4/8 worker threads. Reported per point: total
+// time, comparison-execution (resolution) time, speedup of both relative
+// to the single-thread run, and the invariants the parallel subsystem
+// guarantees — identical result rows and identical LinkIndex::num_links()
+// at every thread count.
+//
+// The dominant cost of a DEDUP query is the embarrassingly parallel
+// comparison loop, so resolution time should scale near-linearly with
+// cores (on a machine that has them; thread counts beyond the core count
+// only add scheduling noise).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+
+int main(int argc, char** argv) {
+  using namespace queryer::bench;
+  InitBenchArgs(&argc, argv);
+  Banner("Parallel scaling: comparison execution at 1/2/4/8 threads");
+
+  const std::size_t rows = Scaled(kSize1M);  // >= 50k entities at scale 1.
+  auto dataset = Ppl(rows, {});
+  const std::string sql =
+      SelectivityQuery(dataset.table->name(), 50,
+                       dataset.table->schema().name(1));
+  std::printf("|E|=%zu  query: %s\n\n", rows, sql.c_str());
+
+  const std::size_t thread_counts[] = {1, 2, 4, 8};
+  std::vector<std::vector<std::string>> baseline_rows;
+  std::size_t baseline_links = 0;
+  double baseline_total = 0;
+  double baseline_resolution = 0;
+
+  for (std::size_t threads : thread_counts) {
+    SetThreads(threads);
+    // A fresh engine per point: the Link Index must start empty each time,
+    // otherwise later points would be served from resolved links.
+    queryer::QueryEngine engine =
+        MakeEngine({dataset.table}, queryer::ExecutionMode::kAdvanced);
+    queryer::QueryResult result = MustExecute(&engine, sql);
+    std::size_t links =
+        engine.GetRuntime(dataset.table->name())->get()->link_index().num_links();
+
+    bool identical = true;
+    if (threads == 1) {
+      baseline_rows = result.rows;
+      baseline_links = links;
+      baseline_total = result.stats.total_seconds;
+      baseline_resolution = result.stats.resolution_seconds;
+    } else {
+      identical = result.rows == baseline_rows && links == baseline_links;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at %zu threads: rows or link counts "
+                   "differ from the 1-thread run\n",
+                   threads);
+      return 1;
+    }
+
+    double resolution_speedup =
+        result.stats.resolution_seconds > 0
+            ? baseline_resolution / result.stats.resolution_seconds
+            : 0;
+    double total_speedup = result.stats.total_seconds > 0
+                               ? baseline_total / result.stats.total_seconds
+                               : 0;
+    std::printf(
+        "threads=%zu TT=%8ss resolution=%8ss speedup(resolution)=%5sx "
+        "speedup(TT)=%5sx links=%zu rows=%zu identical=%s\n",
+        threads, queryer::FormatDouble(result.stats.total_seconds, 3).c_str(),
+        queryer::FormatDouble(result.stats.resolution_seconds, 3).c_str(),
+        queryer::FormatDouble(resolution_speedup, 2).c_str(),
+        queryer::FormatDouble(total_speedup, 2).c_str(), links,
+        result.rows.size(), identical ? "yes" : "no");
+    JsonLine("parallel_scaling",
+             {{"rows", std::to_string(rows)},
+              {"result_rows", std::to_string(result.rows.size())},
+              {"links", std::to_string(links)},
+              {"total_seconds",
+               queryer::FormatDouble(result.stats.total_seconds, 4)},
+              {"resolution_seconds",
+               queryer::FormatDouble(result.stats.resolution_seconds, 4)},
+              {"resolution_speedup",
+               queryer::FormatDouble(resolution_speedup, 3)},
+              {"identical", identical ? "true" : "false"}});
+  }
+
+  std::printf(
+      "\nShape to verify: resolution speedup approaches the machine's core "
+      "count; rows and links identical at every point.\n");
+  return 0;
+}

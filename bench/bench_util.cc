@@ -1,8 +1,58 @@
 #include "bench_util.h"
 
 #include <cstdlib>
+#include <cstring>
 
 namespace queryer::bench {
+
+namespace {
+
+// 1 = sequential, matching EngineOptions::num_threads's default; SIZE_MAX
+// marks "not set yet" so the env variable is read once on first use.
+std::size_t g_threads = SIZE_MAX;
+
+}  // namespace
+
+std::size_t Threads() {
+  if (g_threads == SIZE_MAX) {
+    const char* env = std::getenv("QUERYER_BENCH_THREADS");
+    std::size_t threads =
+        env != nullptr
+            ? static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
+            : 1;
+    // Resolve 0 (= hardware concurrency) eagerly so CSV/JSON lines always
+    // report the actual worker count, matching the --threads flag path.
+    g_threads = threads == 0 ? ThreadPool::HardwareConcurrency() : threads;
+  }
+  return g_threads;
+}
+
+void SetThreads(std::size_t threads) { g_threads = threads; }
+
+void InitBenchArgs(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      const char* value = argv[i] + 10;
+      char* end = nullptr;
+      std::size_t threads =
+          static_cast<std::size_t>(std::strtoull(value, &end, 10));
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr, "invalid --threads value: '%s' (want a number)\n",
+                     value);
+        std::exit(2);
+      }
+      // Resolve 0 (= hardware concurrency, as in EngineOptions) right here
+      // so every CSV/JSON line reports the actual worker count.
+      SetThreads(threads == 0 ? ThreadPool::HardwareConcurrency() : threads);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  // Re-terminate: downstream parsers may walk argv to its NULL sentinel.
+  argv[out] = nullptr;
+  *argc = out;
+}
 
 double Scale() {
   static const double scale = [] {
@@ -60,6 +110,7 @@ QueryEngine MakeEngine(const std::vector<TablePtr>& tables,
   options.meta_blocking = meta_blocking;
   options.mode = mode;
   options.collect_comparisons = collect_comparisons;
+  options.num_threads = Threads();
   QueryEngine engine(options);
   for (const TablePtr& table : tables) {
     Status status = engine.RegisterTable(table);
@@ -110,6 +161,24 @@ void CsvLine(const std::string& bench, const std::vector<std::string>& fields) {
     line += ",";
     line += field;
   }
+  std::printf("%s\n", line.c_str());
+}
+
+void JsonLine(const std::string& bench,
+              const std::vector<std::pair<std::string, std::string>>& fields) {
+  auto is_number = [](const std::string& value) {
+    if (value.empty()) return false;
+    char* end = nullptr;
+    std::strtod(value.c_str(), &end);
+    return end != nullptr && *end == '\0';
+  };
+  std::string line = "{\"bench\":\"" + bench +
+                     "\",\"threads\":" + std::to_string(Threads());
+  for (const auto& [key, value] : fields) {
+    line += ",\"" + key + "\":";
+    line += is_number(value) ? value : "\"" + value + "\"";
+  }
+  line += "}";
   std::printf("%s\n", line.c_str());
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "datagen/orgs.h"
@@ -25,6 +26,21 @@ double Scale();
 
 /// base * Scale(), at least 100.
 std::size_t Scaled(std::size_t base);
+
+/// Worker-thread count for engines built by MakeEngine. Set by a
+/// `--threads=N` argument (see InitBenchArgs) or the QUERYER_BENCH_THREADS
+/// environment variable; defaults to 1 (sequential). A value of 0 is
+/// accepted as "hardware concurrency" and resolved to the actual worker
+/// count before it is ever returned or reported.
+std::size_t Threads();
+
+/// Overrides the thread count programmatically (sweep harnesses).
+void SetThreads(std::size_t threads);
+
+/// Parses the shared bench flags (currently `--threads=N`) out of argv.
+/// Unrecognized arguments are left in place and argc/argv are compacted, so
+/// harnesses with their own flag parsing can run this first.
+void InitBenchArgs(int* argc, char** argv);
 
 // Baseline (scale = 1.0) dataset sizes: paper size / 20.
 inline constexpr std::size_t kDsdRows = 3344;    // Paper: 66,879.
@@ -70,6 +86,12 @@ QueryResult MustExecute(QueryEngine* engine, const std::string& sql);
 
 /// Machine-readable output line: "CSV,<bench>,<f1>,<f2>,...".
 void CsvLine(const std::string& bench, const std::vector<std::string>& fields);
+
+/// Machine-readable JSON line: {"bench":"<bench>","threads":N,...}. The
+/// thread count is always included; values that parse as numbers are
+/// emitted unquoted.
+void JsonLine(const std::string& bench,
+              const std::vector<std::pair<std::string, std::string>>& fields);
 
 /// Section banner.
 void Banner(const std::string& title);

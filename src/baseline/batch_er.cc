@@ -31,7 +31,8 @@ BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
   watch.Restart();
   ComparisonExecStats exec = ExecuteComparisons(
       runtime->table(), refined.comparisons, runtime->matching_config(),
-      &runtime->link_index(), &runtime->attribute_weights());
+      &runtime->link_index(), &runtime->attribute_weights(),
+      runtime->thread_pool());
   double resolution_seconds = watch.ElapsedSeconds();
 
   for (EntityId e = 0; e < runtime->table().num_rows(); ++e) {

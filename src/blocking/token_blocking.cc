@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <set>
+#include <stdexcept>
 
 #include "common/string_util.h"
 
@@ -32,12 +33,44 @@ std::vector<std::string> EntityBlockingKeys(const Table& table, EntityId entity,
 }
 
 std::shared_ptr<TableBlockIndex> TableBlockIndex::Build(
-    const Table& table, const BlockingOptions& options) {
+    const Table& table, const BlockingOptions& options, ThreadPool* pool) {
   // Gather key -> entities with deterministic (key-sorted) block ids.
   std::map<std::string, std::vector<EntityId>> buckets;
-  for (EntityId e = 0; e < table.num_rows(); ++e) {
-    for (auto& key : EntityBlockingKeys(table, e, options)) {
-      buckets[std::move(key)].push_back(e);
+  const bool parallel = pool != nullptr && pool->num_threads() >= 2 &&
+                        table.num_rows() >= 2 * pool->num_threads();
+  if (parallel) {
+    // Shard the token extraction by entity range; each worker buckets its
+    // own contiguous slice, then the shards merge in ascending shard order,
+    // which keeps every entity list ascending exactly as the sequential
+    // loop builds it.
+    std::vector<ChunkRange> shards =
+        SplitRange(table.num_rows(), pool->num_threads());
+    std::vector<std::map<std::string, std::vector<EntityId>>> shard_buckets(
+        shards.size());
+    Status status = ParallelFor(
+        pool, shards, [&](std::size_t shard, std::size_t begin, std::size_t end) {
+          auto& local = shard_buckets[shard];
+          for (EntityId e = begin; e < end; ++e) {
+            for (auto& key : EntityBlockingKeys(table, e, options)) {
+              local[std::move(key)].push_back(e);
+            }
+          }
+          return Status::OK();
+        });
+    // Bodies only fail by throwing; rethrow on the calling thread for
+    // parity with the sequential build's error behavior.
+    if (!status.ok()) throw std::runtime_error(status.ToString());
+    for (auto& local : shard_buckets) {
+      for (auto& [key, entities] : local) {
+        auto& merged = buckets[key];
+        merged.insert(merged.end(), entities.begin(), entities.end());
+      }
+    }
+  } else {
+    for (EntityId e = 0; e < table.num_rows(); ++e) {
+      for (auto& key : EntityBlockingKeys(table, e, options)) {
+        buckets[std::move(key)].push_back(e);
+      }
     }
   }
 
@@ -57,14 +90,23 @@ std::shared_ptr<TableBlockIndex> TableBlockIndex::Build(
       index->entity_blocks_[e].push_back(b);
     }
   }
-  for (auto& blocks : index->entity_blocks_) {
-    std::sort(blocks.begin(), blocks.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                std::size_t sa = index->block_entities_[a].size();
-                std::size_t sb = index->block_entities_[b].size();
-                return sa != sb ? sa < sb : a < b;
-              });
-  }
+  // The per-entity sorts are independent, so they chunk onto the pool
+  // directly (inline when `pool` is null or single-threaded).
+  Status sort_status = ParallelFor(
+      parallel ? pool : nullptr, index->entity_blocks_.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t e = begin; e < end; ++e) {
+          auto& blocks = index->entity_blocks_[e];
+          std::sort(blocks.begin(), blocks.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      std::size_t sa = index->block_entities_[a].size();
+                      std::size_t sb = index->block_entities_[b].size();
+                      return sa != sb ? sa < sb : a < b;
+                    });
+        }
+        return Status::OK();
+      });
+  if (!sort_status.ok()) throw std::runtime_error(sort_status.ToString());
   return index;
 }
 

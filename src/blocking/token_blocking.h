@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "blocking/block.h"
+#include "parallel/thread_pool.h"
 #include "storage/table.h"
 
 namespace queryer {
@@ -45,8 +46,16 @@ struct BlockingOptions {
 class TableBlockIndex {
  public:
   /// Builds the index over all rows of `table`.
+  ///
+  /// With a multi-worker `pool` the token extraction is sharded by entity
+  /// range (each worker buckets its own contiguous slice, buckets are merged
+  /// in shard order) and the per-entity ITBI sort runs chunked on the pool.
+  /// The resulting index is identical to the sequential build: shard ranges
+  /// are ascending and contiguous, so merged entity lists keep the ascending
+  /// order the sequential loop produces.
   static std::shared_ptr<TableBlockIndex> Build(const Table& table,
-                                                const BlockingOptions& options);
+                                                const BlockingOptions& options,
+                                                ThreadPool* pool = nullptr);
 
   const BlockingOptions& options() const { return options_; }
 

@@ -16,8 +16,14 @@ std::string_view ExecutionModeToString(ExecutionMode mode) {
   return "?";
 }
 
-QueryEngine::QueryEngine(EngineOptions options)
-    : options_(std::move(options)) {}
+QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
+  std::size_t threads = options_.num_threads == 0
+                            ? ThreadPool::HardwareConcurrency()
+                            : options_.num_threads;
+  // A single worker would only re-run the sequential path with queue
+  // overhead; stay pool-less so every phase takes its exact seed-code route.
+  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+}
 
 Status QueryEngine::RegisterTable(TablePtr table) {
   if (table == nullptr) return Status::InvalidArgument("null table");
@@ -30,8 +36,10 @@ Status QueryEngine::RegisterTable(TablePtr table) {
     blocking.excluded_attributes.push_back(*id_column);
     matching.excluded_attributes.push_back(*id_column);
   }
-  runtimes_[ToLower(table->name())] = std::make_shared<TableRuntime>(
+  auto runtime = std::make_shared<TableRuntime>(
       table, std::move(blocking), options_.meta_blocking, matching);
+  runtime->set_thread_pool(pool_);
+  runtimes_[ToLower(table->name())] = std::move(runtime);
   return Status::OK();
 }
 
@@ -45,9 +53,7 @@ Status QueryEngine::RegisterCsvFile(const std::string& path,
 Status QueryEngine::WarmIndices(const std::string& table_name) {
   QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
                            FindRuntime(runtimes_, table_name));
-  runtime->tbi();
-  runtime->attribute_weights();
-  return Status::OK();
+  return runtime->WarmIndices();
 }
 
 Result<std::shared_ptr<TableRuntime>> QueryEngine::GetRuntime(
@@ -117,7 +123,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
       PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
   result.plan_text = plan->ToString();
 
-  Executor executor(&catalog_, &runtimes_, &result.stats);
+  Executor executor(&catalog_, &runtimes_, &result.stats, pool_.get());
   QUERYER_ASSIGN_OR_RETURN(QueryOutput output, executor.Run(*plan));
 
   result.columns = std::move(output.columns);

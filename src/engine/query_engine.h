@@ -21,6 +21,7 @@
 #include "exec/exec_stats.h"
 #include "exec/executor.h"
 #include "exec/table_runtime.h"
+#include "parallel/thread_pool.h"
 #include "planner/planner.h"
 #include "planner/statistics.h"
 #include "sql/parser.h"
@@ -57,6 +58,12 @@ struct EngineOptions {
   /// When true, every ER operator appends its surviving comparisons to the
   /// result stats (for Pair Completeness measurement).
   bool collect_comparisons = false;
+  /// Worker threads for the data-parallel phases (comparison execution,
+  /// once-off index construction). 0 = hardware concurrency; 1 = fully
+  /// sequential execution (no pool — identical to the pre-parallel engine).
+  /// Query answers and LinkIndex::num_links() are identical across thread
+  /// counts; only the executed/skipped comparison split may vary.
+  std::size_t num_threads = 1;
 };
 
 /// \brief A materialized query answer plus its execution statistics.
@@ -94,6 +101,13 @@ class QueryEngine {
   const Catalog& catalog() const { return catalog_; }
   StatisticsCache& statistics() { return statistics_; }
 
+  /// Effective worker count (1 when running sequentially).
+  std::size_t num_threads() const {
+    return pool_ == nullptr ? 1 : pool_->num_threads();
+  }
+  /// The engine's pool; null when running sequentially.
+  ThreadPool* thread_pool() { return pool_.get(); }
+
   ExecutionMode mode() const { return options_.mode; }
   void set_mode(ExecutionMode mode) { options_.mode = mode; }
   void set_use_link_index(bool use) { options_.use_link_index = use; }
@@ -108,6 +122,9 @@ class QueryEngine {
   PlannerMode PlannerModeFor(ExecutionMode mode) const;
 
   EngineOptions options_;
+  // Shared with every TableRuntime, which may outlive the engine via
+  // GetRuntime handles.
+  std::shared_ptr<ThreadPool> pool_;
   Catalog catalog_;
   RuntimeRegistry runtimes_;
   StatisticsCache statistics_;

@@ -12,14 +12,15 @@ namespace queryer {
 DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                          ExprPtr right_key, DirtySide dirty_side,
                          std::shared_ptr<TableRuntime> dirty_runtime,
-                         ExecStats* stats)
+                         ExecStats* stats, ThreadPool* pool)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
       right_key_(std::move(right_key)),
       dirty_side_(dirty_side),
       dirty_runtime_(std::move(dirty_runtime)),
-      stats_(stats) {
+      stats_(stats),
+      pool_(pool) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   if (dirty_side_ != DirtySide::kNone) {
@@ -73,7 +74,7 @@ Status DedupJoinOp::BuildOutput() {
     }
 
     // Resolve QE' (Alg. 1 line 5) and materialize its DR from the table.
-    Deduplicator deduplicator(dirty_runtime_.get(), stats_);
+    Deduplicator deduplicator(dirty_runtime_.get(), stats_, pool_);
     std::vector<EntityId> resolved = deduplicator.Resolve(query_entities);
     const Table& table = dirty_runtime_->table();
     const LinkIndex& li = dirty_runtime_->link_index();

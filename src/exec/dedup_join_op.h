@@ -32,9 +32,12 @@ namespace queryer {
 /// identify (left group, right group) pairs.
 class DedupJoinOp final : public PhysicalOperator {
  public:
+  /// `pool` parallelizes the dirty side's comparison execution (null =
+  /// sequential).
   DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
               ExprPtr right_key, DirtySide dirty_side,
-              std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats);
+              std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats,
+              ThreadPool* pool = nullptr);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -50,6 +53,7 @@ class DedupJoinOp final : public PhysicalOperator {
   DirtySide dirty_side_;
   std::shared_ptr<TableRuntime> dirty_runtime_;
   ExecStats* stats_;
+  ThreadPool* pool_;
 
   std::vector<Row> output_;
   std::size_t position_ = 0;

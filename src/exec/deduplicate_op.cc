@@ -6,8 +6,11 @@ namespace queryer {
 
 DeduplicateOp::DeduplicateOp(OperatorPtr child,
                              std::shared_ptr<TableRuntime> runtime,
-                             ExecStats* stats)
-    : child_(std::move(child)), runtime_(std::move(runtime)), stats_(stats) {
+                             ExecStats* stats, ThreadPool* pool)
+    : child_(std::move(child)),
+      runtime_(std::move(runtime)),
+      stats_(stats),
+      pool_(pool) {
   // DR_E rows come from the base table, so the child must expose all of its
   // columns (same arity).
   QUERYER_CHECK(child_->output_columns().size() ==
@@ -26,7 +29,7 @@ Status DeduplicateOp::Open() {
     }
     query_entities.push_back(row.entity_id);
   }
-  Deduplicator deduplicator(runtime_.get(), stats_);
+  Deduplicator deduplicator(runtime_.get(), stats_, pool_);
   result_entities_ = deduplicator.Resolve(query_entities);
   position_ = 0;
   return Status::OK();

@@ -20,8 +20,9 @@ namespace queryer {
 /// carry their cluster representative as group key.
 class DeduplicateOp final : public PhysicalOperator {
  public:
+  /// `pool` parallelizes comparison execution (null = sequential).
   DeduplicateOp(OperatorPtr child, std::shared_ptr<TableRuntime> runtime,
-                ExecStats* stats);
+                ExecStats* stats, ThreadPool* pool = nullptr);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -31,6 +32,7 @@ class DeduplicateOp final : public PhysicalOperator {
   OperatorPtr child_;
   std::shared_ptr<TableRuntime> runtime_;
   ExecStats* stats_;
+  ThreadPool* pool_;
 
   std::vector<EntityId> result_entities_;
   std::size_t position_ = 0;

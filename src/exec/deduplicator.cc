@@ -71,7 +71,7 @@ std::vector<EntityId> Deduplicator::Resolve(
     watch.Restart();
     ComparisonExecStats exec_stats = ExecuteComparisons(
         runtime_->table(), comparisons, runtime_->matching_config(), &li,
-        &runtime_->attribute_weights());
+        &runtime_->attribute_weights(), pool_);
     stats_->resolution_seconds += watch.ElapsedSeconds();
     stats_->comparisons_executed += exec_stats.executed;
     stats_->comparisons_skipped_linked += exec_stats.skipped_linked;

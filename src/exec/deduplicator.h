@@ -18,8 +18,11 @@ namespace queryer {
 /// \brief Runs the ER pipeline over query selections of one table.
 class Deduplicator {
  public:
-  Deduplicator(TableRuntime* runtime, ExecStats* stats)
-      : runtime_(runtime), stats_(stats) {}
+  /// `pool` parallelizes the comparison-execution stage (null = sequential;
+  /// the operators pass the engine's pool through).
+  Deduplicator(TableRuntime* runtime, ExecStats* stats,
+               ThreadPool* pool = nullptr)
+      : runtime_(runtime), stats_(stats), pool_(pool) {}
 
   /// \brief Resolves `query_entities` against the whole table.
   ///
@@ -32,6 +35,7 @@ class Deduplicator {
  private:
   TableRuntime* runtime_;
   ExecStats* stats_;
+  ThreadPool* pool_;
 };
 
 }  // namespace queryer

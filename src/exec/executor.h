@@ -9,6 +9,7 @@
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
+#include "parallel/thread_pool.h"
 #include "plan/logical_plan.h"
 #include "storage/catalog.h"
 
@@ -25,8 +26,11 @@ struct QueryOutput {
 /// (notably the Link Index).
 class Executor {
  public:
-  Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats)
-      : catalog_(catalog), runtimes_(runtimes), stats_(stats) {}
+  /// `pool` is handed to the ER operators for their data-parallel phases
+  /// (null = sequential execution, the default for direct construction).
+  Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
+           ThreadPool* pool = nullptr)
+      : catalog_(catalog), runtimes_(runtimes), stats_(stats), pool_(pool) {}
 
   /// Builds the physical operator tree (binding all expressions).
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
@@ -38,6 +42,7 @@ class Executor {
   const Catalog* catalog_;
   RuntimeRegistry* runtimes_;
   ExecStats* stats_;
+  ThreadPool* pool_;
 };
 
 }  // namespace queryer

@@ -15,9 +15,15 @@ TableRuntime::TableRuntime(TablePtr table, BlockingOptions blocking,
 
 const TableBlockIndex& TableRuntime::tbi() {
   if (tbi_ == nullptr) {
-    tbi_ = TableBlockIndex::Build(*table_, blocking_);
+    tbi_ = TableBlockIndex::Build(*table_, blocking_, pool_.get());
   }
   return *tbi_;
+}
+
+Status TableRuntime::WarmIndices() {
+  tbi();
+  attribute_weights();
+  return Status::OK();
 }
 
 const AttributeWeights& TableRuntime::attribute_weights() {

@@ -14,6 +14,7 @@
 #include "matching/comparison_execution.h"
 #include "matching/link_index.h"
 #include "metablocking/meta_blocking.h"
+#include "parallel/thread_pool.h"
 #include "storage/table.h"
 
 namespace queryer {
@@ -36,9 +37,23 @@ class TableRuntime {
   const MatchingConfig& matching_config() const { return matching_; }
   void set_matching_config(const MatchingConfig& config) { matching_ = config; }
 
-  /// Builds the TBI on first access (once-off initialization, paper Sec. 3).
+  /// Pool for the table's data-parallel phases (index construction,
+  /// comparison execution). Null means sequential; the engine wires its
+  /// pool in at registration time. Shared ownership, because runtime
+  /// handles obtained from QueryEngine::GetRuntime may outlive the engine.
+  void set_thread_pool(std::shared_ptr<ThreadPool> pool) {
+    pool_ = std::move(pool);
+  }
+  ThreadPool* thread_pool() const { return pool_.get(); }
+
+  /// Builds the TBI on first access (once-off initialization, paper Sec. 3),
+  /// sharded over the thread pool when one is set.
   const TableBlockIndex& tbi();
   bool tbi_built() const { return tbi_ != nullptr; }
+
+  /// Eagerly builds every once-off index (TBI/ITBI and the attribute
+  /// weights), using the thread pool for the TBI shards when one is set.
+  Status WarmIndices();
 
   /// Attribute-distinctiveness weights for matching (computed once).
   const AttributeWeights& attribute_weights();
@@ -55,6 +70,7 @@ class TableRuntime {
   BlockingOptions blocking_;
   MetaBlockingConfig meta_blocking_;
   MatchingConfig matching_;
+  std::shared_ptr<ThreadPool> pool_;
   std::shared_ptr<TableBlockIndex> tbi_;
   std::unique_ptr<AttributeWeights> attribute_weights_;
   LinkIndex link_index_;

@@ -1,12 +1,15 @@
 #include "matching/comparison_execution.h"
 
+#include <stdexcept>
+
 namespace queryer {
 
-ComparisonExecStats ExecuteComparisons(const Table& table,
-                                       const std::vector<Comparison>& comparisons,
-                                       const MatchingConfig& config,
-                                       LinkIndex* link_index,
-                                       const AttributeWeights* weights) {
+namespace {
+
+ComparisonExecStats ExecuteComparisonsSequential(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, LinkIndex* link_index,
+    const AttributeWeights* weights) {
   ComparisonExecStats stats;
   for (const auto& [a, b] : comparisons) {
     if (link_index->AreLinked(a, b)) {
@@ -22,6 +25,74 @@ ComparisonExecStats ExecuteComparisons(const Table& table,
     }
   }
   return stats;
+}
+
+ComparisonExecStats ExecuteComparisonsParallel(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, LinkIndex* link_index,
+    const AttributeWeights* weights, ThreadPool* pool) {
+  struct ChunkResult {
+    std::vector<Comparison> matched;
+    std::size_t executed = 0;
+    std::size_t skipped_linked = 0;
+  };
+  std::vector<ChunkRange> chunks =
+      SplitRange(comparisons.size(), pool->num_threads());
+  std::vector<ChunkResult> results(chunks.size());
+
+  // Phase 1: read-only scan. Workers consult the Link Index through the
+  // shared (non-halving) path and buffer their matches; no index writes
+  // happen until every chunk finished.
+  Status status = ParallelFor(
+      pool, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ChunkResult& result = results[chunk];
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& [a, b] = comparisons[i];
+          if (link_index->AreLinkedShared(a, b)) {
+            ++result.skipped_linked;
+            continue;
+          }
+          ++result.executed;
+          double similarity =
+              ProfileSimilarity(table.row(a), table.row(b), config, weights);
+          if (similarity >= config.threshold) result.matched.emplace_back(a, b);
+        }
+        return Status::OK();
+      });
+  // The bodies only fail by throwing (e.g. bad_alloc); rethrow on the
+  // calling thread so the error surfaces exactly as the sequential path's
+  // would. No index writes happened yet, so the Link Index is untouched.
+  if (!status.ok()) throw std::runtime_error(status.ToString());
+
+  // Phase 2: single-threaded merge in chunk order. Matches whose endpoints
+  // were linked transitively by an earlier buffered link are no-op merges,
+  // so matches_found counts exactly the merges the sequential loop performs.
+  ComparisonExecStats stats;
+  for (const ChunkResult& result : results) {
+    stats.executed += result.executed;
+    stats.skipped_linked += result.skipped_linked;
+    for (const auto& [a, b] : result.matched) {
+      if (link_index->AddLink(a, b)) ++stats.matches_found;
+    }
+  }
+  return stats;
+}
+
+}  // namespace
+
+ComparisonExecStats ExecuteComparisons(const Table& table,
+                                       const std::vector<Comparison>& comparisons,
+                                       const MatchingConfig& config,
+                                       LinkIndex* link_index,
+                                       const AttributeWeights* weights,
+                                       ThreadPool* pool) {
+  if (pool == nullptr || pool->num_threads() < 2 ||
+      comparisons.size() < kParallelComparisonThreshold) {
+    return ExecuteComparisonsSequential(table, comparisons, config, link_index,
+                                        weights);
+  }
+  return ExecuteComparisonsParallel(table, comparisons, config, link_index,
+                                    weights, pool);
 }
 
 }  // namespace queryer

@@ -11,6 +11,7 @@
 #include "matching/link_index.h"
 #include "matching/profile_matcher.h"
 #include "metablocking/edge_pruning.h"
+#include "parallel/thread_pool.h"
 #include "storage/table.h"
 
 namespace queryer {
@@ -24,17 +25,35 @@ struct ComparisonExecStats {
   std::size_t matches_found = 0;
 };
 
+/// Below this many comparisons the parallel path is not worth its task
+/// submission and merge overhead; the sequential loop runs instead.
+inline constexpr std::size_t kParallelComparisonThreshold = 256;
+
 /// \brief Executes the comparisons, amending `link_index` with new links.
 ///
 /// A pair already linked in the index is not re-compared (its outcome is
 /// known), which is how the LI makes repeated/overlapping queries cheaper.
 /// `weights` are the table's attribute-distinctiveness weights (may be
 /// null for uniform weighting).
+///
+/// With a multi-worker `pool` and enough comparisons the run is split into
+/// two phases: a parallel read-only phase that partitions the comparison
+/// list into contiguous chunks and evaluates each chunk against the current
+/// Link Index (AreLinkedShared — no writes), buffering the matches per
+/// chunk; then a single-threaded merge that applies the buffered links in
+/// chunk order. The resulting clustering — and therefore the query answer,
+/// LinkIndex::num_links() and `matches_found` — is identical to the
+/// sequential path: pairs the sequential loop skips because an earlier
+/// comparison of the same run linked them transitively are no-op merges
+/// here. Only `executed` / `skipped_linked` may differ (the parallel phase
+/// skips against the snapshot at phase start, so it can evaluate a superset
+/// of the sequential pairs).
 ComparisonExecStats ExecuteComparisons(const Table& table,
                                        const std::vector<Comparison>& comparisons,
                                        const MatchingConfig& config,
                                        LinkIndex* link_index,
-                                       const AttributeWeights* weights = nullptr);
+                                       const AttributeWeights* weights = nullptr,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace queryer
 

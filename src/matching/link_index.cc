@@ -27,20 +27,33 @@ EntityId LinkIndex::Find(EntityId e) const {
   return e;
 }
 
-void LinkIndex::AddLink(EntityId a, EntityId b) {
+EntityId LinkIndex::FindShared(EntityId e) const {
+  QUERYER_DCHECK(e < parent_.size());
+  // No path halving: pure reads, safe under concurrent callers while no
+  // writer is active.
+  while (parent_[e] != e) e = parent_[e];
+  return e;
+}
+
+bool LinkIndex::AddLink(EntityId a, EntityId b) {
   EntityId ra = Find(a);
   EntityId rb = Find(b);
-  if (ra == rb) return;
+  if (ra == rb) return false;
   if (cluster_size_[ra] < cluster_size_[rb]) std::swap(ra, rb);
   parent_[rb] = ra;
   cluster_size_[ra] += cluster_size_[rb];
   // Splice the two circular lists.
   std::swap(next_in_cluster_[ra], next_in_cluster_[rb]);
   ++num_links_;
+  return true;
 }
 
 bool LinkIndex::AreLinked(EntityId a, EntityId b) const {
   return Find(a) == Find(b);
+}
+
+bool LinkIndex::AreLinkedShared(EntityId a, EntityId b) const {
+  return FindShared(a) == FindShared(b);
 }
 
 EntityId LinkIndex::Representative(EntityId e) const { return Find(e); }

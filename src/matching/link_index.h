@@ -9,6 +9,14 @@
 // Internally a union-find forest with per-cluster circular lists, so both
 // AddLink and cluster enumeration are cheap, and the match relation exposed
 // to query evaluation is automatically transitively closed.
+//
+// Concurrency: the index is single-writer. The mutating members (AddLink,
+// MarkResolved, Reset) and the path-halving readers (AreLinked, Cluster, ...)
+// must stay on one thread. AreLinkedShared is the one exception: it never
+// rewires parents, so any number of threads may call it concurrently as long
+// as no writer is active — which is exactly the shape of the parallel
+// comparison-execution phase (read-only scan, then a single-threaded merge
+// of the per-worker link buffers).
 
 #ifndef QUERYER_MATCHING_LINK_INDEX_H_
 #define QUERYER_MATCHING_LINK_INDEX_H_
@@ -27,11 +35,19 @@ class LinkIndex {
 
   std::size_t num_entities() const { return parent_.size(); }
 
-  /// Records that a and b are duplicates (merges their clusters).
-  void AddLink(EntityId a, EntityId b);
+  /// Records that a and b are duplicates (merges their clusters). Returns
+  /// true when the clusters were actually merged, false when a and b were
+  /// already (transitively) linked.
+  bool AddLink(EntityId a, EntityId b);
 
   /// True when a and b are in the same (transitively closed) cluster.
   bool AreLinked(EntityId a, EntityId b) const;
+
+  /// AreLinked without path halving: safe for concurrent calls from many
+  /// threads while no writer mutates the index (see the class comment).
+  /// Slightly slower than AreLinked on deep forests; use only in parallel
+  /// read-only phases.
+  bool AreLinkedShared(EntityId a, EntityId b) const;
 
   /// Canonical cluster id of an entity; equal for all cluster members.
   EntityId Representative(EntityId e) const;
@@ -62,6 +78,7 @@ class LinkIndex {
 
  private:
   EntityId Find(EntityId e) const;
+  EntityId FindShared(EntityId e) const;
 
   // Union-find parents with union by size; path compression is applied
   // in the non-const Find during AddLink.

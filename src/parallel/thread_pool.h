@@ -1,0 +1,107 @@
+// The parallel-execution substrate: a fixed-size worker pool with a shared
+// task queue, plus the chunked ParallelFor primitive the engine's
+// data-parallel phases (comparison execution, once-off index construction)
+// are built on.
+//
+// Error handling follows the engine-wide Status idiom: ParallelFor bodies
+// return Status, and any exception a body throws is captured and converted
+// to an Internal Status, so worker threads never unwind across the pool
+// boundary. With a null pool (or a single worker) every primitive degrades
+// to the exact sequential execution order, which is how
+// EngineOptions::num_threads == 1 preserves the seed's behavior bit for bit.
+
+#ifndef QUERYER_PARALLEL_THREAD_POOL_H_
+#define QUERYER_PARALLEL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace queryer {
+
+/// \brief Fixed-size worker pool with a FIFO task queue.
+///
+/// Workers are spawned in the constructor and joined in the destructor after
+/// the queue drains. Submit is safe to call from any thread, including from
+/// inside a running task (tasks must not block on tasks they enqueue,
+/// though — the pool does no work stealing).
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task for execution on some worker. Tasks must not throw;
+  /// use ParallelFor for exception-to-Status conversion.
+  void Submit(std::function<void()> task);
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// permits 0 when the count is unknowable).
+  static std::size_t HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable ready_;
+  bool stopping_ = false;
+};
+
+/// \brief Half-open index range [begin, end) of one ParallelFor chunk.
+struct ChunkRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+/// \brief Splits [0, n) into at most `num_chunks` contiguous non-empty
+/// ranges of near-equal size (the first n % num_chunks chunks get one extra
+/// element). Returns fewer than `num_chunks` ranges when n < num_chunks and
+/// an empty vector when n == 0. The chunking depends only on (n, num_chunks),
+/// never on scheduling — parallel phases rely on this for determinism.
+std::vector<ChunkRange> SplitRange(std::size_t n, std::size_t num_chunks);
+
+/// Body of a ParallelFor: processes [begin, end) as chunk `chunk_index`.
+using ParallelForBody =
+    std::function<Status(std::size_t chunk_index, std::size_t begin,
+                         std::size_t end)>;
+
+/// \brief Runs `body` over the chunks of [0, n), blocking until all finish.
+///
+/// `num_chunks == 0` defaults to the pool width (1 without a pool). With a
+/// null or single-worker pool, chunks run inline on the calling thread in
+/// ascending order — exact sequential semantics. Otherwise every chunk is
+/// submitted to the pool; exceptions a body throws become Internal Statuses.
+/// If several chunks fail, the Status of the lowest chunk index wins, so the
+/// reported error does not depend on scheduling. All chunks run to
+/// completion even when one fails (no cancellation), keeping partial writes
+/// of failing runs well-defined for the caller — the inline path honors
+/// this too.
+Status ParallelFor(ThreadPool* pool, std::size_t n, const ParallelForBody& body,
+                   std::size_t num_chunks = 0);
+
+/// \brief ParallelFor over caller-provided chunks.
+///
+/// Callers that size per-chunk result buffers from a chunk list must pass
+/// that same list here (rather than trusting an internal re-split to line
+/// up), so chunk_index always addresses their buffers correctly.
+Status ParallelFor(ThreadPool* pool, const std::vector<ChunkRange>& chunks,
+                   const ParallelForBody& body);
+
+}  // namespace queryer
+
+#endif  // QUERYER_PARALLEL_THREAD_POOL_H_
