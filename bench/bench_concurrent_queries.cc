@@ -1,0 +1,141 @@
+// Concurrent-session throughput: a fixed workload of DEDUP queries over one
+// dirty people table, executed by 1/2/4 client threads against a shared
+// engine (EngineOptions::max_concurrent_queries = clients). Reported per
+// point: wall time, queries/second, speedup relative to the single-client
+// run, and the determinism invariant — the final LinkIndex::num_links()
+// must be identical at every client count.
+//
+// The workload is a round of disjoint MOD-selectivity windows, repeated, so
+// later repetitions of a window are served from the Link Index while other
+// windows still resolve — the mixed warm/cold traffic the reader/writer
+// protocol is built for. Windows are disjoint, so every serial order of the
+// resolutions produces the same link set and the determinism check is exact
+// even with Edge Pruning enabled.
+//
+// On a single-core machine the client threads time-share and the interest
+// is contention overhead (speedup ~1x, not less); with real cores the
+// resolution work of distinct windows overlaps and throughput scales.
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace {
+
+struct Point {
+  std::size_t clients = 0;
+  double seconds = 0;
+  double qps = 0;
+  std::size_t links = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace queryer::bench;
+  InitBenchArgs(&argc, argv);
+  Banner("Concurrent query sessions: throughput at 1/2/4 client threads");
+
+  const std::size_t rows = Scaled(kSize200K);
+  auto dataset = Ppl(rows, {});
+  const std::string table = dataset.table->name();
+  const std::string projection = dataset.table->schema().name(1);
+
+  // 8 disjoint ~12.5% windows, two rounds each: 16 queries per run.
+  std::vector<std::string> queries;
+  for (int round = 0; round < 2; ++round) {
+    for (int w = 0; w < 8; ++w) {
+      queries.push_back("SELECT DEDUP " + projection + " FROM " + table +
+                        " WHERE MOD(id, 8) = " + std::to_string(w));
+    }
+  }
+  std::printf("|E|=%zu  workload: %zu queries (8 disjoint windows x 2)\n\n",
+              rows, queries.size());
+
+  const std::size_t client_counts[] = {1, 2, 4};
+  double baseline_seconds = 0;
+  std::size_t baseline_links = 0;
+
+  for (std::size_t clients : client_counts) {
+    // A fresh engine per point: the Link Index must start empty each time,
+    // otherwise later points would be served from resolved links.
+    queryer::EngineOptions options;
+    options.mode = queryer::ExecutionMode::kAdvanced;
+    options.num_threads = Threads();
+    options.max_concurrent_queries = clients;
+    queryer::QueryEngine engine(options);
+    if (!engine.RegisterTable(dataset.table).ok() ||
+        !engine.WarmIndices(table).ok()) {
+      std::fprintf(stderr, "engine setup failed\n");
+      return 1;
+    }
+
+    queryer::Stopwatch watch;
+    std::vector<std::thread> threads;
+    std::vector<int> failures(clients, 0);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (std::size_t i = c; i < queries.size(); i += clients) {
+          auto result = engine.Execute(queries[i]);
+          if (!result.ok()) ++failures[c];
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    double seconds = watch.ElapsedSeconds();
+    for (int f : failures) {
+      if (f != 0) {
+        std::fprintf(stderr, "query failures under concurrency\n");
+        return 1;
+      }
+    }
+
+    Point point;
+    point.clients = clients;
+    point.seconds = seconds;
+    point.qps = seconds > 0 ? static_cast<double>(queries.size()) / seconds : 0;
+    point.links = engine.GetRuntime(table)->get()->link_index().num_links();
+
+    bool identical = true;
+    if (clients == 1) {
+      baseline_seconds = point.seconds;
+      baseline_links = point.links;
+    } else {
+      identical = point.links == baseline_links;
+    }
+    if (!identical) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION at %zu clients: links=%zu, "
+                   "1-client run had %zu\n",
+                   clients, point.links, baseline_links);
+      return 1;
+    }
+
+    double speedup =
+        point.seconds > 0 ? baseline_seconds / point.seconds : 0;
+    std::printf(
+        "clients=%zu  wall=%8ss  qps=%8s  speedup=%5sx  links=%zu  "
+        "identical=%s\n",
+        point.clients, queryer::FormatDouble(point.seconds, 3).c_str(),
+        queryer::FormatDouble(point.qps, 2).c_str(),
+        queryer::FormatDouble(speedup, 2).c_str(), point.links,
+        identical ? "yes" : "no");
+    CsvLine("concurrent_queries",
+            {std::to_string(point.clients),
+             queryer::FormatDouble(point.seconds, 6),
+             queryer::FormatDouble(point.qps, 3), std::to_string(point.links),
+             queryer::FormatDouble(speedup, 3)});
+    JsonLine("concurrent_queries",
+             {{"clients", std::to_string(point.clients)},
+              {"wall_seconds", queryer::FormatDouble(point.seconds, 6)},
+              {"qps", queryer::FormatDouble(point.qps, 3)},
+              {"links", std::to_string(point.links)},
+              {"speedup", queryer::FormatDouble(speedup, 3)}});
+  }
+  return 0;
+}

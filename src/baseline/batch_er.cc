@@ -35,9 +35,7 @@ BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
       runtime->thread_pool());
   double resolution_seconds = watch.ElapsedSeconds();
 
-  for (EntityId e = 0; e < runtime->table().num_rows(); ++e) {
-    runtime->link_index().MarkResolved(e);
-  }
+  runtime->link_index().MarkAllResolved();
 
   result.comparisons_executed = exec.executed;
   result.matches_found = exec.matches_found;

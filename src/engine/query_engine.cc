@@ -1,5 +1,7 @@
 #include "engine/query_engine.h"
 
+#include <mutex>
+
 #include "baseline/batch_er.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
@@ -16,13 +18,27 @@ std::string_view ExecutionModeToString(ExecutionMode mode) {
   return "?";
 }
 
-QueryEngine::QueryEngine(EngineOptions options) : options_(std::move(options)) {
+QueryEngine::QueryEngine(EngineOptions options)
+    : options_(std::move(options)),
+      statistics_(std::make_unique<StatisticsCache>()) {
+  // The without-LI experiment arm resets the Link Index per query; letting
+  // sessions overlap would race those resets against in-flight
+  // resolutions, so that configuration is forcibly serialized.
+  if (!options_.use_link_index) options_.max_concurrent_queries = 1;
+  admission_ = std::make_unique<Semaphore>(options_.max_concurrent_queries);
   std::size_t threads = options_.num_threads == 0
                             ? ThreadPool::HardwareConcurrency()
                             : options_.num_threads;
   // A single worker would only re-run the sequential path with queue
-  // overhead; stay pool-less so every phase takes its exact seed-code route.
-  if (threads > 1) pool_ = std::make_shared<ThreadPool>(threads);
+  // overhead; stay pool-less so every phase takes its exact seed-code
+  // route. Multi-threaded engines draw from the process-wide shared pool
+  // (grown to at least the requested width) through a capped view, so
+  // num_threads stays this engine's parallelism CAP even after another
+  // engine grows the shared pool wider.
+  if (threads > 1) {
+    pool_ = std::make_shared<CappedThreadPool>(ThreadPool::Shared(threads),
+                                               threads);
+  }
 }
 
 Status QueryEngine::RegisterTable(TablePtr table) {
@@ -96,6 +112,10 @@ PlannerMode QueryEngine::PlannerModeFor(ExecutionMode mode) const {
 }
 
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  // Admission: at most max_concurrent_queries sessions past this point.
+  // With the default of 1 this serializes queries — the single-client
+  // engine, made safe to call from any thread.
+  Semaphore::Slot session(admission_.get());
   Stopwatch total;
   QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
 
@@ -105,25 +125,31 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   if (stmt.dedup) {
     QUERYER_ASSIGN_OR_RETURN(auto involved, InvolvedRuntimes(stmt));
     if (options_.mode == ExecutionMode::kBatch) {
-      // BA: clean every involved table in full before answering.
+      // BA: clean every involved table in full before answering. The
+      // per-runtime mutex serializes concurrent sessions racing the same
+      // cold table: the first cleans, the rest wait here and reuse.
       for (const auto& runtime : involved) {
+        std::lock_guard<std::mutex> batch_lock(runtime->batch_er_mutex());
         if (runtime->link_index().num_resolved() <
             runtime->table().num_rows()) {
           BatchDeduplicate(runtime.get(), &result.stats);
         }
       }
     } else if (!options_.use_link_index) {
-      // "Without LI": no reuse of links across queries.
+      // "Without LI": no reuse of links across queries. (An experiment
+      // arm; concurrent sessions would race each other's resets, so run
+      // this arm with max_concurrent_queries == 1.)
       for (const auto& runtime : involved) runtime->ResetLinkIndex();
     }
   }
 
-  Planner planner(&catalog_, &runtimes_, &statistics_);
+  Planner planner(&catalog_, &runtimes_, statistics_.get());
   QUERYER_ASSIGN_OR_RETURN(
       PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
   result.plan_text = plan->ToString();
 
-  Executor executor(&catalog_, &runtimes_, &result.stats, pool_.get());
+  Executor executor(&catalog_, &runtimes_, &result.stats, pool_.get(),
+                    concurrent_sessions());
   QUERYER_ASSIGN_OR_RETURN(QueryOutput output, executor.Run(*plan));
 
   result.columns = std::move(output.columns);
@@ -136,8 +162,11 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& sql) {
+  // Planning can be heavy on a cold statistics cache; Explain honors the
+  // same admission bound as Execute.
+  Semaphore::Slot session(admission_.get());
   QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-  Planner planner(&catalog_, &runtimes_, &statistics_);
+  Planner planner(&catalog_, &runtimes_, statistics_.get());
   QUERYER_ASSIGN_OR_RETURN(
       PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
   return plan->ToString();

@@ -62,8 +62,17 @@ struct EngineOptions {
   /// once-off index construction). 0 = hardware concurrency; 1 = fully
   /// sequential execution (no pool — identical to the pre-parallel engine).
   /// Query answers and LinkIndex::num_links() are identical across thread
-  /// counts; only the executed/skipped comparison split may vary.
+  /// counts; only the executed/skipped comparison split may vary. Engines
+  /// with num_threads > 1 draw their workers from the process-wide shared
+  /// pool (ThreadPool::Shared), not a private one.
   std::size_t num_threads = 1;
+  /// Maximum number of Execute/Explain calls admitted simultaneously.
+  /// 1 (default) serializes queries — exactly the single-client engine,
+  /// merely made safe to call from any thread. Values > 1 admit that many
+  /// concurrent query sessions, which then resolve through the Link
+  /// Index's reader/writer protocol and the per-table resolution
+  /// coordinator (entity claims + comparison-dedup table). 0 = unlimited.
+  std::size_t max_concurrent_queries = 1;
 };
 
 /// \brief A materialized query answer plus its execution statistics.
@@ -74,7 +83,21 @@ struct QueryResult {
   std::string plan_text;
 };
 
-/// \brief The QueryER engine. Not thread-safe.
+/// \brief The QueryER engine.
+///
+/// Thread-safety: Execute and Explain may be called from any number of
+/// client threads once every table is registered. Admission is bounded by
+/// EngineOptions::max_concurrent_queries; admitted sessions share the Link
+/// Index through its reader/writer protocol and split resolution work via
+/// the per-table ResolutionCoordinator: every entity is resolved exactly
+/// once (in claim order) and no comparison runs twice in flight, so the
+/// execution is equivalent to a serial interleaving of the same queries —
+/// each answer is one that some serial schedule produces, and the final link
+/// set matches that schedule's. Queries whose answers depend on the serial
+/// ORDER (overlapping selections whose meta-blocking prunes differently
+/// per order) are order-sensitive serially and stay so concurrently.
+/// Registration (RegisterTable/RegisterCsvFile) and the setters are NOT
+/// safe against in-flight queries — finish setup first.
 class QueryEngine {
  public:
   explicit QueryEngine(EngineOptions options = {});
@@ -85,7 +108,8 @@ class QueryEngine {
   /// Loads a CSV file as a table named `table_name`.
   Status RegisterCsvFile(const std::string& path, std::string table_name);
 
-  /// Parses, plans and executes one SELECT statement.
+  /// Parses, plans and executes one SELECT statement. Safe to call
+  /// concurrently (see the class comment).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Returns the logical plan the current mode would execute.
@@ -99,7 +123,7 @@ class QueryEngine {
       const std::string& table_name);
 
   const Catalog& catalog() const { return catalog_; }
-  StatisticsCache& statistics() { return statistics_; }
+  StatisticsCache& statistics() { return *statistics_; }
 
   /// Effective worker count (1 when running sequentially).
   std::size_t num_threads() const {
@@ -110,7 +134,16 @@ class QueryEngine {
 
   ExecutionMode mode() const { return options_.mode; }
   void set_mode(ExecutionMode mode) { options_.mode = mode; }
-  void set_use_link_index(bool use) { options_.use_link_index = use; }
+  /// Setters are registration-time only (no query may be in flight).
+  /// Disabling the Link Index serializes admission: that arm resets the
+  /// index per query, which cannot overlap other sessions.
+  void set_use_link_index(bool use) {
+    options_.use_link_index = use;
+    if (!use && options_.max_concurrent_queries != 1) {
+      options_.max_concurrent_queries = 1;
+      admission_ = std::make_unique<Semaphore>(1);
+    }
+  }
   void set_collect_comparisons(bool collect) {
     options_.collect_comparisons = collect;
   }
@@ -121,13 +154,25 @@ class QueryEngine {
       const SelectStatement& stmt);
   PlannerMode PlannerModeFor(ExecutionMode mode) const;
 
+  /// True when the engine may admit overlapping query sessions, which is
+  /// when the operators must use the concurrent resolution protocol.
+  bool concurrent_sessions() const {
+    return options_.max_concurrent_queries != 1;
+  }
+
   EngineOptions options_;
-  // Shared with every TableRuntime, which may outlive the engine via
-  // GetRuntime handles.
+  // Handle on the process-wide shared pool (ThreadPool::Shared); also given
+  // to every TableRuntime, which may outlive the engine via GetRuntime
+  // handles.
   std::shared_ptr<ThreadPool> pool_;
   Catalog catalog_;
   RuntimeRegistry runtimes_;
-  StatisticsCache statistics_;
+  // Behind unique_ptrs: both hold synchronization primitives, and the
+  // engine itself must stay movable (move it only while no query is in
+  // flight).
+  std::unique_ptr<StatisticsCache> statistics_;
+  // Admission control for concurrent Execute calls.
+  std::unique_ptr<Semaphore> admission_;
 };
 
 }  // namespace queryer

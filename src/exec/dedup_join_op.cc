@@ -12,7 +12,8 @@ namespace queryer {
 DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                          ExprPtr right_key, DirtySide dirty_side,
                          std::shared_ptr<TableRuntime> dirty_runtime,
-                         ExecStats* stats, ThreadPool* pool)
+                         ExecStats* stats, ThreadPool* pool,
+                         bool concurrent_sessions)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -20,7 +21,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       dirty_side_(dirty_side),
       dirty_runtime_(std::move(dirty_runtime)),
       stats_(stats),
-      pool_(pool) {
+      pool_(pool),
+      concurrent_sessions_(concurrent_sessions) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   if (dirty_side_ != DirtySide::kNone) {
@@ -74,17 +76,22 @@ Status DedupJoinOp::BuildOutput() {
     }
 
     // Resolve QE' (Alg. 1 line 5) and materialize its DR from the table.
-    Deduplicator deduplicator(dirty_runtime_.get(), stats_, pool_);
-    std::vector<EntityId> resolved = deduplicator.Resolve(query_entities);
+    // Resolve returns the group keys from the same Link Index snapshot
+    // that determined the membership, so concurrent publishes cannot shear
+    // the groups mid-materialization.
+    Deduplicator deduplicator(dirty_runtime_.get(), stats_, pool_,
+                              concurrent_sessions_);
+    std::vector<EntityId> group_keys;
+    std::vector<EntityId> resolved =
+        deduplicator.Resolve(query_entities, &group_keys);
     const Table& table = dirty_runtime_->table();
-    const LinkIndex& li = dirty_runtime_->link_index();
     dirty_rows.clear();
     dirty_rows.reserve(resolved.size());
-    for (EntityId e : resolved) {
+    for (std::size_t i = 0; i < resolved.size(); ++i) {
       Row row;
-      row.values = table.row(e);
-      row.entity_id = e;
-      row.group_key = li.Representative(e);
+      row.values = table.row(resolved[i]);
+      row.entity_id = resolved[i];
+      row.group_key = group_keys[i];
       dirty_rows.push_back(std::move(row));
     }
   }

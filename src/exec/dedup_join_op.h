@@ -33,11 +33,12 @@ namespace queryer {
 class DedupJoinOp final : public PhysicalOperator {
  public:
   /// `pool` parallelizes the dirty side's comparison execution (null =
-  /// sequential).
+  /// sequential); `concurrent_sessions` selects the Deduplicator's
+  /// transaction protocol for engines that admit concurrent Execute calls.
   DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
               ExprPtr right_key, DirtySide dirty_side,
               std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats,
-              ThreadPool* pool = nullptr);
+              ThreadPool* pool = nullptr, bool concurrent_sessions = false);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -54,6 +55,7 @@ class DedupJoinOp final : public PhysicalOperator {
   std::shared_ptr<TableRuntime> dirty_runtime_;
   ExecStats* stats_;
   ThreadPool* pool_;
+  bool concurrent_sessions_;
 
   std::vector<Row> output_;
   std::size_t position_ = 0;

@@ -6,11 +6,13 @@ namespace queryer {
 
 DeduplicateOp::DeduplicateOp(OperatorPtr child,
                              std::shared_ptr<TableRuntime> runtime,
-                             ExecStats* stats, ThreadPool* pool)
+                             ExecStats* stats, ThreadPool* pool,
+                             bool concurrent_sessions)
     : child_(std::move(child)),
       runtime_(std::move(runtime)),
       stats_(stats),
-      pool_(pool) {
+      pool_(pool),
+      concurrent_sessions_(concurrent_sessions) {
   // DR_E rows come from the base table, so the child must expose all of its
   // columns (same arity).
   QUERYER_CHECK(child_->output_columns().size() ==
@@ -29,21 +31,29 @@ Status DeduplicateOp::Open() {
     }
     query_entities.push_back(row.entity_id);
   }
-  Deduplicator deduplicator(runtime_.get(), stats_, pool_);
-  result_entities_ = deduplicator.Resolve(query_entities);
+  // Resolve fills the group keys under the same Link Index snapshot that
+  // determined the membership: a concurrent session publishing links while
+  // this operator streams must not change the groups mid-answer.
+  Deduplicator deduplicator(runtime_.get(), stats_, pool_,
+                            concurrent_sessions_);
+  result_entities_ = deduplicator.Resolve(query_entities, &group_keys_);
   position_ = 0;
   return Status::OK();
 }
 
 Result<bool> DeduplicateOp::Next(Row* row) {
   if (position_ >= result_entities_.size()) return false;
-  EntityId e = result_entities_[position_++];
+  EntityId e = result_entities_[position_];
   row->values = runtime_->table().row(e);
   row->entity_id = e;
-  row->group_key = runtime_->link_index().Representative(e);
+  row->group_key = group_keys_[position_];
+  ++position_;
   return true;
 }
 
-void DeduplicateOp::Close() { result_entities_.clear(); }
+void DeduplicateOp::Close() {
+  result_entities_.clear();
+  group_keys_.clear();
+}
 
 }  // namespace queryer

@@ -20,9 +20,12 @@ namespace queryer {
 /// carry their cluster representative as group key.
 class DeduplicateOp final : public PhysicalOperator {
  public:
-  /// `pool` parallelizes comparison execution (null = sequential).
+  /// `pool` parallelizes comparison execution (null = sequential);
+  /// `concurrent_sessions` selects the Deduplicator's transaction protocol
+  /// for engines that admit concurrent Execute calls.
   DeduplicateOp(OperatorPtr child, std::shared_ptr<TableRuntime> runtime,
-                ExecStats* stats, ThreadPool* pool = nullptr);
+                ExecStats* stats, ThreadPool* pool = nullptr,
+                bool concurrent_sessions = false);
 
   Status Open() override;
   Result<bool> Next(Row* row) override;
@@ -33,8 +36,13 @@ class DeduplicateOp final : public PhysicalOperator {
   std::shared_ptr<TableRuntime> runtime_;
   ExecStats* stats_;
   ThreadPool* pool_;
+  bool concurrent_sessions_;
 
+  // DR_E materialized at Open time: entity ids plus their cluster keys,
+  // captured under one Link Index snapshot so concurrent publishes between
+  // Open and the Next calls cannot shear a query's group keys.
   std::vector<EntityId> result_entities_;
+  std::vector<EntityId> group_keys_;
   std::size_t position_ = 0;
 };
 

@@ -7,8 +7,64 @@
 
 namespace queryer {
 
+
+std::vector<Comparison> Deduplicator::BuildComparisons(
+    const std::vector<EntityId>& unresolved) {
+  // (i) Query Blocking: build the QBI with the table's blocking function.
+  Stopwatch watch;
+  QueryBlockIndex qbi = QueryBlockIndex::Build(
+      runtime_->table(), unresolved, runtime_->blocking_options());
+  stats_->blocking_seconds += watch.ElapsedSeconds();
+
+  // (ii) Block-Join against the TBI (built once per table).
+  const TableBlockIndex& tbi = runtime_->tbi();
+  watch.Restart();
+  BlockCollection enriched = BlockJoin(qbi, tbi);
+  stats_->block_join_seconds += watch.ElapsedSeconds();
+  stats_->blocks_after_join += enriched.size();
+
+  // (iii) Meta-Blocking: BP -> BF -> EP per the table's configuration.
+  const MetaBlockingConfig& config = runtime_->meta_blocking_config();
+  BlockCollection refined = std::move(enriched);
+  if (config.block_purging) {
+    watch.Restart();
+    refined = BlockPurging(std::move(refined), config.purging_outlier_factor);
+    stats_->purging_seconds += watch.ElapsedSeconds();
+  }
+  if (config.block_filtering) {
+    watch.Restart();
+    refined = BlockFiltering(refined, config.filtering_ratio);
+    stats_->filtering_seconds += watch.ElapsedSeconds();
+  }
+  std::vector<Comparison> comparisons;
+  if (config.edge_pruning) {
+    watch.Restart();
+    comparisons = EdgePruning(refined, config.edge_weighting);
+    stats_->edge_pruning_seconds += watch.ElapsedSeconds();
+  } else {
+    watch.Restart();
+    comparisons = DistinctComparisons(refined);
+    stats_->edge_pruning_seconds += watch.ElapsedSeconds();
+  }
+  stats_->comparisons_after_metablocking += comparisons.size();
+  if (stats_->collect_comparisons) {
+    stats_->collected_comparisons.insert(stats_->collected_comparisons.end(),
+                                         comparisons.begin(),
+                                         comparisons.end());
+  }
+  return comparisons;
+}
+
 std::vector<EntityId> Deduplicator::Resolve(
-    const std::vector<EntityId>& query_entities) {
+    const std::vector<EntityId>& query_entities,
+    std::vector<EntityId>* group_keys) {
+  return concurrent_sessions_ ? ResolveConcurrent(query_entities, group_keys)
+                              : ResolveSerial(query_entities, group_keys);
+}
+
+std::vector<EntityId> Deduplicator::ResolveSerial(
+    const std::vector<EntityId>& query_entities,
+    std::vector<EntityId>* group_keys) {
   LinkIndex& li = runtime_->link_index();
   stats_->query_entities += query_entities.size();
 
@@ -24,51 +80,10 @@ std::vector<EntityId> Deduplicator::Resolve(
   }
 
   if (!unresolved.empty()) {
-    // (i) Query Blocking: build the QBI with the table's blocking function.
-    Stopwatch watch;
-    QueryBlockIndex qbi = QueryBlockIndex::Build(
-        runtime_->table(), unresolved, runtime_->blocking_options());
-    stats_->blocking_seconds += watch.ElapsedSeconds();
-
-    // (ii) Block-Join against the TBI (built once per table).
-    const TableBlockIndex& tbi = runtime_->tbi();
-    watch.Restart();
-    BlockCollection enriched = BlockJoin(qbi, tbi);
-    stats_->block_join_seconds += watch.ElapsedSeconds();
-    stats_->blocks_after_join += enriched.size();
-
-    // (iii) Meta-Blocking: BP -> BF -> EP per the table's configuration.
-    const MetaBlockingConfig& config = runtime_->meta_blocking_config();
-    BlockCollection refined = std::move(enriched);
-    if (config.block_purging) {
-      watch.Restart();
-      refined = BlockPurging(std::move(refined), config.purging_outlier_factor);
-      stats_->purging_seconds += watch.ElapsedSeconds();
-    }
-    if (config.block_filtering) {
-      watch.Restart();
-      refined = BlockFiltering(refined, config.filtering_ratio);
-      stats_->filtering_seconds += watch.ElapsedSeconds();
-    }
-    std::vector<Comparison> comparisons;
-    if (config.edge_pruning) {
-      watch.Restart();
-      comparisons = EdgePruning(refined, config.edge_weighting);
-      stats_->edge_pruning_seconds += watch.ElapsedSeconds();
-    } else {
-      watch.Restart();
-      comparisons = DistinctComparisons(refined);
-      stats_->edge_pruning_seconds += watch.ElapsedSeconds();
-    }
-    stats_->comparisons_after_metablocking += comparisons.size();
-    if (stats_->collect_comparisons) {
-      stats_->collected_comparisons.insert(stats_->collected_comparisons.end(),
-                                           comparisons.begin(),
-                                           comparisons.end());
-    }
+    std::vector<Comparison> comparisons = BuildComparisons(unresolved);
 
     // (iv) Comparison-Execution; amends the Link Index with new links.
-    watch.Restart();
+    Stopwatch watch;
     ComparisonExecStats exec_stats = ExecuteComparisons(
         runtime_->table(), comparisons, runtime_->matching_config(), &li,
         &runtime_->attribute_weights(), pool_);
@@ -77,7 +92,7 @@ std::vector<EntityId> Deduplicator::Resolve(
     stats_->comparisons_skipped_linked += exec_stats.skipped_linked;
     stats_->matches_found += exec_stats.matches_found;
 
-    for (EntityId e : unresolved) li.MarkResolved(e);
+    li.MarkResolvedBatch(unresolved);
   }
 
   // DR_E = QE ∪ duplicates(QE), ascending and distinct.
@@ -87,6 +102,115 @@ std::vector<EntityId> Deduplicator::Resolve(
   }
   std::sort(result.begin(), result.end());
   result.erase(std::unique(result.begin(), result.end()), result.end());
+  if (group_keys != nullptr) {
+    group_keys->clear();
+    group_keys->reserve(result.size());
+    for (EntityId e : result) group_keys->push_back(li.Representative(e));
+  }
+  return result;
+}
+
+void Deduplicator::EvaluateAndPublishOwned(
+    const std::vector<Comparison>& owned) {
+  LinkIndex& li = runtime_->link_index();
+  ResolutionCoordinator& coordinator = runtime_->coordinator();
+  try {
+    Stopwatch watch;
+    StagedComparisons staged = EvaluateComparisons(
+        runtime_->table(), owned, runtime_->matching_config(), li,
+        &runtime_->attribute_weights(), pool_);
+    stats_->comparisons_executed += staged.executed;
+    stats_->comparisons_skipped_linked += staged.skipped_linked;
+    stats_->matches_found += li.PublishLinks(staged.matched);
+    stats_->resolution_seconds += watch.ElapsedSeconds();
+    coordinator.ReleaseComparisons(owned);
+  } catch (...) {
+    // Could not publish: park the pairs for a waiter to adopt — a normal
+    // release would let that waiter mark its entities resolved on the
+    // strength of comparisons nobody ran.
+    coordinator.AbandonComparisons(owned);
+    throw;
+  }
+}
+
+void Deduplicator::ResolveClaimed(const std::vector<EntityId>& claimed) {
+  LinkIndex& li = runtime_->link_index();
+  ResolutionCoordinator& coordinator = runtime_->coordinator();
+  try {
+    std::vector<Comparison> comparisons = BuildComparisons(claimed);
+
+    // (iv) staged: claim the pairs, evaluate them read-only, publish the
+    // matches in one exclusive section, then release the pair claims.
+    ResolutionCoordinator::ComparisonClaim pairs =
+        coordinator.ClaimComparisons(comparisons);
+    stats_->comparisons_skipped_inflight += pairs.foreign.size();
+    EvaluateAndPublishOwned(pairs.owned);
+
+    // An entity's link-set is complete only once every in-flight
+    // comparison that could still link it has been published. Ours just
+    // were; the foreign ones are awaited. Pairs whose owner failed before
+    // publishing come back adopted and are evaluated right here, so a
+    // resolved mark never rests on a comparison that silently vanished.
+    std::vector<Comparison> orphans = coordinator.AwaitComparisons(pairs.foreign);
+    if (!orphans.empty()) {
+      stats_->comparisons_skipped_inflight -= orphans.size();
+      EvaluateAndPublishOwned(orphans);
+    }
+    li.MarkResolvedBatch(claimed);
+    coordinator.ReleaseEntities(claimed);
+  } catch (...) {
+    // Failure path: free the entity claims WITHOUT resolved marks. The
+    // entities stay unresolved, so the next session that waits on them
+    // re-claims and resolves them itself.
+    coordinator.ReleaseEntities(claimed);
+    throw;
+  }
+}
+
+std::vector<EntityId> Deduplicator::ResolveConcurrent(
+    const std::vector<EntityId>& query_entities,
+    std::vector<EntityId>* group_keys) {
+  LinkIndex& li = runtime_->link_index();
+  ResolutionCoordinator& coordinator = runtime_->coordinator();
+  stats_->query_entities += query_entities.size();
+
+  // One atomic step: count resolved entities, claim the unresolved ones
+  // nobody else is resolving, note the rest as foreign.
+  ResolutionCoordinator::EntityClaim claim =
+      coordinator.ClaimEntities(query_entities, li);
+  stats_->entities_already_resolved += claim.already_resolved;
+  stats_->entities_claimed_elsewhere += claim.foreign.size();
+
+  // Claim loop: resolve what we own, wait for what others own, then
+  // re-claim the leftovers — a waited-on entity is only guaranteed
+  // *released*, not resolved (its owner may have failed), in which case
+  // this session adopts it on the next iteration. Each iteration either
+  // finishes every pending entity or adopts from a failed session, so the
+  // loop terminates with all query entities resolved (or throws).
+  while (!claim.claimed.empty() || !claim.foreign.empty()) {
+    if (!claim.claimed.empty()) ResolveClaimed(claim.claimed);
+    if (claim.foreign.empty()) break;
+    coordinator.AwaitEntities(claim.foreign);
+    claim = coordinator.ClaimEntities(claim.foreign, li);
+  }
+
+  // DR_E = QE ∪ duplicates(QE), ascending and distinct. Membership and
+  // group keys come from ONE consistent snapshot: reading them separately
+  // would let a concurrent publish shear the answer.
+  std::vector<EntityId> result;
+  {
+    LinkIndex::ReadView view = li.SharedSnapshot();
+    for (EntityId e : query_entities) {
+      for (EntityId member : view.Cluster(e)) result.push_back(member);
+    }
+    std::sort(result.begin(), result.end());
+    result.erase(std::unique(result.begin(), result.end()), result.end());
+    if (group_keys != nullptr) {
+      group_keys->clear();
+      group_keys->reserve(result.size());
+      for (EntityId e : result) group_keys->push_back(view.Representative(e));
+    }
+  }
   return result;
 }
 

@@ -4,6 +4,22 @@
 //
 // Both the Deduplicate operator and the Deduplicate-Join operator (which
 // runs the pipeline on its dirty input, Alg. 1 line 5) use this class.
+//
+// Two resolution modes:
+//
+//  * Serial (default): the single-session path — comparisons are checked
+//    and links written one by one, exactly the paper's loop.
+//
+//  * Concurrent (`concurrent_sessions` = true, used by engines whose
+//    max_concurrent_queries admits parallel Execute calls): the resolution
+//    becomes a transaction against the table's ResolutionCoordinator.
+//    Unresolved entities are claimed (entities a concurrent session is
+//    already resolving are awaited, not re-resolved), the surviving
+//    comparisons are claimed in the comparison-dedup table, evaluated
+//    read-only against a shared Link Index snapshot, and the staged links
+//    are published in one short exclusive section before the claims are
+//    released. See resolution_coordinator.h for the protocol and its
+//    deadlock-freedom argument.
 
 #ifndef QUERYER_EXEC_DEDUPLICATOR_H_
 #define QUERYER_EXEC_DEDUPLICATOR_H_
@@ -19,10 +35,14 @@ namespace queryer {
 class Deduplicator {
  public:
   /// `pool` parallelizes the comparison-execution stage (null = sequential;
-  /// the operators pass the engine's pool through).
+  /// the operators pass the engine's pool through). `concurrent_sessions`
+  /// selects the transaction protocol above.
   Deduplicator(TableRuntime* runtime, ExecStats* stats,
-               ThreadPool* pool = nullptr)
-      : runtime_(runtime), stats_(stats), pool_(pool) {}
+               ThreadPool* pool = nullptr, bool concurrent_sessions = false)
+      : runtime_(runtime),
+        stats_(stats),
+        pool_(pool),
+        concurrent_sessions_(concurrent_sessions) {}
 
   /// \brief Resolves `query_entities` against the whole table.
   ///
@@ -30,12 +50,39 @@ class Deduplicator {
   /// Index; the rest go through the full pipeline, after which they are
   /// marked resolved. Returns DR_E's entity set: the query entities plus
   /// all their discovered duplicates, ascending and distinct.
-  std::vector<EntityId> Resolve(const std::vector<EntityId>& query_entities);
+  ///
+  /// When `group_keys` is non-null it receives the cluster representative
+  /// of every returned entity, captured under the same Link Index snapshot
+  /// that determined the membership — an operator must never mix the
+  /// returned entity set with representatives read later, or a concurrent
+  /// publish between the two reads shears the answer.
+  std::vector<EntityId> Resolve(const std::vector<EntityId>& query_entities,
+                                std::vector<EntityId>* group_keys = nullptr);
 
  private:
+  std::vector<EntityId> ResolveSerial(
+      const std::vector<EntityId>& query_entities,
+      std::vector<EntityId>* group_keys);
+  std::vector<EntityId> ResolveConcurrent(
+      const std::vector<EntityId>& query_entities,
+      std::vector<EntityId>* group_keys);
+  /// Runs the pipeline over this session's claimed entities and publishes
+  /// the outcome (the body of one resolution transaction). On failure the
+  /// claims are abandoned for concurrent waiters to adopt.
+  void ResolveClaimed(const std::vector<EntityId>& claimed);
+  /// Staged evaluation + publish + release of comparison pairs this
+  /// session owns; abandons them (for waiter adoption) on failure.
+  void EvaluateAndPublishOwned(const std::vector<Comparison>& owned);
+
+  /// Query Blocking -> Block-Join -> Meta-Blocking over `unresolved`,
+  /// recording the per-stage timings. Read-only on the runtime.
+  std::vector<Comparison> BuildComparisons(
+      const std::vector<EntityId>& unresolved);
+
   TableRuntime* runtime_;
   ExecStats* stats_;
   ThreadPool* pool_;
+  bool concurrent_sessions_;
 };
 
 }  // namespace queryer

@@ -15,9 +15,11 @@ double ExecStats::other_seconds() const {
 void ExecStats::Accumulate(const ExecStats& other) {
   comparisons_executed += other.comparisons_executed;
   comparisons_skipped_linked += other.comparisons_skipped_linked;
+  comparisons_skipped_inflight += other.comparisons_skipped_inflight;
   matches_found += other.matches_found;
   query_entities += other.query_entities;
   entities_already_resolved += other.entities_already_resolved;
+  entities_claimed_elsewhere += other.entities_claimed_elsewhere;
   blocks_after_join += other.blocks_after_join;
   comparisons_after_metablocking += other.comparisons_after_metablocking;
   blocking_seconds += other.blocking_seconds;

@@ -18,11 +18,17 @@ struct ExecStats {
   // Comparison-Execution counters.
   std::size_t comparisons_executed = 0;
   std::size_t comparisons_skipped_linked = 0;
+  /// Comparisons left to a concurrent session that had already claimed them
+  /// (only non-zero with max_concurrent_queries > 1).
+  std::size_t comparisons_skipped_inflight = 0;
   std::size_t matches_found = 0;
 
   // ER pipeline counters.
   std::size_t query_entities = 0;        // |QE| fed into Deduplicate.
   std::size_t entities_already_resolved = 0;  // Served from the Link Index.
+  /// Entities a concurrent session was resolving when this query claimed
+  /// its selection (this query waited for them instead of re-resolving).
+  std::size_t entities_claimed_elsewhere = 0;
   std::size_t blocks_after_join = 0;     // |EQBI|.
   std::size_t comparisons_after_metablocking = 0;
 

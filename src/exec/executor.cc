@@ -82,7 +82,8 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
       QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
                                FindRuntime(*runtimes_, plan.table_name));
       return OperatorPtr(new DeduplicateOp(std::move(child), std::move(runtime),
-                                           stats_, pool_));
+                                           stats_, pool_,
+                                           concurrent_sessions_));
     }
     case PlanKind::kDedupJoin: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
@@ -100,7 +101,7 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
       return OperatorPtr(new DedupJoinOp(
           std::move(left), std::move(right), std::move(left_key),
           std::move(right_key), plan.dirty_side, std::move(runtime), stats_,
-          pool_));
+          pool_, concurrent_sessions_));
     }
     case PlanKind::kGroupEntities: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));

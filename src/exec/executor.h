@@ -23,14 +23,22 @@ struct QueryOutput {
 
 /// \brief Plan lowering + execution against a catalog and the per-table ER
 /// runtimes. Stateless across queries apart from what the runtimes carry
-/// (notably the Link Index).
+/// (notably the Link Index), so one executor per query is cheap and many
+/// executors may run side by side over the same registry.
 class Executor {
  public:
   /// `pool` is handed to the ER operators for their data-parallel phases
   /// (null = sequential execution, the default for direct construction).
+  /// `concurrent_sessions` makes the ER operators resolve through the
+  /// claim/publish transaction protocol; set it whenever other executors
+  /// may run against the same runtimes concurrently.
   Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
-           ThreadPool* pool = nullptr)
-      : catalog_(catalog), runtimes_(runtimes), stats_(stats), pool_(pool) {}
+           ThreadPool* pool = nullptr, bool concurrent_sessions = false)
+      : catalog_(catalog),
+        runtimes_(runtimes),
+        stats_(stats),
+        pool_(pool),
+        concurrent_sessions_(concurrent_sessions) {}
 
   /// Builds the physical operator tree (binding all expressions).
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
@@ -43,6 +51,7 @@ class Executor {
   RuntimeRegistry* runtimes_;
   ExecStats* stats_;
   ThreadPool* pool_;
+  bool concurrent_sessions_;
 };
 
 }  // namespace queryer

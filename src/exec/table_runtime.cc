@@ -14,9 +14,12 @@ TableRuntime::TableRuntime(TablePtr table, BlockingOptions blocking,
       link_index_(table_->num_rows()) {}
 
 const TableBlockIndex& TableRuntime::tbi() {
-  if (tbi_ == nullptr) {
+  // Once-guarded cold start: concurrent sessions racing the first DEDUP
+  // query (or WarmIndices) all block here while one of them builds.
+  std::call_once(tbi_once_, [this] {
     tbi_ = TableBlockIndex::Build(*table_, blocking_, pool_.get());
-  }
+    tbi_built_.store(true, std::memory_order_release);
+  });
   return *tbi_;
 }
 
@@ -27,10 +30,10 @@ Status TableRuntime::WarmIndices() {
 }
 
 const AttributeWeights& TableRuntime::attribute_weights() {
-  if (attribute_weights_ == nullptr) {
+  std::call_once(weights_once_, [this] {
     attribute_weights_ =
         std::make_unique<AttributeWeights>(AttributeWeights::Compute(*table_));
-  }
+  });
   return *attribute_weights_;
 }
 

@@ -1,18 +1,28 @@
 // Per-table ER runtime: the once-off indices (TBI/ITBI via TableBlockIndex,
 // Link Index) plus the blocking / meta-blocking / matching configuration a
 // table was registered with. Owned by the engine, shared by the operators.
+//
+// Concurrency: the lazy once-off indices are built under a once-flag, so
+// any number of query sessions may race the cold start — one builds, the
+// rest block and share the result. The Link Index is internally
+// synchronized, and the ResolutionCoordinator arbitrates which session
+// resolves which entity. The configuration setters are registration-time
+// only: call them before the first concurrent Execute.
 
 #ifndef QUERYER_EXEC_TABLE_RUNTIME_H_
 #define QUERYER_EXEC_TABLE_RUNTIME_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "blocking/token_blocking.h"
 #include "common/status.h"
 #include "matching/comparison_execution.h"
 #include "matching/link_index.h"
+#include "matching/resolution_coordinator.h"
 #include "metablocking/meta_blocking.h"
 #include "parallel/thread_pool.h"
 #include "storage/table.h"
@@ -47,19 +57,29 @@ class TableRuntime {
   ThreadPool* thread_pool() const { return pool_.get(); }
 
   /// Builds the TBI on first access (once-off initialization, paper Sec. 3),
-  /// sharded over the thread pool when one is set.
+  /// sharded over the thread pool when one is set. Safe to race from many
+  /// sessions: the first builds, the rest block on the once-flag.
   const TableBlockIndex& tbi();
-  bool tbi_built() const { return tbi_ != nullptr; }
+  bool tbi_built() const { return tbi_built_.load(std::memory_order_acquire); }
 
   /// Eagerly builds every once-off index (TBI/ITBI and the attribute
   /// weights), using the thread pool for the TBI shards when one is set.
   Status WarmIndices();
 
-  /// Attribute-distinctiveness weights for matching (computed once).
+  /// Attribute-distinctiveness weights for matching (computed once; safe to
+  /// race like tbi()).
   const AttributeWeights& attribute_weights();
 
   LinkIndex& link_index() { return link_index_; }
   const LinkIndex& link_index() const { return link_index_; }
+
+  /// Claim tables arbitrating concurrent resolution transactions on this
+  /// table (see ResolutionCoordinator).
+  ResolutionCoordinator& coordinator() { return coordinator_; }
+
+  /// Serializes whole-table batch cleaning (ExecutionMode::kBatch) across
+  /// concurrent sessions: the first cleans, the rest wait and reuse.
+  std::mutex& batch_er_mutex() { return batch_er_mutex_; }
 
   /// Forgets all resolved links (used by the without-LI experiment arm and
   /// to reset state between benchmark runs).
@@ -71,9 +91,14 @@ class TableRuntime {
   MetaBlockingConfig meta_blocking_;
   MatchingConfig matching_;
   std::shared_ptr<ThreadPool> pool_;
+  std::once_flag tbi_once_;
   std::shared_ptr<TableBlockIndex> tbi_;
+  std::atomic<bool> tbi_built_{false};
+  std::once_flag weights_once_;
   std::unique_ptr<AttributeWeights> attribute_weights_;
   LinkIndex link_index_;
+  ResolutionCoordinator coordinator_;
+  std::mutex batch_er_mutex_;
 };
 
 /// \brief name -> runtime registry handed to the executor.

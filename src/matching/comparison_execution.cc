@@ -27,32 +27,49 @@ ComparisonExecStats ExecuteComparisonsSequential(
   return stats;
 }
 
-ComparisonExecStats ExecuteComparisonsParallel(
-    const Table& table, const std::vector<Comparison>& comparisons,
-    const MatchingConfig& config, LinkIndex* link_index,
-    const AttributeWeights* weights, ThreadPool* pool) {
+}  // namespace
+
+StagedComparisons EvaluateComparisons(const Table& table,
+                                      const std::vector<Comparison>& comparisons,
+                                      const MatchingConfig& config,
+                                      const LinkIndex& link_index,
+                                      const AttributeWeights* weights,
+                                      ThreadPool* pool) {
+  StagedComparisons staged;
+  if (comparisons.empty()) return staged;
+
   struct ChunkResult {
+    std::vector<Comparison> pending;
     std::vector<Comparison> matched;
-    std::size_t executed = 0;
     std::size_t skipped_linked = 0;
   };
+  const bool parallel = pool != nullptr && pool->num_threads() >= 2 &&
+                        comparisons.size() >= kParallelComparisonThreshold;
   std::vector<ChunkRange> chunks =
-      SplitRange(comparisons.size(), pool->num_threads());
+      SplitRange(comparisons.size(), parallel ? pool->num_threads() : 1);
   std::vector<ChunkResult> results(chunks.size());
 
-  // Phase 1: read-only scan. Workers consult the Link Index through the
-  // shared (non-halving) path and buffer their matches; no index writes
-  // happen until every chunk finished.
   Status status = ParallelFor(
-      pool, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+      parallel ? pool : nullptr, chunks,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
         ChunkResult& result = results[chunk];
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto& [a, b] = comparisons[i];
-          if (link_index->AreLinkedShared(a, b)) {
-            ++result.skipped_linked;
-            continue;
+        // Pass 1, under one shared snapshot per chunk: drop pairs that are
+        // already linked. Separated from the similarity pass so the shared
+        // lock covers only cheap forest walks and concurrent publishers are
+        // not stalled behind string similarity computation.
+        {
+          LinkIndex::ReadView view = link_index.SharedSnapshot();
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto& [a, b] = comparisons[i];
+            if (view.AreLinked(a, b)) {
+              ++result.skipped_linked;
+            } else {
+              result.pending.emplace_back(a, b);
+            }
           }
-          ++result.executed;
+        }
+        // Pass 2, lock-free: evaluate the survivors and buffer the matches.
+        for (const auto& [a, b] : result.pending) {
           double similarity =
               ProfileSimilarity(table.row(a), table.row(b), config, weights);
           if (similarity >= config.threshold) result.matched.emplace_back(a, b);
@@ -61,24 +78,19 @@ ComparisonExecStats ExecuteComparisonsParallel(
       });
   // The bodies only fail by throwing (e.g. bad_alloc); rethrow on the
   // calling thread so the error surfaces exactly as the sequential path's
-  // would. No index writes happened yet, so the Link Index is untouched.
+  // would. Nothing was written to the Link Index.
   if (!status.ok()) throw std::runtime_error(status.ToString());
 
-  // Phase 2: single-threaded merge in chunk order. Matches whose endpoints
-  // were linked transitively by an earlier buffered link are no-op merges,
-  // so matches_found counts exactly the merges the sequential loop performs.
-  ComparisonExecStats stats;
-  for (const ChunkResult& result : results) {
-    stats.executed += result.executed;
-    stats.skipped_linked += result.skipped_linked;
-    for (const auto& [a, b] : result.matched) {
-      if (link_index->AddLink(a, b)) ++stats.matches_found;
-    }
+  // Assemble in chunk order: deterministic for a given input order no
+  // matter how the chunks were scheduled.
+  for (ChunkResult& result : results) {
+    staged.executed += result.pending.size();
+    staged.skipped_linked += result.skipped_linked;
+    staged.matched.insert(staged.matched.end(), result.matched.begin(),
+                          result.matched.end());
   }
-  return stats;
+  return staged;
 }
-
-}  // namespace
 
 ComparisonExecStats ExecuteComparisons(const Table& table,
                                        const std::vector<Comparison>& comparisons,
@@ -91,8 +103,17 @@ ComparisonExecStats ExecuteComparisons(const Table& table,
     return ExecuteComparisonsSequential(table, comparisons, config, link_index,
                                         weights);
   }
-  return ExecuteComparisonsParallel(table, comparisons, config, link_index,
-                                    weights, pool);
+  // Parallel path: staged read-only evaluation, then one exclusive publish.
+  // Matches whose endpoints were linked transitively by an earlier buffered
+  // link are no-op merges, so matches_found counts exactly the merges the
+  // sequential loop performs.
+  StagedComparisons staged = EvaluateComparisons(table, comparisons, config,
+                                                 *link_index, weights, pool);
+  ComparisonExecStats stats;
+  stats.executed = staged.executed;
+  stats.skipped_linked = staged.skipped_linked;
+  stats.matches_found = link_index->PublishLinks(staged.matched);
+  return stats;
 }
 
 }  // namespace queryer

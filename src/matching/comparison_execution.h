@@ -25,6 +25,17 @@ struct ComparisonExecStats {
   std::size_t matches_found = 0;
 };
 
+/// \brief Outcome of the staged (read-only) evaluation used by concurrent
+/// query sessions: matches are buffered instead of written, so the caller
+/// can publish them to the Link Index in one short exclusive section.
+struct StagedComparisons {
+  /// Pairs whose profile similarity cleared the matching threshold, in
+  /// input order.
+  std::vector<Comparison> matched;
+  std::size_t executed = 0;
+  std::size_t skipped_linked = 0;
+};
+
 /// Below this many comparisons the parallel path is not worth its task
 /// submission and merge overhead; the sequential loop runs instead.
 inline constexpr std::size_t kParallelComparisonThreshold = 256;
@@ -37,11 +48,11 @@ inline constexpr std::size_t kParallelComparisonThreshold = 256;
 /// null for uniform weighting).
 ///
 /// With a multi-worker `pool` and enough comparisons the run is split into
-/// two phases: a parallel read-only phase that partitions the comparison
-/// list into contiguous chunks and evaluates each chunk against the current
-/// Link Index (AreLinkedShared — no writes), buffering the matches per
-/// chunk; then a single-threaded merge that applies the buffered links in
-/// chunk order. The resulting clustering — and therefore the query answer,
+/// two phases: a parallel read-only phase (EvaluateComparisons) that
+/// partitions the comparison list into contiguous chunks and evaluates each
+/// chunk against a shared snapshot of the Link Index (no writes), buffering
+/// the matches per chunk; then a single exclusive publish that applies the
+/// buffered links in chunk order. The resulting clustering — and therefore the query answer,
 /// LinkIndex::num_links() and `matches_found` — is identical to the
 /// sequential path: pairs the sequential loop skips because an earlier
 /// comparison of the same run linked them transitively are no-op merges
@@ -54,6 +65,28 @@ ComparisonExecStats ExecuteComparisons(const Table& table,
                                        LinkIndex* link_index,
                                        const AttributeWeights* weights = nullptr,
                                        ThreadPool* pool = nullptr);
+
+/// \brief Read-only comparison evaluation against a shared snapshot of
+/// `link_index` — the staged half of the concurrent-session protocol.
+///
+/// Never writes the index: pairs already linked are skipped (counted in
+/// `skipped_linked`, consulting a shared snapshot taken per chunk so the
+/// skip check stays cheap while concurrent publishers make progress), the
+/// rest are evaluated and the matches buffered for the caller to publish
+/// with LinkIndex::PublishLinks. Safe to call from any number of sessions
+/// while others publish. The skip check is an optimization against a
+/// possibly stale snapshot: evaluating an already-linked pair only yields a
+/// no-op merge at publish time, so the final clustering is unaffected.
+///
+/// With a multi-worker `pool` and enough comparisons the chunks run in
+/// parallel; `matched` is assembled in chunk order either way, so the
+/// staged buffer is deterministic for a given input order.
+StagedComparisons EvaluateComparisons(const Table& table,
+                                      const std::vector<Comparison>& comparisons,
+                                      const MatchingConfig& config,
+                                      const LinkIndex& link_index,
+                                      const AttributeWeights* weights = nullptr,
+                                      ThreadPool* pool = nullptr);
 
 }  // namespace queryer
 

@@ -1,6 +1,7 @@
 #include "matching/link_index.h"
 
 #include <algorithm>
+#include <mutex>
 #include <numeric>
 
 #include "common/logging.h"
@@ -16,10 +17,10 @@ LinkIndex::LinkIndex(std::size_t num_entities)
   std::iota(next_in_cluster_.begin(), next_in_cluster_.end(), 0);
 }
 
-EntityId LinkIndex::Find(EntityId e) const {
+EntityId LinkIndex::Find(EntityId e) {
   QUERYER_DCHECK(e < parent_.size());
-  // Path halving: safe under const since it only rewires parents within the
-  // same set; keeps Find amortized near-constant.
+  // Path halving: only rewires parents within the same set; exclusive
+  // sections only, so concurrent readers never observe the rewiring.
   while (parent_[e] != e) {
     parent_[e] = parent_[parent_[e]];
     e = parent_[e];
@@ -29,13 +30,13 @@ EntityId LinkIndex::Find(EntityId e) const {
 
 EntityId LinkIndex::FindShared(EntityId e) const {
   QUERYER_DCHECK(e < parent_.size());
-  // No path halving: pure reads, safe under concurrent callers while no
-  // writer is active.
+  // No path halving: pure reads. Union by size keeps the forest depth
+  // logarithmic, so forgoing compression on reads costs little.
   while (parent_[e] != e) e = parent_[e];
   return e;
 }
 
-bool LinkIndex::AddLink(EntityId a, EntityId b) {
+bool LinkIndex::AddLinkLocked(EntityId a, EntityId b) {
   EntityId ra = Find(a);
   EntityId rb = Find(b);
   if (ra == rb) return false;
@@ -48,17 +49,48 @@ bool LinkIndex::AddLink(EntityId a, EntityId b) {
   return true;
 }
 
-bool LinkIndex::AreLinked(EntityId a, EntityId b) const {
-  return Find(a) == Find(b);
+bool LinkIndex::AddLink(EntityId a, EntityId b) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  bool merged = AddLinkLocked(a, b);
+  epoch_.fetch_add(1, std::memory_order_release);
+  return merged;
 }
 
-bool LinkIndex::AreLinkedShared(EntityId a, EntityId b) const {
+std::size_t LinkIndex::PublishLinks(const std::vector<Link>& links) {
+  if (links.empty()) return 0;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  std::size_t merged = 0;
+  for (const auto& [a, b] : links) {
+    if (AddLinkLocked(a, b)) ++merged;
+  }
+  epoch_.fetch_add(1, std::memory_order_release);
+  return merged;
+}
+
+void LinkIndex::MarkResolvedBatch(const std::vector<EntityId>& entities) {
+  if (entities.empty()) return;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (EntityId e : entities) MarkResolvedLocked(e);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void LinkIndex::MarkAllResolved() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (EntityId e = 0; e < resolved_.size(); ++e) MarkResolvedLocked(e);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+bool LinkIndex::AreLinked(EntityId a, EntityId b) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
   return FindShared(a) == FindShared(b);
 }
 
-EntityId LinkIndex::Representative(EntityId e) const { return Find(e); }
+EntityId LinkIndex::Representative(EntityId e) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return FindShared(e);
+}
 
-std::vector<EntityId> LinkIndex::Cluster(EntityId e) const {
+std::vector<EntityId> LinkIndex::ClusterLocked(EntityId e) const {
   std::vector<EntityId> members;
   EntityId current = e;
   do {
@@ -69,26 +101,54 @@ std::vector<EntityId> LinkIndex::Cluster(EntityId e) const {
   return members;
 }
 
+std::vector<EntityId> LinkIndex::Cluster(EntityId e) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return ClusterLocked(e);
+}
+
 std::vector<EntityId> LinkIndex::Duplicates(EntityId e) const {
   std::vector<EntityId> members = Cluster(e);
   members.erase(std::remove(members.begin(), members.end(), e), members.end());
   return members;
 }
 
-void LinkIndex::MarkResolved(EntityId e) {
+void LinkIndex::MarkResolvedLocked(EntityId e) {
   if (!resolved_[e]) {
     resolved_[e] = true;
     ++num_resolved_count_;
   }
 }
 
+void LinkIndex::MarkResolved(EntityId e) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  MarkResolvedLocked(e);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+bool LinkIndex::IsResolved(EntityId e) const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return resolved_[e];
+}
+
+std::size_t LinkIndex::num_resolved() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return num_resolved_count_;
+}
+
+std::size_t LinkIndex::num_links() const {
+  std::shared_lock<std::shared_mutex> lock(mutex_);
+  return num_links_;
+}
+
 void LinkIndex::Reset() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
   std::iota(parent_.begin(), parent_.end(), 0);
   std::fill(cluster_size_.begin(), cluster_size_.end(), 1);
   std::iota(next_in_cluster_.begin(), next_in_cluster_.end(), 0);
   std::fill(resolved_.begin(), resolved_.end(), false);
   num_resolved_count_ = 0;
   num_links_ = 0;
+  epoch_.fetch_add(1, std::memory_order_release);
 }
 
 std::size_t LinkIndex::MemoryFootprint() const {

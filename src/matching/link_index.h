@@ -10,18 +10,33 @@
 // AddLink and cluster enumeration are cheap, and the match relation exposed
 // to query evaluation is automatically transitively closed.
 //
-// Concurrency: the index is single-writer. The mutating members (AddLink,
-// MarkResolved, Reset) and the path-halving readers (AreLinked, Cluster, ...)
-// must stay on one thread. AreLinkedShared is the one exception: it never
-// rewires parents, so any number of threads may call it concurrently as long
-// as no writer is active — which is exactly the shape of the parallel
-// comparison-execution phase (read-only scan, then a single-threaded merge
-// of the per-worker link buffers).
+// Concurrency: the index follows an epoch/snapshot reader-writer protocol
+// so many query sessions can consult it while others publish links.
+//
+//  * Every read accessor (AreLinked, Cluster, Representative, IsResolved,
+//    ...) takes a shared lock and walks the forest without path halving, so
+//    any number of reader threads run concurrently and never rewire parents.
+//  * Writers (AddLink, MarkResolved, Reset and the batch publishers) take
+//    the exclusive lock; path compression happens only there.
+//  * A query session stages the links it resolves in a private buffer and
+//    applies them with PublishLinks/MarkResolvedBatch — one short exclusive
+//    section per resolution instead of one lock per link.
+//  * ReadView pins the shared lock across several reads (a consistent
+//    snapshot: no publish can interleave while it is held).
+//  * epoch() counts exclusive publications; readers use it as a cheap
+//    staleness check.
+//
+// The final clustering is independent of publish interleaving: clusters are
+// the transitive closure of all published links, and re-publishing a link
+// whose endpoints were meanwhile connected elsewhere is a no-op merge.
 
 #ifndef QUERYER_MATCHING_LINK_INDEX_H_
 #define QUERYER_MATCHING_LINK_INDEX_H_
 
+#include <atomic>
 #include <cstdint>
+#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "storage/table.h"
@@ -29,8 +44,11 @@
 namespace queryer {
 
 /// \brief Union-find over the entities of one table, plus "resolved" marks.
+/// Thread-safe: reads share, writes exclude (see the file comment).
 class LinkIndex {
  public:
+  using Link = std::pair<EntityId, EntityId>;
+
   explicit LinkIndex(std::size_t num_entities);
 
   std::size_t num_entities() const { return parent_.size(); }
@@ -43,11 +61,9 @@ class LinkIndex {
   /// True when a and b are in the same (transitively closed) cluster.
   bool AreLinked(EntityId a, EntityId b) const;
 
-  /// AreLinked without path halving: safe for concurrent calls from many
-  /// threads while no writer mutates the index (see the class comment).
-  /// Slightly slower than AreLinked on deep forests; use only in parallel
-  /// read-only phases.
-  bool AreLinkedShared(EntityId a, EntityId b) const;
+  /// Alias of AreLinked, kept from the time when only this accessor was
+  /// safe under concurrent readers (every read accessor is now).
+  bool AreLinkedShared(EntityId a, EntityId b) const { return AreLinked(a, b); }
 
   /// Canonical cluster id of an entity; equal for all cluster members.
   EntityId Representative(EntityId e) const;
@@ -61,14 +77,34 @@ class LinkIndex {
   /// Marks an entity as fully resolved: its link-set is complete and future
   /// queries may reuse it without re-running the ER pipeline.
   void MarkResolved(EntityId e);
-  bool IsResolved(EntityId e) const { return resolved_[e]; }
+  bool IsResolved(EntityId e) const;
 
-  std::size_t num_resolved() const { return num_resolved_count_; }
+  std::size_t num_resolved() const;
 
   /// Number of recorded duplicate links, counted as Σ (|cluster| - 1) over
   /// clusters — the number of entities that have at least one duplicate
   /// beyond their cluster representative.
-  std::size_t num_links() const { return num_links_; }
+  std::size_t num_links() const;
+
+  /// Applies one query's staged link buffer under a single exclusive
+  /// section. Returns the number of clusters actually merged (links whose
+  /// endpoints were already connected — by this batch or a concurrent
+  /// query — are no-op merges), which is what the sequential path counts
+  /// as matches.
+  std::size_t PublishLinks(const std::vector<Link>& links);
+
+  /// Marks a batch of entities resolved under one exclusive section.
+  void MarkResolvedBatch(const std::vector<EntityId>& entities);
+
+  /// Marks every entity resolved (whole-table batch cleaning) under one
+  /// exclusive section.
+  void MarkAllResolved();
+
+  /// Publication counter: incremented by every exclusive mutation
+  /// (AddLink, MarkResolved, Reset, and once per published batch).
+  std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
 
   /// Drops all links and marks (fresh index for BA/no-LI experiment arms).
   void Reset();
@@ -76,19 +112,58 @@ class LinkIndex {
   /// Approximate heap footprint in bytes.
   std::size_t MemoryFootprint() const;
 
+  /// \brief Consistent read snapshot: holds the shared lock for its
+  /// lifetime, so no publish can interleave between its reads. Keep it
+  /// short-lived — writers wait while any view is alive.
+  class ReadView {
+   public:
+    explicit ReadView(const LinkIndex& index)
+        : index_(&index), lock_(index.mutex_) {}
+
+    bool AreLinked(EntityId a, EntityId b) const {
+      return index_->FindShared(a) == index_->FindShared(b);
+    }
+    EntityId Representative(EntityId e) const { return index_->FindShared(e); }
+    std::vector<EntityId> Cluster(EntityId e) const {
+      return index_->ClusterLocked(e);
+    }
+    bool IsResolved(EntityId e) const { return index_->resolved_[e]; }
+    std::size_t num_links() const { return index_->num_links_; }
+    std::uint64_t epoch() const { return index_->epoch(); }
+
+   private:
+    const LinkIndex* index_;
+    std::shared_lock<std::shared_mutex> lock_;
+  };
+
+  /// Takes the shared snapshot (cheap: one shared-lock acquisition).
+  ReadView SharedSnapshot() const { return ReadView(*this); }
+
  private:
-  EntityId Find(EntityId e) const;
+  friend class ReadView;
+
+  // Writer-side find with path halving; call only under the exclusive lock.
+  EntityId Find(EntityId e);
+  // Reader-side find without halving; call under the shared lock.
   EntityId FindShared(EntityId e) const;
 
+  // Lock-free internals shared by the public methods and ReadView; callers
+  // hold the appropriate lock.
+  bool AddLinkLocked(EntityId a, EntityId b);
+  void MarkResolvedLocked(EntityId e);
+  std::vector<EntityId> ClusterLocked(EntityId e) const;
+
+  mutable std::shared_mutex mutex_;
   // Union-find parents with union by size; path compression is applied
-  // in the non-const Find during AddLink.
-  mutable std::vector<EntityId> parent_;
+  // only inside exclusive sections.
+  std::vector<EntityId> parent_;
   std::vector<std::uint32_t> cluster_size_;
   // Circular linked list per cluster for O(|cluster|) enumeration.
   std::vector<EntityId> next_in_cluster_;
   std::vector<bool> resolved_;
   std::size_t num_resolved_count_ = 0;
   std::size_t num_links_ = 0;
+  std::atomic<std::uint64_t> epoch_{0};
 };
 
 }  // namespace queryer

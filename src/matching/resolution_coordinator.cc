@@ -1,0 +1,130 @@
+#include "matching/resolution_coordinator.h"
+
+#include <algorithm>
+
+namespace queryer {
+
+std::uint64_t ResolutionCoordinator::KeyOf(const Link& link) {
+  EntityId lo = std::min(link.first, link.second);
+  EntityId hi = std::max(link.first, link.second);
+  return (static_cast<std::uint64_t>(lo) << 32) | hi;
+}
+
+ResolutionCoordinator::EntityClaim ResolutionCoordinator::ClaimEntities(
+    const std::vector<EntityId>& query_entities, const LinkIndex& index) {
+  EntityClaim claim;
+  // The resolved reads and the claim must be one atomic step: between a
+  // separate "is resolved?" check and a later claim, a concurrent session
+  // could finish (mark resolved + release), and the stale check would make
+  // this session re-resolve the entity — re-running comparisons no serial
+  // schedule executes. Lock order is coordinator mutex, then the index's
+  // shared lock; nothing locks in the opposite order.
+  std::lock_guard<std::mutex> lock(mutex_);
+  LinkIndex::ReadView view = index.SharedSnapshot();
+  for (EntityId e : query_entities) {
+    if (view.IsResolved(e)) {
+      ++claim.already_resolved;
+    } else if (entities_in_flight_.insert(e).second) {
+      claim.claimed.push_back(e);
+    } else {
+      claim.foreign.push_back(e);
+    }
+  }
+  return claim;
+}
+
+void ResolutionCoordinator::ReleaseEntities(
+    const std::vector<EntityId>& claimed) {
+  if (claimed.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (EntityId e : claimed) entities_in_flight_.erase(e);
+  }
+  released_.notify_all();
+}
+
+void ResolutionCoordinator::AwaitEntities(
+    const std::vector<EntityId>& foreign) {
+  if (foreign.empty()) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  released_.wait(lock, [&] {
+    for (EntityId e : foreign) {
+      if (entities_in_flight_.count(e) > 0) return false;
+    }
+    return true;
+  });
+}
+
+ResolutionCoordinator::ComparisonClaim
+ResolutionCoordinator::ClaimComparisons(const std::vector<Link>& comparisons) {
+  ComparisonClaim claim;
+  claim.owned.reserve(comparisons.size());
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Link& pair : comparisons) {
+    std::uint64_t key = KeyOf(pair);
+    if (comparisons_in_flight_.insert(key).second) {
+      // A fresh claim also adopts a pair a failed session abandoned: the
+      // new owner evaluates it, so it must leave the adoption pool.
+      comparisons_abandoned_.erase(key);
+      claim.owned.push_back(pair);
+    } else {
+      claim.foreign.push_back(pair);
+    }
+  }
+  return claim;
+}
+
+void ResolutionCoordinator::ReleaseComparisons(const std::vector<Link>& owned) {
+  if (owned.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Link& pair : owned) comparisons_in_flight_.erase(KeyOf(pair));
+  }
+  released_.notify_all();
+}
+
+void ResolutionCoordinator::AbandonComparisons(const std::vector<Link>& owned) {
+  if (owned.empty()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const Link& pair : owned) {
+      std::uint64_t key = KeyOf(pair);
+      comparisons_in_flight_.erase(key);
+      comparisons_abandoned_.insert(key);
+    }
+  }
+  released_.notify_all();
+}
+
+std::vector<ResolutionCoordinator::Link> ResolutionCoordinator::AwaitComparisons(
+    const std::vector<Link>& foreign) {
+  std::vector<Link> adopted;
+  if (foreign.empty()) return adopted;
+  std::unordered_set<std::uint64_t> adopted_keys;
+  std::unique_lock<std::mutex> lock(mutex_);
+  // The predicate adopts abandoned pairs as a side effect: the check and
+  // the re-claim must be one atomic step, or two waiters could both judge
+  // a pair adoptable and race for it outside the wait.
+  released_.wait(lock, [&] {
+    bool settled = true;
+    for (const Link& pair : foreign) {
+      std::uint64_t key = KeyOf(pair);
+      if (adopted_keys.count(key) > 0) continue;  // Already ours.
+      if (comparisons_abandoned_.count(key) > 0) {
+        // Local bookkeeping first, global claim state last: if an insert
+        // throws (bad_alloc), the pair must still be abandoned and
+        // unclaimed, not in flight under nobody.
+        adopted.push_back(pair);
+        adopted_keys.insert(key);
+        comparisons_in_flight_.insert(key);
+        comparisons_abandoned_.erase(key);
+        continue;
+      }
+      if (comparisons_in_flight_.count(key) > 0) settled = false;
+    }
+    return settled;
+  });
+  return adopted;
+}
+
+}  // namespace queryer

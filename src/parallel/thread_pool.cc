@@ -13,6 +13,33 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
   for (std::size_t i = 0; i < num_threads; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  num_threads_.store(workers_.size(), std::memory_order_release);
+}
+
+void ThreadPool::EnsureWorkers(std::size_t num_threads) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QUERYER_CHECK(!stopping_);
+  while (workers_.size() < num_threads) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  num_threads_.store(workers_.size(), std::memory_order_release);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::Shared(std::size_t min_threads) {
+  if (min_threads == 0) min_threads = HardwareConcurrency();
+  // Function-local statics: the pool is created on first demand and torn
+  // down after main (workers are joined in ~ThreadPool then — no dangling
+  // threads at static destruction, because the pool owns nothing beyond
+  // its queue and the engines holding the shared_ptr are gone first).
+  static std::mutex registry_mutex;
+  static std::shared_ptr<ThreadPool> shared_pool;
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  if (shared_pool == nullptr) {
+    shared_pool = std::make_shared<ThreadPool>(min_threads);
+  } else {
+    shared_pool->EnsureWorkers(min_threads);
+  }
+  return shared_pool;
 }
 
 ThreadPool::~ThreadPool() {
@@ -37,6 +64,22 @@ void ThreadPool::Submit(std::function<void()> task) {
 std::size_t ThreadPool::HardwareConcurrency() {
   std::size_t n = std::thread::hardware_concurrency();
   return n == 0 ? 1 : n;
+}
+
+void Semaphore::Acquire() {
+  if (unlimited_) return;
+  std::unique_lock<std::mutex> lock(mutex_);
+  available_cv_.wait(lock, [this] { return available_ > 0; });
+  --available_;
+}
+
+void Semaphore::Release() {
+  if (unlimited_) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++available_;
+  }
+  available_cv_.notify_one();
 }
 
 void ThreadPool::WorkerLoop() {

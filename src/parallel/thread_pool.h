@@ -13,9 +13,11 @@
 #ifndef QUERYER_PARALLEL_THREAD_POOL_H_
 #define QUERYER_PARALLEL_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -37,29 +39,106 @@ class ThreadPool {
   explicit ThreadPool(std::size_t num_threads);
 
   /// Drains outstanding tasks, then joins the workers.
-  ~ThreadPool();
+  virtual ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t num_threads() const { return workers_.size(); }
+  /// Parallel width: chunked phases split their work by this. Virtual so a
+  /// capped view can report its cap instead of the backing pool's width.
+  virtual std::size_t num_threads() const {
+    return num_threads_.load(std::memory_order_acquire);
+  }
 
   /// Enqueues a task for execution on some worker. Tasks must not throw;
   /// use ParallelFor for exception-to-Status conversion.
-  void Submit(std::function<void()> task);
+  virtual void Submit(std::function<void()> task);
+
+  /// Grows the pool to at least `num_threads` workers (pools never
+  /// shrink). Safe to call while tasks are running.
+  void EnsureWorkers(std::size_t num_threads);
+
+  /// The process-wide pool, shared by every engine and query session.
+  /// Lazily created on first call and grown (never shrunk) to the largest
+  /// width any caller requested; `min_threads` == 0 requests hardware
+  /// concurrency. Callers keep the returned shared_ptr for as long as they
+  /// use the pool, so the workers outlive every session that might still
+  /// submit — the pool is joined only after the last holder (or the
+  /// registry itself, at process exit) lets go.
+  static std::shared_ptr<ThreadPool> Shared(std::size_t min_threads = 0);
 
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// permits 0 when the count is unknowable).
   static std::size_t HardwareConcurrency();
 
+ protected:
+  /// For forwarding views: spawns no workers of its own.
+  ThreadPool() = default;
+
  private:
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> num_threads_{0};
   std::queue<std::function<void()>> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;
+};
+
+/// \brief Width-capped view on a backing pool (usually the process-wide
+/// shared one). Tasks run on the backing pool's workers, but num_threads()
+/// reports at most `cap`, so everything that sizes its chunking from the
+/// pool honors the owner's configured parallelism instead of silently
+/// widening to whatever the shared pool grew to. Keeps the backing pool
+/// alive.
+class CappedThreadPool final : public ThreadPool {
+ public:
+  CappedThreadPool(std::shared_ptr<ThreadPool> backing, std::size_t cap)
+      : backing_(std::move(backing)), cap_(cap == 0 ? 1 : cap) {}
+
+  std::size_t num_threads() const override {
+    std::size_t width = backing_->num_threads();
+    return width < cap_ ? width : cap_;
+  }
+  void Submit(std::function<void()> task) override {
+    backing_->Submit(std::move(task));
+  }
+
+ private:
+  std::shared_ptr<ThreadPool> backing_;
+  std::size_t cap_;
+};
+
+/// \brief Counting semaphore (C++17 has none): the engine's admission
+/// control for EngineOptions::max_concurrent_queries.
+class Semaphore {
+ public:
+  /// `count` == 0 means unlimited (Acquire never blocks).
+  explicit Semaphore(std::size_t count) : available_(count), unlimited_(count == 0) {}
+
+  void Acquire();
+  void Release();
+
+  /// RAII slot: acquired on construction, released on destruction.
+  class Slot {
+   public:
+    explicit Slot(Semaphore* semaphore) : semaphore_(semaphore) {
+      semaphore_->Acquire();
+    }
+    ~Slot() { semaphore_->Release(); }
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+   private:
+    Semaphore* semaphore_;
+  };
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable available_cv_;
+  std::size_t available_;
+  bool unlimited_;
 };
 
 /// \brief Half-open index range [begin, end) of one ParallelFor chunk.

@@ -218,8 +218,16 @@ Result<std::size_t> StatisticsCache::EstimateSelectionSize(
 }
 
 double StatisticsCache::DuplicationFactor(TableRuntime* runtime) {
-  auto it = duplication_factor_.find(runtime);
-  if (it != duplication_factor_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = duplication_factor_.find(runtime);
+    if (it != duplication_factor_.end()) return it->second;
+  }
+  // Compute outside the lock: the sample cleaning is a whole ER run, and
+  // holding the cache mutex across it would stall sessions planning
+  // against other (disjoint) tables. Two sessions racing the same cold
+  // table may both compute; the value is deterministic, so the double
+  // work is harmless and the second insert is a no-op.
 
   const Table& table = runtime->table();
   const std::size_t n = table.num_rows();
@@ -247,7 +255,10 @@ double StatisticsCache::DuplicationFactor(TableRuntime* runtime) {
   }
   double df = static_cast<double>(dr.size()) /
               static_cast<double>(sample.size());
-  duplication_factor_[runtime] = df;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    duplication_factor_[runtime] = df;
+  }
   return df;
 }
 
@@ -258,6 +269,7 @@ double StatisticsCache::JoinFraction(TableRuntime* left,
   std::string cache_key = left->table().name() + "." + ToLower(left_column) +
                           "|" + right->table().name() + "." +
                           ToLower(right_column);
+  std::lock_guard<std::mutex> lock(mutex_);
   auto it = join_fraction_.find(cache_key);
   if (it != join_fraction_.end()) return it->second;
 

@@ -20,6 +20,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "exec/table_runtime.h"
@@ -28,6 +29,14 @@
 namespace queryer {
 
 /// \brief Cached statistics over the registered table runtimes.
+///
+/// Thread-safe: concurrent query sessions plan simultaneously. The two
+/// memoized statistics guard their maps with a mutex; the expensive df
+/// sample cleaning computes outside the lock (two sessions racing one cold
+/// table may both compute the same deterministic value — harmless — while
+/// sessions on other tables are never stalled). The estimation entry
+/// points only read the runtime's once-built indices and the internally
+/// synchronized Link Index.
 class StatisticsCache {
  public:
   /// Sample size for the eager offline cleaning that yields df.
@@ -57,6 +66,7 @@ class StatisticsCache {
   Result<std::vector<EntityId>> EstimateSelectedEntities(
       TableRuntime* runtime, const Expr* predicate, const std::string& alias);
 
+  std::mutex mutex_;
   std::map<const TableRuntime*, double> duplication_factor_;
   std::map<std::string, double> join_fraction_;
 };
