@@ -11,6 +11,9 @@ namespace {
 // marks "not set yet" so the env variable is read once on first use.
 std::size_t g_threads = SIZE_MAX;
 
+// 0 = engine-default RowBatch capacity; SIZE_MAX = env not read yet.
+std::size_t g_batch_size = SIZE_MAX;
+
 }  // namespace
 
 std::size_t Threads() {
@@ -29,6 +32,29 @@ std::size_t Threads() {
 
 void SetThreads(std::size_t threads) { g_threads = threads; }
 
+std::size_t BatchSize() {
+  if (g_batch_size == SIZE_MAX) {
+    const char* env = std::getenv("QUERYER_BENCH_BATCH_SIZE");
+    if (env == nullptr) {
+      g_batch_size = 0;
+    } else {
+      char* end = nullptr;
+      std::size_t batch_size =
+          static_cast<std::size_t>(std::strtoull(env, &end, 10));
+      if (end == env || *end != '\0') {
+        std::fprintf(stderr,
+                     "invalid QUERYER_BENCH_BATCH_SIZE: '%s' (want a number)\n",
+                     env);
+        std::exit(2);
+      }
+      g_batch_size = batch_size;
+    }
+  }
+  return g_batch_size;
+}
+
+void SetBatchSize(std::size_t batch_size) { g_batch_size = batch_size; }
+
 void InitBenchArgs(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
@@ -45,6 +71,18 @@ void InitBenchArgs(int* argc, char** argv) {
       // Resolve 0 (= hardware concurrency, as in EngineOptions) right here
       // so every CSV/JSON line reports the actual worker count.
       SetThreads(threads == 0 ? ThreadPool::HardwareConcurrency() : threads);
+    } else if (std::strncmp(argv[i], "--batch-size=", 13) == 0) {
+      const char* value = argv[i] + 13;
+      char* end = nullptr;
+      std::size_t batch_size =
+          static_cast<std::size_t>(std::strtoull(value, &end, 10));
+      if (end == value || *end != '\0') {
+        std::fprintf(stderr,
+                     "invalid --batch-size value: '%s' (want a number)\n",
+                     value);
+        std::exit(2);
+      }
+      SetBatchSize(batch_size);
     } else {
       argv[out++] = argv[i];
     }
@@ -111,6 +149,7 @@ QueryEngine MakeEngine(const std::vector<TablePtr>& tables,
   options.mode = mode;
   options.collect_comparisons = collect_comparisons;
   options.num_threads = Threads();
+  if (BatchSize() != 0) options.batch_size = BatchSize();
   QueryEngine engine(options);
   for (const TablePtr& table : tables) {
     Status status = engine.RegisterTable(table);

@@ -37,9 +37,17 @@ std::size_t Threads();
 /// Overrides the thread count programmatically (sweep harnesses).
 void SetThreads(std::size_t threads);
 
-/// Parses the shared bench flags (currently `--threads=N`) out of argv.
-/// Unrecognized arguments are left in place and argc/argv are compacted, so
-/// harnesses with their own flag parsing can run this first.
+/// RowBatch capacity for engines built by MakeEngine. Set by a
+/// `--batch-size=N` argument or the QUERYER_BENCH_BATCH_SIZE environment
+/// variable; 0 (the default) keeps the engine's default capacity.
+std::size_t BatchSize();
+
+/// Overrides the batch size programmatically (sweep harnesses).
+void SetBatchSize(std::size_t batch_size);
+
+/// Parses the shared bench flags (`--threads=N`, `--batch-size=N`) out of
+/// argv. Unrecognized arguments are left in place and argc/argv are
+/// compacted, so harnesses with their own flag parsing can run this first.
 void InitBenchArgs(int* argc, char** argv);
 
 // Baseline (scale = 1.0) dataset sizes: paper size / 20.

@@ -25,7 +25,8 @@ BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
 
   watch.Restart();
   MetaBlockingResult refined =
-      RunMetaBlocking(std::move(blocks), runtime->meta_blocking_config());
+      RunMetaBlocking(std::move(blocks), runtime->meta_blocking_config(),
+                      runtime->thread_pool());
   double meta_seconds = watch.ElapsedSeconds();
 
   watch.Restart();

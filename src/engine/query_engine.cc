@@ -149,7 +149,7 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   result.plan_text = plan->ToString();
 
   Executor executor(&catalog_, &runtimes_, &result.stats, pool_.get(),
-                    concurrent_sessions());
+                    concurrent_sessions(), options_.batch_size);
   QUERYER_ASSIGN_OR_RETURN(QueryOutput output, executor.Run(*plan));
 
   result.columns = std::move(output.columns);

@@ -20,6 +20,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/executor.h"
+#include "exec/row_batch.h"
 #include "exec/table_runtime.h"
 #include "parallel/thread_pool.h"
 #include "planner/planner.h"
@@ -73,6 +74,11 @@ struct EngineOptions {
   /// Index's reader/writer protocol and the per-table resolution
   /// coordinator (entity claims + comparison-dedup table). 0 = unlimited.
   std::size_t max_concurrent_queries = 1;
+  /// RowBatch capacity of the batch execution pipeline: how many rows flow
+  /// through one Next(RowBatch*) call. Also the morsel granularity of
+  /// parallel table scans. Query answers are identical for every value;
+  /// tiny values only add per-batch overhead. Clamped to at least 1.
+  std::size_t batch_size = kDefaultBatchSize;
 };
 
 /// \brief A materialized query answer plus its execution statistics.

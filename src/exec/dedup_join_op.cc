@@ -13,7 +13,7 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                          ExprPtr right_key, DirtySide dirty_side,
                          std::shared_ptr<TableRuntime> dirty_runtime,
                          ExecStats* stats, ThreadPool* pool,
-                         bool concurrent_sessions)
+                         bool concurrent_sessions, std::size_t batch_size)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -22,7 +22,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       dirty_runtime_(std::move(dirty_runtime)),
       stats_(stats),
       pool_(pool),
-      concurrent_sessions_(concurrent_sessions) {
+      concurrent_sessions_(concurrent_sessions),
+      batch_size_(batch_size) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   if (dirty_side_ != DirtySide::kNone) {
@@ -42,9 +43,9 @@ Status DedupJoinOp::Open() {
 
 Status DedupJoinOp::BuildOutput() {
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> left_rows,
-                           DrainOperator(left_.get()));
+                           DrainOperator(left_.get(), batch_size_));
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> right_rows,
-                           DrainOperator(right_.get()));
+                           DrainOperator(right_.get(), batch_size_));
 
   // Resolve the dirty input, if any (Alg. 1 lines 1-10).
   if (dirty_side_ != DirtySide::kNone) {
@@ -121,6 +122,14 @@ Status DedupJoinOp::BuildOutput() {
   }
 
   output_.clear();
+  // Size the output up front: the emission loop below would otherwise
+  // regrow through every Cartesian block.
+  std::size_t total_rows = 0;
+  for (const auto& [left_group, right_group] : joined_pairs) {
+    total_rows +=
+        left_members[left_group].size() * right_members[right_group].size();
+  }
+  output_.reserve(total_rows);
   std::uint64_t next_group = 0;
   for (const auto& [left_group, right_group] : joined_pairs) {
     std::uint64_t group = next_group++;
@@ -139,10 +148,8 @@ Status DedupJoinOp::BuildOutput() {
   return Status::OK();
 }
 
-Result<bool> DedupJoinOp::Next(Row* row) {
-  if (position_ >= output_.size()) return false;
-  *row = output_[position_++];
-  return true;
+Result<bool> DedupJoinOp::Next(RowBatch* batch) {
+  return EmitMaterialized(&output_, &position_, batch);
 }
 
 void DedupJoinOp::Close() { output_.clear(); }

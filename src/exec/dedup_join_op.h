@@ -34,14 +34,16 @@ class DedupJoinOp final : public PhysicalOperator {
  public:
   /// `pool` parallelizes the dirty side's comparison execution (null =
   /// sequential); `concurrent_sessions` selects the Deduplicator's
-  /// transaction protocol for engines that admit concurrent Execute calls.
+  /// transaction protocol for engines that admit concurrent Execute calls;
+  /// `batch_size` sizes the batches draining both children.
   DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
               ExprPtr right_key, DirtySide dirty_side,
               std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats,
-              ThreadPool* pool = nullptr, bool concurrent_sessions = false);
+              ThreadPool* pool = nullptr, bool concurrent_sessions = false,
+              std::size_t batch_size = kDefaultBatchSize);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
@@ -56,6 +58,7 @@ class DedupJoinOp final : public PhysicalOperator {
   ExecStats* stats_;
   ThreadPool* pool_;
   bool concurrent_sessions_;
+  std::size_t batch_size_;
 
   std::vector<Row> output_;
   std::size_t position_ = 0;

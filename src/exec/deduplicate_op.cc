@@ -7,12 +7,13 @@ namespace queryer {
 DeduplicateOp::DeduplicateOp(OperatorPtr child,
                              std::shared_ptr<TableRuntime> runtime,
                              ExecStats* stats, ThreadPool* pool,
-                             bool concurrent_sessions)
+                             bool concurrent_sessions, std::size_t batch_size)
     : child_(std::move(child)),
       runtime_(std::move(runtime)),
       stats_(stats),
       pool_(pool),
-      concurrent_sessions_(concurrent_sessions) {
+      concurrent_sessions_(concurrent_sessions),
+      batch_size_(batch_size) {
   // DR_E rows come from the base table, so the child must expose all of its
   // columns (same arity).
   QUERYER_CHECK(child_->output_columns().size() ==
@@ -21,7 +22,8 @@ DeduplicateOp::DeduplicateOp(OperatorPtr child,
 }
 
 Status DeduplicateOp::Open() {
-  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
+                           DrainOperator(child_.get(), batch_size_));
   std::vector<EntityId> query_entities;
   query_entities.reserve(input.size());
   for (const Row& row : input) {
@@ -41,14 +43,18 @@ Status DeduplicateOp::Open() {
   return Status::OK();
 }
 
-Result<bool> DeduplicateOp::Next(Row* row) {
-  if (position_ >= result_entities_.size()) return false;
-  EntityId e = result_entities_[position_];
-  row->values = runtime_->table().row(e);
-  row->entity_id = e;
-  row->group_key = group_keys_[position_];
-  ++position_;
-  return true;
+Result<bool> DeduplicateOp::Next(RowBatch* batch) {
+  batch->Clear();
+  const Table& table = runtime_->table();
+  while (position_ < result_entities_.size() && !batch->full()) {
+    EntityId e = result_entities_[position_];
+    Row* row = batch->AppendRow();
+    row->values = table.row(e);  // Copy-assign into reused string storage.
+    row->entity_id = e;
+    row->group_key = group_keys_[position_];
+    ++position_;
+  }
+  return !batch->empty();
 }
 
 void DeduplicateOp::Close() {

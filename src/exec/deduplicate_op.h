@@ -22,13 +22,15 @@ class DeduplicateOp final : public PhysicalOperator {
  public:
   /// `pool` parallelizes comparison execution (null = sequential);
   /// `concurrent_sessions` selects the Deduplicator's transaction protocol
-  /// for engines that admit concurrent Execute calls.
+  /// for engines that admit concurrent Execute calls; `batch_size` sizes
+  /// the batches draining the child.
   DeduplicateOp(OperatorPtr child, std::shared_ptr<TableRuntime> runtime,
                 ExecStats* stats, ThreadPool* pool = nullptr,
-                bool concurrent_sessions = false);
+                bool concurrent_sessions = false,
+                std::size_t batch_size = kDefaultBatchSize);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
@@ -37,6 +39,7 @@ class DeduplicateOp final : public PhysicalOperator {
   ExecStats* stats_;
   ThreadPool* pool_;
   bool concurrent_sessions_;
+  std::size_t batch_size_;
 
   // DR_E materialized at Open time: entity ids plus their cluster keys,
   // captured under one Link Index snapshot so concurrent publishes between

@@ -23,23 +23,26 @@ std::vector<Comparison> Deduplicator::BuildComparisons(
   stats_->block_join_seconds += watch.ElapsedSeconds();
   stats_->blocks_after_join += enriched.size();
 
-  // (iii) Meta-Blocking: BP -> BF -> EP per the table's configuration.
+  // (iii) Meta-Blocking: BP -> BF -> EP per the table's configuration. The
+  // pool parallelizes the size statistics and the edge weighting; answers
+  // are identical at every thread count.
   const MetaBlockingConfig& config = runtime_->meta_blocking_config();
   BlockCollection refined = std::move(enriched);
   if (config.block_purging) {
     watch.Restart();
-    refined = BlockPurging(std::move(refined), config.purging_outlier_factor);
+    refined = BlockPurging(std::move(refined), config.purging_outlier_factor,
+                           pool_);
     stats_->purging_seconds += watch.ElapsedSeconds();
   }
   if (config.block_filtering) {
     watch.Restart();
-    refined = BlockFiltering(refined, config.filtering_ratio);
+    refined = BlockFiltering(refined, config.filtering_ratio, pool_);
     stats_->filtering_seconds += watch.ElapsedSeconds();
   }
   std::vector<Comparison> comparisons;
   if (config.edge_pruning) {
     watch.Restart();
-    comparisons = EdgePruning(refined, config.edge_weighting);
+    comparisons = EdgePruning(refined, config.edge_weighting, pool_);
     stats_->edge_pruning_seconds += watch.ElapsedSeconds();
   } else {
     watch.Restart();
@@ -97,6 +100,7 @@ std::vector<EntityId> Deduplicator::ResolveSerial(
 
   // DR_E = QE ∪ duplicates(QE), ascending and distinct.
   std::vector<EntityId> result;
+  result.reserve(query_entities.size());  // |DR| >= |QE|; avoids early regrowth.
   for (EntityId e : query_entities) {
     for (EntityId member : li.Cluster(e)) result.push_back(member);
   }
@@ -198,6 +202,7 @@ std::vector<EntityId> Deduplicator::ResolveConcurrent(
   // group keys come from ONE consistent snapshot: reading them separately
   // would let a concurrent publish shear the answer.
   std::vector<EntityId> result;
+  result.reserve(query_entities.size());
   {
     LinkIndex::ReadView view = li.SharedSnapshot();
     for (EntityId e : query_entities) {

@@ -22,6 +22,7 @@ void ExecStats::Accumulate(const ExecStats& other) {
   entities_claimed_elsewhere += other.entities_claimed_elsewhere;
   blocks_after_join += other.blocks_after_join;
   comparisons_after_metablocking += other.comparisons_after_metablocking;
+  morsels_scanned += other.morsels_scanned;
   blocking_seconds += other.blocking_seconds;
   block_join_seconds += other.block_join_seconds;
   purging_seconds += other.purging_seconds;

@@ -32,6 +32,11 @@ struct ExecStats {
   std::size_t blocks_after_join = 0;     // |EQBI|.
   std::size_t comparisons_after_metablocking = 0;
 
+  // Batch pipeline counters.
+  /// Morsels consumed by this session's parallel table scans (0 when every
+  /// scan ran sequentially).
+  std::size_t morsels_scanned = 0;
+
   // Stage timings (seconds), cumulative over all ER operators of the query.
   double blocking_seconds = 0;      // QBI construction.
   double block_join_seconds = 0;

@@ -1,5 +1,7 @@
 #include "exec/executor.h"
 
+#include <atomic>
+
 #include "exec/dedup_join_op.h"
 #include "exec/deduplicate_op.h"
 #include "exec/filter.h"
@@ -30,26 +32,54 @@ Status BindJoinKeys(const std::vector<std::string>& left_columns,
   return Status::OK();
 }
 
+std::uint64_t NextSessionId() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
 }  // namespace
+
+Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
+                   ExecStats* stats, ThreadPool* pool,
+                   bool concurrent_sessions, std::size_t batch_size)
+    : catalog_(catalog),
+      runtimes_(runtimes),
+      stats_(stats),
+      pool_(pool),
+      concurrent_sessions_(concurrent_sessions),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      session_id_(NextSessionId()) {}
+
+Result<OperatorPtr> Executor::LowerScan(const LogicalPlan& plan) {
+  QUERYER_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan.table_name));
+  return OperatorPtr(new TableScanOp(std::move(table), plan.table_alias, pool_,
+                                     batch_size_, stats_, session_id_));
+}
 
 Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
   switch (plan.kind) {
-    case PlanKind::kScan: {
-      QUERYER_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan.table_name));
-      return OperatorPtr(new TableScanOp(std::move(table), plan.table_alias));
-    }
+    case PlanKind::kScan:
+      return LowerScan(plan);
     case PlanKind::kFilter: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
       ExprPtr predicate = plan.predicate->Clone();
       QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
+      // Filter over Scan fuses into the scan: the predicate runs against
+      // the table's stored rows, so rejected tuples are never copied —
+      // and a morsel-parallel scan evaluates it on the workers.
+      if (plan.children[0]->kind == PlanKind::kScan) {
+        static_cast<TableScanOp*>(child.get())
+            ->FusePredicate(std::move(predicate));
+        return child;
+      }
       return OperatorPtr(new FilterOp(std::move(child), std::move(predicate)));
     }
     case PlanKind::kGroupFilter: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
       ExprPtr predicate = plan.predicate->Clone();
       QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
-      return OperatorPtr(
-          new GroupFilterOp(std::move(child), std::move(predicate)));
+      return OperatorPtr(new GroupFilterOp(std::move(child),
+                                           std::move(predicate), batch_size_));
     }
     case PlanKind::kProject: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
@@ -75,15 +105,15 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
                                          &right_key));
       return OperatorPtr(new HashJoinOp(std::move(left), std::move(right),
                                         std::move(left_key),
-                                        std::move(right_key)));
+                                        std::move(right_key), batch_size_));
     }
     case PlanKind::kDeduplicate: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
       QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
                                FindRuntime(*runtimes_, plan.table_name));
       return OperatorPtr(new DeduplicateOp(std::move(child), std::move(runtime),
-                                           stats_, pool_,
-                                           concurrent_sessions_));
+                                           stats_, pool_, concurrent_sessions_,
+                                           batch_size_));
     }
     case PlanKind::kDedupJoin: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
@@ -101,11 +131,12 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
       return OperatorPtr(new DedupJoinOp(
           std::move(left), std::move(right), std::move(left_key),
           std::move(right_key), plan.dirty_side, std::move(runtime), stats_,
-          pool_, concurrent_sessions_));
+          pool_, concurrent_sessions_, batch_size_));
     }
     case PlanKind::kGroupEntities: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
-      return OperatorPtr(new GroupEntitiesOp(std::move(child), stats_));
+      return OperatorPtr(
+          new GroupEntitiesOp(std::move(child), stats_, batch_size_));
     }
   }
   return Status::Internal("unknown plan kind");
@@ -115,7 +146,7 @@ Result<QueryOutput> Executor::Run(const LogicalPlan& plan) {
   QUERYER_ASSIGN_OR_RETURN(OperatorPtr root, Lower(plan));
   QueryOutput output;
   output.columns = root->output_columns();
-  QUERYER_ASSIGN_OR_RETURN(output.rows, DrainOperator(root.get()));
+  QUERYER_ASSIGN_OR_RETURN(output.rows, DrainOperator(root.get(), batch_size_));
   return output;
 }
 

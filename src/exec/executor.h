@@ -28,17 +28,15 @@ struct QueryOutput {
 class Executor {
  public:
   /// `pool` is handed to the ER operators for their data-parallel phases
-  /// (null = sequential execution, the default for direct construction).
+  /// and to TableScan for morsel-parallel scans (null = sequential
+  /// execution, the default for direct construction).
   /// `concurrent_sessions` makes the ER operators resolve through the
   /// claim/publish transaction protocol; set it whenever other executors
-  /// may run against the same runtimes concurrently.
+  /// may run against the same runtimes concurrently. `batch_size` is the
+  /// RowBatch capacity of the whole pipeline (EngineOptions::batch_size).
   Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
-           ThreadPool* pool = nullptr, bool concurrent_sessions = false)
-      : catalog_(catalog),
-        runtimes_(runtimes),
-        stats_(stats),
-        pool_(pool),
-        concurrent_sessions_(concurrent_sessions) {}
+           ThreadPool* pool = nullptr, bool concurrent_sessions = false,
+           std::size_t batch_size = kDefaultBatchSize);
 
   /// Builds the physical operator tree (binding all expressions).
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
@@ -47,11 +45,18 @@ class Executor {
   Result<QueryOutput> Run(const LogicalPlan& plan);
 
  private:
+  Result<OperatorPtr> LowerScan(const LogicalPlan& plan);
+
   const Catalog* catalog_;
   RuntimeRegistry* runtimes_;
   ExecStats* stats_;
   ThreadPool* pool_;
   bool concurrent_sessions_;
+  std::size_t batch_size_;
+  /// Tags this executor's morsel tasks so concurrent sessions sharing the
+  /// process-wide pool are distinguishable (fair FIFO interleaving is per
+  /// morsel; the tag identifies the session a morsel belongs to).
+  std::uint64_t session_id_;
 };
 
 }  // namespace queryer

@@ -12,12 +12,11 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
 
 Status FilterOp::Open() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(Row* row) {
-  while (true) {
-    QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(row));
-    if (!has) return false;
-    if (predicate_->EvalBool(row->values)) return true;
-  }
+Result<bool> FilterOp::Next(RowBatch* batch) {
+  QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(batch));
+  if (!has) return false;
+  predicate_->FilterBatch(batch);
+  return true;
 }
 
 void FilterOp::Close() { child_->Close(); }

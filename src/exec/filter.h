@@ -1,4 +1,5 @@
-// Filter: forwards child rows satisfying a bound predicate.
+// Filter: shrinks each child batch's selection to the rows satisfying a
+// bound predicate.
 
 #ifndef QUERYER_EXEC_FILTER_H_
 #define QUERYER_EXEC_FILTER_H_
@@ -10,12 +11,18 @@ namespace queryer {
 
 /// \brief Relational selection. The predicate must already be bound against
 /// the child's output columns.
+///
+/// Survivors are marked in the batch's selection vector — no row is copied
+/// or moved. A batch the predicate empties is forwarded empty (the caller
+/// keeps pulling), so one Next call does bounded work. Filters directly
+/// above a TableScan are fused into the scan by the executor and never
+/// reach this operator.
 class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:

@@ -6,13 +6,15 @@
 
 namespace queryer {
 
-GroupEntitiesOp::GroupEntitiesOp(OperatorPtr child, ExecStats* stats)
-    : child_(std::move(child)), stats_(stats) {
+GroupEntitiesOp::GroupEntitiesOp(OperatorPtr child, ExecStats* stats,
+                                 std::size_t batch_size)
+    : child_(std::move(child)), stats_(stats), batch_size_(batch_size) {
   output_columns_ = child_->output_columns();
 }
 
 Status GroupEntitiesOp::Open() {
-  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
+                           DrainOperator(child_.get(), batch_size_));
   Stopwatch watch;
 
   const std::size_t width = output_columns_.size();
@@ -67,10 +69,8 @@ Status GroupEntitiesOp::Open() {
   return Status::OK();
 }
 
-Result<bool> GroupEntitiesOp::Next(Row* row) {
-  if (position_ >= output_.size()) return false;
-  *row = output_[position_++];
-  return true;
+Result<bool> GroupEntitiesOp::Next(RowBatch* batch) {
+  return EmitMaterialized(&output_, &position_, batch);
 }
 
 void GroupEntitiesOp::Close() { output_.clear(); }

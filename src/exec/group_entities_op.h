@@ -13,12 +13,14 @@ namespace queryer {
 
 /// \brief Physical Group-Entities operator. Groups child rows by group key
 /// (first-appearance order) and emits one fused row per group.
+/// `batch_size` sizes the batches draining the child.
 class GroupEntitiesOp final : public PhysicalOperator {
  public:
-  GroupEntitiesOp(OperatorPtr child, ExecStats* stats);
+  GroupEntitiesOp(OperatorPtr child, ExecStats* stats,
+                  std::size_t batch_size = kDefaultBatchSize);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
   /// Separator between grouped value variants.
@@ -27,6 +29,7 @@ class GroupEntitiesOp final : public PhysicalOperator {
  private:
   OperatorPtr child_;
   ExecStats* stats_;
+  std::size_t batch_size_;
   std::vector<Row> output_;
   std::size_t position_ = 0;
 };

@@ -6,14 +6,18 @@
 
 namespace queryer {
 
-GroupFilterOp::GroupFilterOp(OperatorPtr child, ExprPtr predicate)
-    : child_(std::move(child)), predicate_(std::move(predicate)) {
+GroupFilterOp::GroupFilterOp(OperatorPtr child, ExprPtr predicate,
+                             std::size_t batch_size)
+    : child_(std::move(child)),
+      predicate_(std::move(predicate)),
+      batch_size_(batch_size) {
   output_columns_ = child_->output_columns();
   QUERYER_CHECK(predicate_->IsBound());
 }
 
 Status GroupFilterOp::Open() {
-  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input, DrainOperator(child_.get()));
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
+                           DrainOperator(child_.get(), batch_size_));
   std::unordered_set<std::uint64_t> passing_groups;
   for (const Row& row : input) {
     if (predicate_->EvalBool(row.values)) passing_groups.insert(row.group_key);
@@ -28,10 +32,8 @@ Status GroupFilterOp::Open() {
   return Status::OK();
 }
 
-Result<bool> GroupFilterOp::Next(Row* row) {
-  if (position_ >= output_.size()) return false;
-  *row = output_[position_++];
-  return true;
+Result<bool> GroupFilterOp::Next(RowBatch* batch) {
+  return EmitMaterialized(&output_, &position_, batch);
 }
 
 void GroupFilterOp::Close() { output_.clear(); }

@@ -17,17 +17,20 @@
 namespace queryer {
 
 /// \brief Blocking duplicate-group filter (materializes its input).
+/// `batch_size` sizes the batches draining the child.
 class GroupFilterOp final : public PhysicalOperator {
  public:
-  GroupFilterOp(OperatorPtr child, ExprPtr predicate);
+  GroupFilterOp(OperatorPtr child, ExprPtr predicate,
+                std::size_t batch_size = kDefaultBatchSize);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
   OperatorPtr child_;
   ExprPtr predicate_;
+  std::size_t batch_size_;
   std::vector<Row> output_;
   std::size_t position_ = 0;
 };

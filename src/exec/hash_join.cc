@@ -21,12 +21,27 @@ std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row)
   return CanonicalJoinKey(key_expr.EvalValue(row).text);
 }
 
+namespace {
+
+// Concatenates left ++ right into `out`, element-wise so the out row's
+// string buffers are reused across batches.
+void ConcatInto(const Row& left, const Row& right, Row* out) {
+  const std::size_t ln = left.values.size();
+  const std::size_t rn = right.values.size();
+  out->values.resize(ln + rn);
+  for (std::size_t i = 0; i < ln; ++i) out->values[i] = left.values[i];
+  for (std::size_t i = 0; i < rn; ++i) out->values[ln + i] = right.values[i];
+}
+
+}  // namespace
+
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
-                       ExprPtr right_key)
+                       ExprPtr right_key, std::size_t batch_size)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
-      right_key_(std::move(right_key)) {
+      right_key_(std::move(right_key)),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   output_columns_ = left_->output_columns();
@@ -37,40 +52,68 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
 
 Status HashJoinOp::Open() {
   QUERYER_RETURN_NOT_OK(left_->Open());
-  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> rows, DrainOperator(right_.get()));
+  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> rows,
+                           DrainOperator(right_.get(), batch_size_));
   build_side_.clear();
+  // Sizing the table for one row per bucket up front avoids the rehash
+  // cascade the per-tuple inserts used to pay.
+  build_side_.reserve(rows.size());
   for (Row& row : rows) {
     std::string key = JoinKeyOf(*right_key_, row.values);
     if (key.empty()) continue;  // NULL keys never join.
     build_side_[std::move(key)].push_back(std::move(row));
   }
+  probe_live_ = false;
+  probe_pos_ = 0;
   current_matches_ = nullptr;
   match_index_ = 0;
+  done_ = false;
   output_counter_ = 0;
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(Row* row) {
-  while (true) {
-    if (current_matches_ != nullptr && match_index_ < current_matches_->size()) {
-      const Row& right = (*current_matches_)[match_index_++];
-      row->values = current_left_.values;
-      row->values.insert(row->values.end(), right.values.begin(),
-                         right.values.end());
-      // A plain join output is its own group; dedup plans use DedupJoinOp
-      // which assigns real group keys.
-      row->group_key = output_counter_++;
-      row->entity_id = kInvalidEntityId;
-      return true;
+Result<bool> HashJoinOp::Next(RowBatch* batch) {
+  batch->Clear();
+  if (done_) return false;
+  if (probe_ == nullptr) {
+    probe_ = std::make_unique<RowBatch>(batch->capacity());
+  }
+  while (!batch->full()) {
+    if (current_matches_ != nullptr) {
+      if (match_index_ < current_matches_->size()) {
+        const Row& left = probe_->row(probe_pos_);
+        const Row& right = (*current_matches_)[match_index_++];
+        Row* out = batch->AppendRow();
+        ConcatInto(left, right, out);
+        // A plain join output is its own group; dedup plans use DedupJoinOp
+        // which assigns real group keys.
+        out->group_key = output_counter_++;
+        out->entity_id = kInvalidEntityId;
+        continue;
+      }
+      current_matches_ = nullptr;
+      ++probe_pos_;
     }
-    QUERYER_ASSIGN_OR_RETURN(bool has, left_->Next(&current_left_));
-    if (!has) return false;
-    std::string key = JoinKeyOf(*left_key_, current_left_.values);
-    if (key.empty()) continue;
-    auto it = build_side_.find(key);
-    current_matches_ = it == build_side_.end() ? nullptr : &it->second;
+    if (!probe_live_ || probe_pos_ >= probe_->size()) {
+      QUERYER_ASSIGN_OR_RETURN(bool has, left_->Next(probe_.get()));
+      if (!has) {
+        done_ = true;
+        break;
+      }
+      probe_live_ = true;
+      probe_pos_ = 0;
+      continue;  // The new batch may itself be empty.
+    }
+    std::string key = JoinKeyOf(*left_key_, probe_->row(probe_pos_).values);
+    auto it = key.empty() ? build_side_.end() : build_side_.find(key);
+    if (it == build_side_.end()) {
+      ++probe_pos_;
+      continue;
+    }
+    current_matches_ = &it->second;
     match_index_ = 0;
   }
+  return !batch->empty() || !done_;
 }
 
 void HashJoinOp::Close() {

@@ -5,6 +5,7 @@
 #ifndef QUERYER_EXEC_HASH_JOIN_H_
 #define QUERYER_EXEC_HASH_JOIN_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -24,13 +25,18 @@ std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row)
 
 /// \brief Inner equi hash join. Key expressions must be bound against the
 /// respective child's columns. Output: left columns ++ right columns.
+///
+/// The build side is drained once at Open (with the hash table sized up
+/// front); probing pulls left batches and emits the concatenated rows into
+/// the output batch, suspending mid-match-list when it fills. `batch_size`
+/// sizes the build-side drain batches.
 class HashJoinOp final : public PhysicalOperator {
  public:
   HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
-             ExprPtr right_key);
+             ExprPtr right_key, std::size_t batch_size = kDefaultBatchSize);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
@@ -38,11 +44,18 @@ class HashJoinOp final : public PhysicalOperator {
   OperatorPtr right_;
   ExprPtr left_key_;
   ExprPtr right_key_;
+  std::size_t batch_size_;
 
   std::unordered_map<std::string, std::vector<Row>> build_side_;
-  Row current_left_;
+
+  // Probe state, persisted across Next calls: the current probe batch, the
+  // probing row within it, and the position in that row's match list.
+  std::unique_ptr<RowBatch> probe_;
+  bool probe_live_ = false;     // probe_ holds an undrained batch.
+  std::size_t probe_pos_ = 0;
   const std::vector<Row>* current_matches_ = nullptr;
   std::size_t match_index_ = 0;
+  bool done_ = false;
   std::uint64_t output_counter_ = 0;
 };
 

@@ -2,18 +2,29 @@
 
 namespace queryer {
 
-Result<std::vector<Row>> DrainOperator(PhysicalOperator* op) {
+Result<std::vector<Row>> DrainOperator(PhysicalOperator* op,
+                                       std::size_t batch_size) {
   QUERYER_RETURN_NOT_OK(op->Open());
   std::vector<Row> rows;
-  Row row;
+  RowBatch batch(batch_size);
   while (true) {
-    QUERYER_ASSIGN_OR_RETURN(bool has, op->Next(&row));
+    QUERYER_ASSIGN_OR_RETURN(bool has, op->Next(&batch));
     if (!has) break;
-    rows.push_back(std::move(row));
-    row = Row();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      rows.push_back(std::move(batch.row(i)));
+    }
   }
   op->Close();
   return rows;
+}
+
+bool EmitMaterialized(std::vector<Row>* rows, std::size_t* position,
+                      RowBatch* batch) {
+  batch->Clear();
+  while (*position < rows->size() && !batch->full()) {
+    *batch->AppendRow() = std::move((*rows)[(*position)++]);
+  }
+  return !batch->empty();
 }
 
 }  // namespace queryer

@@ -1,7 +1,9 @@
-// The Volcano iterator interface all physical operators implement
-// (paper Sec. 7.2.2: "QueryER utilizes the established database pipelining
-// architecture where the output of an operator is passed to its parent by
-// implementing the Iterator Interface").
+// The batch iterator interface all physical operators implement. The paper's
+// pipelining architecture (Sec. 7.2.2) is kept, but the unit of flow between
+// operators is a RowBatch instead of a single Row: one virtual call moves up
+// to EngineOptions::batch_size tuples (MonetDB/X100-style vectorization), so
+// the per-tuple interpretation overhead of the classic Volcano protocol is
+// amortized over the batch.
 
 #ifndef QUERYER_EXEC_OPERATOR_H_
 #define QUERYER_EXEC_OPERATOR_H_
@@ -11,13 +13,18 @@
 #include <vector>
 
 #include "common/status.h"
-#include "exec/row.h"
+#include "exec/row_batch.h"
 
 namespace queryer {
 
 /// \brief Pull-based physical operator.
 ///
 /// Protocol: Open() once, Next() until it returns false, Close() once.
+/// Next() clears and refills the caller's batch with up to
+/// `batch->capacity()` rows. A true return with an EMPTY batch is legal mid
+/// stream (e.g. a fully filtered morsel) — callers keep pulling until Next
+/// returns false, which definitively ends the stream. Callers reuse one
+/// RowBatch across all Next calls so the row storage is recycled.
 /// `output_columns()` is valid after construction and lists qualified
 /// column names ("alias.column") of the produced rows.
 class PhysicalOperator {
@@ -25,8 +32,8 @@ class PhysicalOperator {
   virtual ~PhysicalOperator() = default;
 
   virtual Status Open() = 0;
-  /// Produces the next row into `row`; returns false at end of stream.
-  virtual Result<bool> Next(Row* row) = 0;
+  /// Refills `batch`; returns false at end of stream.
+  virtual Result<bool> Next(RowBatch* batch) = 0;
   virtual void Close() = 0;
 
   const std::vector<std::string>& output_columns() const {
@@ -39,8 +46,17 @@ class PhysicalOperator {
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;
 
-/// \brief Drains an operator into a vector (Open/Next*/Close).
-Result<std::vector<Row>> DrainOperator(PhysicalOperator* op);
+/// \brief Drains an operator into a vector (Open/Next*/Close), moving rows
+/// out of the batch. `batch_size` sizes the internal batch; operators that
+/// materialize their child pass the executor's configured size through.
+Result<std::vector<Row>> DrainOperator(PhysicalOperator* op,
+                                       std::size_t batch_size = kDefaultBatchSize);
+
+/// \brief Next() body shared by the materializing operators: moves rows of
+/// `rows` starting at *position into the (cleared) batch until it fills,
+/// advancing *position. Returns false once the stream is exhausted.
+bool EmitMaterialized(std::vector<Row>* rows, std::size_t* position,
+                      RowBatch* batch);
 
 }  // namespace queryer
 

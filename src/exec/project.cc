@@ -14,17 +14,24 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
 
 Status ProjectOp::Open() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(Row* row) {
-  Row input;
-  QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(&input));
-  if (!has) return false;
-  row->values.clear();
-  row->values.reserve(exprs_.size());
-  for (const auto& expr : exprs_) {
-    row->values.push_back(expr->EvalValue(input.values).text);
+Result<bool> ProjectOp::Next(RowBatch* batch) {
+  batch->Clear();
+  if (input_ == nullptr) {
+    input_ = std::make_unique<RowBatch>(batch->capacity());
   }
-  row->group_key = input.group_key;
-  row->entity_id = input.entity_id;
+  QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(input_.get()));
+  if (!has) return false;
+  // Same capacity on both batches: every selected input row fits.
+  for (std::size_t i = 0; i < input_->size(); ++i) {
+    const Row& in = input_->row(i);
+    Row* out = batch->AppendRow();
+    out->values.resize(exprs_.size());
+    for (std::size_t e = 0; e < exprs_.size(); ++e) {
+      out->values[e] = exprs_[e]->EvalValue(in.values).text;
+    }
+    out->group_key = in.group_key;
+    out->entity_id = in.entity_id;
+  }
   return true;
 }
 

@@ -1,8 +1,9 @@
-// Project: evaluates the SELECT list over child rows.
+// Project: evaluates the SELECT list over child batches.
 
 #ifndef QUERYER_EXEC_PROJECT_H_
 #define QUERYER_EXEC_PROJECT_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,18 +14,21 @@ namespace queryer {
 
 /// \brief Projection. Item expressions must be bound against the child.
 /// Output column names come from aliases, or the expressions otherwise.
+/// The input batch is owned by the operator and recycled, so the child's
+/// rows are materialized into reused storage.
 class ProjectOp final : public PhysicalOperator {
  public:
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
             std::vector<std::string> names);
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
   OperatorPtr child_;
   std::vector<ExprPtr> exprs_;
+  std::unique_ptr<RowBatch> input_;  // Sized lazily from the output batch.
 };
 
 }  // namespace queryer

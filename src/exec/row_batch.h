@@ -1,0 +1,89 @@
+// The unit of flow of the batch execution engine: a reusable block of Rows
+// plus a selection vector.
+//
+// Batch-at-a-time execution (MonetDB/X100-style vectorization) replaces the
+// row-at-a-time Volcano protocol: one virtual Next(RowBatch*) call moves up
+// to `capacity` tuples, so the per-tuple interpretation overhead (virtual
+// dispatch, Result<bool> unwrapping, Row copies) is amortized over the whole
+// batch. The selection vector lets Filter/GroupFilter mark survivors instead
+// of copying them: downstream operators iterate the selected rows only,
+// while the underlying Row storage — including every std::string's heap
+// buffer — is reused batch after batch, which removes the per-tuple
+// allocation churn of the row pipeline.
+
+#ifndef QUERYER_EXEC_ROW_BATCH_H_
+#define QUERYER_EXEC_ROW_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "exec/row.h"
+
+namespace queryer {
+
+/// Default RowBatch capacity (EngineOptions::batch_size): large enough to
+/// amortize per-batch costs, small enough to stay cache-resident.
+inline constexpr std::size_t kDefaultBatchSize = 1024;
+
+/// \brief A batch of rows with a selection vector.
+///
+/// Producers append into reused Row slots via AppendRow(); consumers see
+/// only the selected rows through size()/row(i). A filter shrinks the
+/// selection (Keep/TruncateSelection) without touching the Row storage.
+/// Clear() resets the batch for refilling but keeps every Row's allocated
+/// storage alive, so steady-state batches allocate nothing.
+class RowBatch {
+ public:
+  explicit RowBatch(std::size_t capacity = kDefaultBatchSize)
+      : capacity_(capacity == 0 ? 1 : capacity) {
+    selection_.reserve(capacity_);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  bool full() const { return filled_ == capacity_; }
+
+  /// Number of selected (live) rows.
+  std::size_t size() const { return selection_.size(); }
+  bool empty() const { return selection_.empty(); }
+
+  /// The i-th selected row.
+  Row& row(std::size_t i) { return rows_[selection_[i]]; }
+  const Row& row(std::size_t i) const { return rows_[selection_[i]]; }
+
+  /// Next free Row slot, selected and ready to be filled. The slot's
+  /// previous contents (vector/string capacity) are intact for reuse; the
+  /// producer overwrites values/group_key/entity_id. Must not be called on
+  /// a full batch.
+  Row* AppendRow() {
+    QUERYER_DCHECK(filled_ < capacity_);
+    if (filled_ == rows_.size()) rows_.emplace_back();
+    Row* slot = &rows_[filled_];
+    selection_.push_back(static_cast<std::uint32_t>(filled_));
+    ++filled_;
+    return slot;
+  }
+
+  /// Filter support: keep the i-th selected row (i ascending across calls),
+  /// compacting the selection in place. Call TruncateSelection(n) with the
+  /// number of kept rows afterwards.
+  void Keep(std::size_t out, std::size_t i) { selection_[out] = selection_[i]; }
+  void TruncateSelection(std::size_t n) { selection_.resize(n); }
+
+  /// Empties the batch for refilling; Row storage (and each Row's string
+  /// buffers) stays allocated for reuse.
+  void Clear() {
+    filled_ = 0;
+    selection_.clear();
+  }
+
+ private:
+  std::size_t capacity_;
+  std::size_t filled_ = 0;  // Row slots in use; selection_ indexes these.
+  std::vector<Row> rows_;
+  std::vector<std::uint32_t> selection_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_EXEC_ROW_BATCH_H_

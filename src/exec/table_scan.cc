@@ -1,29 +1,205 @@
 #include "exec/table_scan.h"
 
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+
 namespace queryer {
 
-TableScanOp::TableScanOp(TablePtr table, std::string alias)
-    : table_(std::move(table)) {
+namespace {
+
+std::size_t MorselRows(std::size_t batch_size) {
+  return batch_size < kMinMorselRows ? kMinMorselRows : batch_size;
+}
+
+}  // namespace
+
+/// Shared between the consuming operator and its pool tasks. Tasks hold the
+/// shared_ptr (plus the table), so a scan abandoned mid-stream (Close with
+/// morsels still in flight) stays memory-safe: the straggler tasks finish
+/// against this state and the last reference frees it.
+struct TableScanOp::MorselScan {
+  TablePtr table;
+  std::shared_ptr<const Expr> predicate;
+  std::size_t morsel_rows = 0;
+  std::size_t num_morsels = 0;
+  std::uint64_t session_id = 0;
+
+  /// Hands morsels to tasks; every submitted task claims exactly one.
+  std::atomic<std::size_t> cursor{0};
+  /// Set by Close: unclaimed morsels deposit empty results and quit early.
+  std::atomic<bool> cancelled{false};
+
+  std::mutex mutex;
+  std::condition_variable ready;
+  /// Finished morsels waiting for in-order emission (reorder window).
+  std::map<std::size_t, std::vector<Row>> done;
+  bool failed = false;
+  std::string error;
+
+  void RunOne() {
+    std::size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
+    if (m >= num_morsels) return;
+    std::vector<Row> out;
+    if (!cancelled.load(std::memory_order_acquire)) {
+      try {
+        const std::size_t begin = m * morsel_rows;
+        const std::size_t end =
+            std::min(begin + morsel_rows, table->num_rows());
+        out.reserve(end - begin);
+        for (std::size_t pos = begin; pos < end; ++pos) {
+          const std::vector<std::string>& values =
+              table->row(static_cast<EntityId>(pos));
+          if (predicate != nullptr && !predicate->EvalBoolFast(values)) {
+            continue;
+          }
+          Row row;
+          row.values = values;
+          row.entity_id = static_cast<EntityId>(pos);
+          row.group_key = pos;
+          out.push_back(std::move(row));
+        }
+      } catch (const std::exception& e) {
+        std::lock_guard<std::mutex> lock(mutex);
+        failed = true;
+        if (error.empty()) error = e.what();
+        done[m];
+        ready.notify_all();
+        return;
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex);
+    done[m] = std::move(out);
+    ready.notify_all();
+  }
+};
+
+TableScanOp::TableScanOp(TablePtr table, std::string alias, ThreadPool* pool,
+                         std::size_t batch_size, ExecStats* stats,
+                         std::uint64_t session_id)
+    : table_(std::move(table)),
+      pool_(pool),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      stats_(stats),
+      session_id_(session_id) {
   output_columns_.reserve(table_->num_attributes());
   for (const std::string& name : table_->schema().names()) {
     output_columns_.push_back(alias + "." + name);
   }
 }
 
+bool TableScanOp::UseMorsels() const {
+  // A parallel scan needs at least two morsels' worth of rows and a pool
+  // with real parallelism; otherwise the sequential path is strictly
+  // cheaper and, by construction, produces the same row order.
+  return pool_ != nullptr && pool_->num_threads() > 1 &&
+         table_->num_rows() > MorselRows(batch_size_);
+}
+
 Status TableScanOp::Open() {
   position_ = 0;
+  buffer_.clear();
+  buffer_pos_ = 0;
+  next_emit_ = 0;
+  submitted_ = 0;
+  morsels_.reset();
+  if (UseMorsels()) {
+    morsels_ = std::make_shared<MorselScan>();
+    morsels_->table = table_;
+    morsels_->predicate = predicate_;
+    morsels_->morsel_rows = MorselRows(batch_size_);
+    morsels_->num_morsels =
+        (table_->num_rows() + morsels_->morsel_rows - 1) /
+        morsels_->morsel_rows;
+    morsels_->session_id = session_id_;
+    // Prime the window: enough in-flight morsels to keep every worker fed,
+    // few enough to bound the reorder buffer. Each consumed morsel funds
+    // one replacement task, so at most `window` buffers ever coexist.
+    const std::size_t window =
+        std::min(morsels_->num_morsels, 2 * pool_->num_threads());
+    for (std::size_t i = 0; i < window; ++i) SubmitMorselTask();
+  }
   return Status::OK();
 }
 
-Result<bool> TableScanOp::Next(Row* row) {
-  if (position_ >= table_->num_rows()) return false;
-  row->values = table_->row(position_);
-  row->entity_id = position_;
-  row->group_key = position_;
-  ++position_;
-  return true;
+void TableScanOp::SubmitMorselTask() {
+  if (submitted_ >= morsels_->num_morsels) return;
+  ++submitted_;
+  std::shared_ptr<MorselScan> state = morsels_;
+  pool_->Submit([state] { state->RunOne(); });
 }
 
-void TableScanOp::Close() {}
+Result<bool> TableScanOp::NextSequential(RowBatch* batch) {
+  const std::size_t n = table_->num_rows();
+  while (position_ < n && !batch->full()) {
+    const std::vector<std::string>& values = table_->row(position_);
+    if (predicate_ == nullptr || predicate_->EvalBoolFast(values)) {
+      Row* row = batch->AppendRow();
+      row->values = values;
+      row->entity_id = position_;
+      row->group_key = position_;
+    }
+    ++position_;
+  }
+  return position_ < n || !batch->empty();
+}
+
+Result<bool> TableScanOp::NextMorsel(RowBatch* batch) {
+  MorselScan& state = *morsels_;
+  while (!batch->full()) {
+    if (buffer_pos_ < buffer_.size()) {
+      // Rows leave the morsel buffer by move: the buffer dies with the
+      // morsel, so there is nothing to preserve.
+      while (buffer_pos_ < buffer_.size() && !batch->full()) {
+        *batch->AppendRow() = std::move(buffer_[buffer_pos_++]);
+      }
+      continue;
+    }
+    if (next_emit_ >= state.num_morsels) break;
+    {
+      std::unique_lock<std::mutex> lock(state.mutex);
+      state.ready.wait(lock, [&] { return state.done.count(next_emit_) > 0; });
+      if (state.failed) {
+        // Abandon the scan: window-queued tasks must not keep materializing
+        // morsels for a dead query on the shared pool.
+        state.cancelled.store(true, std::memory_order_release);
+        return Status::ExecutionError(
+            "parallel scan failed (session " +
+            std::to_string(state.session_id) + "): " + state.error);
+      }
+      auto it = state.done.find(next_emit_);
+      buffer_ = std::move(it->second);
+      state.done.erase(it);
+    }
+    buffer_pos_ = 0;
+    ++next_emit_;
+    if (stats_ != nullptr) ++stats_->morsels_scanned;
+    SubmitMorselTask();
+  }
+  return !batch->empty() || next_emit_ < state.num_morsels ||
+         buffer_pos_ < buffer_.size();
+}
+
+Result<bool> TableScanOp::Next(RowBatch* batch) {
+  batch->Clear();
+  if (morsels_ != nullptr) return NextMorsel(batch);
+  return NextSequential(batch);
+}
+
+void TableScanOp::CancelMorsels() {
+  if (morsels_ != nullptr) {
+    // Stragglers deposit empty results and exit; the shared state keeps
+    // them safe after this operator is gone.
+    morsels_->cancelled.store(true, std::memory_order_release);
+    morsels_.reset();
+  }
+}
+
+void TableScanOp::Close() {
+  CancelMorsels();
+  buffer_.clear();
+}
 
 }  // namespace queryer

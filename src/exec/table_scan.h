@@ -1,29 +1,90 @@
-// TableScan: emits every row of a base table with its entity id.
+// TableScan: the batch source of the pipeline, with an optional fused
+// filter predicate and a morsel-driven parallel mode.
 
 #ifndef QUERYER_EXEC_TABLE_SCAN_H_
 #define QUERYER_EXEC_TABLE_SCAN_H_
 
+#include <memory>
 #include <string>
 
+#include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "parallel/thread_pool.h"
+#include "plan/expr.h"
 #include "storage/table.h"
 
 namespace queryer {
 
-/// \brief Full scan of one base table. Each emitted row carries its
-/// EntityId and a singleton group key (its own id), so an unresolved row is
-/// its own duplicate group.
+/// Minimum rows per morsel: parallel scans never cut the table finer than
+/// this, so tiny batch sizes do not degenerate into per-row tasks.
+inline constexpr std::size_t kMinMorselRows = 1024;
+
+/// \brief Scan of one base table, optionally evaluating a fused filter
+/// predicate. Each emitted row carries its EntityId and a singleton group
+/// key (its own id), so an unresolved row is its own duplicate group.
+///
+/// The fused predicate (a Filter lowered into its Scan) is evaluated
+/// against the table's stored rows BEFORE anything is copied, so filtered
+/// out tuples cost one predicate evaluation and zero materialization — the
+/// selection-vector idea applied at the source.
+///
+/// With a multi-worker pool the scan is a morsel-driven parallel source:
+/// the table is cut into morsels (max(batch capacity, kMinMorselRows) rows)
+/// claimed from an atomic cursor by one pool task each. One task = one
+/// morsel, so the shared FIFO pool interleaves concurrent sessions' scans
+/// fairly — a long scan cannot starve another session's morsels — and every
+/// task carries its session tag. Finished morsels are handed back through a
+/// bounded reorder window and emitted strictly in table order, which keeps
+/// query answers bit-identical to the sequential scan at every thread
+/// count.
 class TableScanOp final : public PhysicalOperator {
  public:
-  TableScanOp(TablePtr table, std::string alias);
+  /// `pool` with more than one worker enables the morsel-parallel mode.
+  /// `batch_size` sizes the morsels; `stats` (may be null) receives the
+  /// morsel counters; `session_id` tags this scan's morsel tasks.
+  TableScanOp(TablePtr table, std::string alias, ThreadPool* pool = nullptr,
+              std::size_t batch_size = kDefaultBatchSize,
+              ExecStats* stats = nullptr, std::uint64_t session_id = 0);
+
+  /// Cancels any in-flight morsels: a query that dies in ANOTHER operator
+  /// destroys this scan without Close() (DrainOperator's error path), and
+  /// the window-queued tasks must not keep materializing for a dead query.
+  ~TableScanOp() override { CancelMorsels(); }
+
+  /// Fuses a filter into the scan. `predicate` must be bound against this
+  /// scan's output_columns(). Call before Open().
+  void FusePredicate(ExprPtr predicate) { predicate_ = std::move(predicate); }
 
   Status Open() override;
-  Result<bool> Next(Row* row) override;
+  Result<bool> Next(RowBatch* batch) override;
   void Close() override;
 
  private:
+  struct MorselScan;
+
+  bool UseMorsels() const;
+  Result<bool> NextSequential(RowBatch* batch);
+  Result<bool> NextMorsel(RowBatch* batch);
+  void SubmitMorselTask();
+  void CancelMorsels();
+
   TablePtr table_;
+  // Shared with in-flight morsel tasks, which may outlive a Close().
+  std::shared_ptr<const Expr> predicate_;
+  ThreadPool* pool_;
+  std::size_t batch_size_;
+  ExecStats* stats_;
+  std::uint64_t session_id_;
+
+  // Sequential cursor.
   EntityId position_ = 0;
+
+  // Morsel mode state (created at Open).
+  std::shared_ptr<MorselScan> morsels_;
+  std::vector<Row> buffer_;      // Rows of the morsel being emitted.
+  std::size_t buffer_pos_ = 0;
+  std::size_t next_emit_ = 0;    // Morsel index to emit next.
+  std::size_t submitted_ = 0;    // Tasks handed to the pool so far.
 };
 
 }  // namespace queryer

@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
 namespace queryer {
 
-BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio) {
+BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio,
+                               ThreadPool* pool) {
   if (ratio >= 1.0) return blocks;
   // entity -> indices of its blocks, to be sorted ascending by block size.
   std::unordered_map<EntityId, std::vector<std::uint32_t>> entity_blocks;
@@ -15,21 +17,42 @@ BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio) {
     for (EntityId e : blocks[i].entities) entity_blocks[e].push_back(i);
   }
 
-  // For each entity keep the first ceil(p * n) smallest blocks.
+  // The per-entity size statistics — sort each entity's block list and cut
+  // it to the first ceil(p * n) smallest — are independent, so they chunk
+  // onto the pool. Each body writes only to its own entities' lists; the
+  // shared `retained` sets are filled sequentially afterwards.
+  std::vector<std::vector<std::uint32_t>*> entity_lists;
+  entity_lists.reserve(entity_blocks.size());
+  for (auto& [entity, block_ids] : entity_blocks) {
+    (void)entity;
+    entity_lists.push_back(&block_ids);
+  }
+  Status status = ParallelFor(
+      pool, entity_lists.size(),
+      [&](std::size_t, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          std::vector<std::uint32_t>& block_ids = *entity_lists[i];
+          std::sort(block_ids.begin(), block_ids.end(),
+                    [&](std::uint32_t a, std::uint32_t b) {
+                      return blocks[a].size() != blocks[b].size()
+                                 ? blocks[a].size() < blocks[b].size()
+                                 : a < b;
+                    });
+          auto keep = static_cast<std::size_t>(
+              std::ceil(ratio * static_cast<double>(block_ids.size())));
+          if (keep == 0) keep = 1;
+          if (keep > block_ids.size()) keep = block_ids.size();
+          block_ids.resize(keep);
+        }
+        return Status::OK();
+      });
+  // Bodies only fail by throwing; rethrow on the calling thread.
+  if (!status.ok()) throw std::runtime_error(status.ToString());
+
   // (entity, block) pairs that survive:
   std::vector<std::unordered_set<EntityId>> retained(blocks.size());
-  for (auto& [entity, block_ids] : entity_blocks) {
-    std::sort(block_ids.begin(), block_ids.end(),
-              [&](std::uint32_t a, std::uint32_t b) {
-                return blocks[a].size() != blocks[b].size()
-                           ? blocks[a].size() < blocks[b].size()
-                           : a < b;
-              });
-    auto keep = static_cast<std::size_t>(
-        std::ceil(ratio * static_cast<double>(block_ids.size())));
-    if (keep == 0) keep = 1;
-    if (keep > block_ids.size()) keep = block_ids.size();
-    for (std::size_t i = 0; i < keep; ++i) retained[block_ids[i]].insert(entity);
+  for (const auto& [entity, block_ids] : entity_blocks) {
+    for (std::uint32_t block : block_ids) retained[block].insert(entity);
   }
 
   BlockCollection filtered;

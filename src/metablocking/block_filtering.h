@@ -7,6 +7,7 @@
 #define QUERYER_METABLOCKING_BLOCK_FILTERING_H_
 
 #include "blocking/block.h"
+#include "parallel/thread_pool.h"
 
 namespace queryer {
 
@@ -20,7 +21,13 @@ inline constexpr double kDefaultBlockFilteringRatio = 0.8;
 /// order), matching the pre-sorted ITBI the paper describes. Blocks that end
 /// up with fewer than two entities, or with no query entity, are dropped —
 /// they can no longer produce a query comparison.
-BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio);
+///
+/// The per-entity size statistics (sort by block size + retention cut) are
+/// independent across entities and run chunked on `pool` when it has more
+/// than one worker; each entity's verdict depends only on its own block
+/// list, so the result is identical at every thread count.
+BlockCollection BlockFiltering(const BlockCollection& blocks, double ratio,
+                               ThreadPool* pool = nullptr);
 
 }  // namespace queryer
 

@@ -1,6 +1,7 @@
 #include "metablocking/edge_pruning.h"
 
 #include <algorithm>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -16,12 +17,13 @@ inline Comparison MakeComparison(EntityId a, EntityId b) {
   return a < b ? Comparison{a, b} : Comparison{b, a};
 }
 
-// Enumerates each query-relevant pair of each block exactly once per block,
-// invoking fn(pair, block_index).
+// Enumerates each query-relevant pair of blocks [begin, end) exactly once
+// per block, invoking fn(pair, block_index).
 template <typename Fn>
-void ForEachQueryPair(const BlockCollection& blocks, Fn&& fn) {
+void ForEachQueryPairInRange(const BlockCollection& blocks, std::size_t begin,
+                             std::size_t end, Fn&& fn) {
   std::unordered_set<EntityId> query_set;
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+  for (std::size_t bi = begin; bi < end; ++bi) {
     const Block& b = blocks[bi];
     query_set.clear();
     query_set.insert(b.query_entities.begin(), b.query_entities.end());
@@ -39,11 +41,27 @@ void ForEachQueryPair(const BlockCollection& blocks, Fn&& fn) {
   }
 }
 
+// Blocks per weighting chunk. Fixed (not derived from the worker count) so
+// the chunking — and with it every partial-sum association — is the same
+// no matter how many workers run, which keeps ARCS/JS weights bit-identical
+// across thread counts.
+constexpr std::size_t kWeightingChunkBlocks = 256;
+
+std::vector<ChunkRange> FixedSizeChunks(std::size_t n, std::size_t chunk_size) {
+  std::vector<ChunkRange> chunks;
+  chunks.reserve((n + chunk_size - 1) / chunk_size);
+  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
+    chunks.push_back({begin, std::min(begin + chunk_size, n)});
+  }
+  return chunks;
+}
+
 }  // namespace
 
 BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
-                                 EdgeWeighting weighting) {
-  // Per-entity block counts for the JS denominator.
+                                 EdgeWeighting weighting, ThreadPool* pool) {
+  // Per-entity block counts for the JS denominator (linear in the input —
+  // not worth a parallel pass next to the quadratic pair enumeration).
   std::unordered_map<EntityId, double> entity_block_count;
   if (weighting == EdgeWeighting::kJs) {
     for (const Block& b : blocks) {
@@ -51,21 +69,40 @@ BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
     }
   }
 
-  // Accumulate per-pair weights. CBS and JS need the shared-block count;
-  // ARCS needs Σ 1/||b||.
+  // Accumulate per-pair weights (CBS and JS need the shared-block count;
+  // ARCS needs Σ 1/||b||) into per-chunk maps — the parallel workers never
+  // share an accumulator — then merge in ascending chunk order. With a null
+  // pool the chunks run inline in the same order, so both paths execute the
+  // identical sequence of floating-point additions.
+  const std::vector<ChunkRange> chunks =
+      FixedSizeChunks(blocks.size(), kWeightingChunkBlocks);
+  std::vector<std::unordered_map<std::uint64_t, double>> partials(
+      chunks.size());
+  Status status = ParallelFor(
+      pool, chunks, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        auto& accum = partials[chunk];
+        ForEachQueryPairInRange(
+            blocks, begin, end, [&](Comparison pair, std::size_t block_index) {
+              double increment = 1.0;
+              if (weighting == EdgeWeighting::kArcs) {
+                double cardinality = blocks[block_index].Cardinality();
+                increment = cardinality > 0 ? 1.0 / cardinality : 0.0;
+              }
+              accum[PairKey(pair.first, pair.second)] += increment;
+            });
+        return Status::OK();
+      });
+  // Bodies only fail by throwing; rethrow on the calling thread for parity
+  // with the sequential accumulation's error behavior.
+  if (!status.ok()) throw std::runtime_error(status.ToString());
+
   std::unordered_map<std::uint64_t, double> accum;
-  ForEachQueryPair(blocks, [&](Comparison pair, std::size_t block_index) {
-    double increment = 1.0;
-    if (weighting == EdgeWeighting::kArcs) {
-      double cardinality = blocks[block_index].Cardinality();
-      increment = cardinality > 0 ? 1.0 / cardinality : 0.0;
-    }
-    accum[PairKey(pair.first, pair.second)] += increment;
-  });
+  for (auto& partial : partials) {
+    for (const auto& [key, increment] : partial) accum[key] += increment;
+  }
 
   BlockingGraph graph;
   graph.edges.reserve(accum.size());
-  double total_weight = 0;
   for (const auto& [key, raw_weight] : accum) {
     auto a = static_cast<EntityId>(key >> 32);
     auto b = static_cast<EntityId>(key & 0xffffffffu);
@@ -75,15 +112,20 @@ BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
       weight = denom > 0 ? raw_weight / denom : 0.0;
     }
     graph.edges.push_back({{a, b}, weight});
-    total_weight += weight;
   }
-  graph.mean_weight =
-      graph.edges.empty() ? 0.0 : total_weight / static_cast<double>(graph.edges.size());
-  // Deterministic order for reproducible downstream behaviour.
+  // Deterministic order for reproducible downstream behaviour; the mean is
+  // summed in sorted order so it depends only on the final edge set, not on
+  // map iteration order.
   std::sort(graph.edges.begin(), graph.edges.end(),
             [](const WeightedEdge& x, const WeightedEdge& y) {
               return x.pair < y.pair;
             });
+  double total_weight = 0;
+  for (const WeightedEdge& edge : graph.edges) total_weight += edge.weight;
+  graph.mean_weight =
+      graph.edges.empty()
+          ? 0.0
+          : total_weight / static_cast<double>(graph.edges.size());
   return graph;
 }
 
@@ -97,14 +139,15 @@ std::vector<Comparison> EdgePruning(const BlockingGraph& graph) {
 }
 
 std::vector<Comparison> EdgePruning(const BlockCollection& blocks,
-                                    EdgeWeighting weighting) {
-  return EdgePruning(BuildBlockingGraph(blocks, weighting));
+                                    EdgeWeighting weighting, ThreadPool* pool) {
+  return EdgePruning(BuildBlockingGraph(blocks, weighting, pool));
 }
 
 std::vector<Comparison> DistinctComparisons(const BlockCollection& blocks) {
   std::unordered_set<std::uint64_t> seen;
   std::vector<Comparison> comparisons;
-  ForEachQueryPair(blocks, [&](Comparison pair, std::size_t) {
+  ForEachQueryPairInRange(blocks, 0, blocks.size(),
+                          [&](Comparison pair, std::size_t) {
     if (seen.insert(PairKey(pair.first, pair.second)).second) {
       comparisons.push_back(pair);
     }

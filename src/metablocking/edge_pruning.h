@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "blocking/block.h"
+#include "parallel/thread_pool.h"
 
 namespace queryer {
 
@@ -52,8 +53,16 @@ struct BlockingGraph {
 /// Per-entity block counts for the JS denominator are computed over the
 /// input collection itself, i.e. after any block-refinement steps, following
 /// the strict BP -> BF -> EP order of the paper.
+///
+/// Edge weighting is per-pair and embarrassingly parallel: with a
+/// multi-worker `pool` the blocks are accumulated into per-chunk weight
+/// maps in parallel and merged in chunk order. The chunks are a fixed size
+/// (independent of the worker count) and the merge order is fixed, so the
+/// resulting weights — including every floating-point rounding — are
+/// bit-identical at every thread count, null pool included.
 BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,
-                                 EdgeWeighting weighting);
+                                 EdgeWeighting weighting,
+                                 ThreadPool* pool = nullptr);
 
 /// \brief Weighted Edge Pruning: keeps edges with weight >= mean weight.
 ///
@@ -62,7 +71,8 @@ std::vector<Comparison> EdgePruning(const BlockingGraph& graph);
 
 /// \brief Convenience: graph construction + pruning.
 std::vector<Comparison> EdgePruning(const BlockCollection& blocks,
-                                    EdgeWeighting weighting);
+                                    EdgeWeighting weighting,
+                                    ThreadPool* pool = nullptr);
 
 /// \brief All distinct query-relevant comparisons of a block collection,
 /// without pruning (the BP+BF configuration of paper Table 8). Each pair is

@@ -3,22 +3,25 @@
 namespace queryer {
 
 MetaBlockingResult RunMetaBlocking(BlockCollection blocks,
-                                   const MetaBlockingConfig& config) {
+                                   const MetaBlockingConfig& config,
+                                   ThreadPool* pool) {
   MetaBlockingResult result;
   result.blocks_in = blocks.size();
 
   if (config.block_purging) {
-    blocks = BlockPurging(std::move(blocks), config.purging_outlier_factor);
+    blocks = BlockPurging(std::move(blocks), config.purging_outlier_factor,
+                          pool);
   }
   result.blocks_after_purging = blocks.size();
 
   if (config.block_filtering) {
-    blocks = BlockFiltering(blocks, config.filtering_ratio);
+    blocks = BlockFiltering(blocks, config.filtering_ratio, pool);
   }
   result.blocks_after_filtering = blocks.size();
 
   if (config.edge_pruning) {
-    BlockingGraph graph = BuildBlockingGraph(blocks, config.edge_weighting);
+    BlockingGraph graph =
+        BuildBlockingGraph(blocks, config.edge_weighting, pool);
     result.comparisons_before_pruning = graph.edges.size();
     result.comparisons = EdgePruning(graph);
   } else {

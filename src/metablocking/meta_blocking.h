@@ -56,9 +56,12 @@ struct MetaBlockingResult {
 
 /// \brief Runs the configured refinement steps over an enriched block
 /// collection (the EQBI of Block-Join) and returns the surviving
-/// comparisons.
+/// comparisons. A multi-worker `pool` parallelizes the edge weighting and
+/// the purging/filtering size statistics; results are identical at every
+/// thread count (see the per-stage headers).
 MetaBlockingResult RunMetaBlocking(BlockCollection blocks,
-                                   const MetaBlockingConfig& config);
+                                   const MetaBlockingConfig& config,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace queryer
 

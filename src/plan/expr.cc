@@ -1,9 +1,11 @@
 #include "plan/expr.h"
 
+#include <cctype>
 #include <cstdlib>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "exec/row_batch.h"
 
 namespace queryer {
 
@@ -282,6 +284,118 @@ bool Expr::EvalBool(const std::vector<std::string>& row) const {
       Value v = EvalValue(row);
       return v.number.has_value() && *v.number != 0;
   }
+}
+
+namespace {
+
+// Case-insensitive three-way compare without the lowercased copies
+// CompareValues makes; byte-wise identical to
+// ToLower(a).compare(ToLower(b)) clamped to {-1, 0, 1}.
+int CompareTextCI(const std::string& a, const std::string& b) {
+  const std::size_t n = a.size() < b.size() ? a.size() : b.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    unsigned char ca =
+        static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(a[i])));
+    unsigned char cb =
+        static_cast<unsigned char>(std::tolower(static_cast<unsigned char>(b[i])));
+    if (ca != cb) return ca < cb ? -1 : 1;
+  }
+  if (a.size() == b.size()) return 0;
+  return a.size() < b.size() ? -1 : 1;
+}
+
+bool ApplyCompare(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq: return cmp == 0;
+    case CompareOp::kNe: return cmp != 0;
+    case CompareOp::kLt: return cmp < 0;
+    case CompareOp::kLe: return cmp <= 0;
+    case CompareOp::kGt: return cmp > 0;
+    case CompareOp::kGe: return cmp >= 0;
+  }
+  return false;
+}
+
+// Numeric evaluation of a column/literal/MOD subtree without building a
+// Value (no string copies). Mirrors EvalValue's numeric semantics exactly:
+// a column is numeric iff its text parses fully, MOD is numeric iff both
+// operands are and the divisor is nonzero.
+bool TryEvalNumber(const Expr& e, const std::vector<std::string>& row,
+                   double* out) {
+  switch (e.kind()) {
+    case ExprKind::kColumn: {
+      std::optional<double> v = ParseNumber(row[e.bound_index()]);
+      if (!v.has_value()) return false;
+      *out = *v;
+      return true;
+    }
+    case ExprKind::kLiteral: {
+      if (!e.literal().number.has_value()) return false;
+      *out = *e.literal().number;
+      return true;
+    }
+    case ExprKind::kMod: {
+      double lhs = 0, rhs = 0;
+      if (!TryEvalNumber(*e.children()[0], row, &lhs) ||
+          !TryEvalNumber(*e.children()[1], row, &rhs) || rhs == 0) {
+        return false;
+      }
+      *out = static_cast<double>(static_cast<long long>(lhs) %
+                                 static_cast<long long>(rhs));
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// Fast-path operand shapes: only these reach the allocation-free compare.
+bool IsLeafOperand(const Expr& e) {
+  return e.kind() == ExprKind::kColumn || e.kind() == ExprKind::kLiteral ||
+         e.kind() == ExprKind::kMod;
+}
+
+// Raw text of a column/literal operand (no copy). MOD is excluded: its
+// text form needs formatting, so mixed MOD-vs-string comparisons fall back
+// to the generic path.
+const std::string* RawText(const Expr& e, const std::vector<std::string>& row) {
+  if (e.kind() == ExprKind::kColumn) return &row[e.bound_index()];
+  if (e.kind() == ExprKind::kLiteral) return &e.literal().text;
+  return nullptr;
+}
+
+}  // namespace
+
+bool Expr::EvalBoolFast(const std::vector<std::string>& row) const {
+  // The comparison fast path: both operands leaf-shaped, so the row is
+  // decided without constructing Values. Falls back to EvalBool when the
+  // operand mix (e.g. MOD against a non-numeric string) needs the generic
+  // semantics.
+  if (kind_ == ExprKind::kCompare && IsLeafOperand(*children_[0]) &&
+      IsLeafOperand(*children_[1])) {
+    const Expr& lhs = *children_[0];
+    const Expr& rhs = *children_[1];
+    double ln = 0, rn = 0;
+    if (TryEvalNumber(lhs, row, &ln) && TryEvalNumber(rhs, row, &rn)) {
+      return ApplyCompare(compare_op_, ln < rn ? -1 : (ln > rn ? 1 : 0));
+    }
+    const std::string* lt = RawText(lhs, row);
+    const std::string* rt = RawText(rhs, row);
+    if (lt != nullptr && rt != nullptr) {
+      return ApplyCompare(compare_op_, CompareTextCI(*lt, *rt));
+    }
+  }
+  return EvalBool(row);
+}
+
+std::size_t Expr::FilterBatch(RowBatch* batch) const {
+  const std::size_t n = batch->size();
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (EvalBoolFast(batch->row(i).values)) batch->Keep(out++, i);
+  }
+  batch->TruncateSelection(out);
+  return out;
 }
 
 void Expr::CollectColumns(std::vector<const Expr*>* out) const {

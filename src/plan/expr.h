@@ -23,6 +23,7 @@
 namespace queryer {
 
 class Expr;
+class RowBatch;
 using ExprPtr = std::unique_ptr<Expr>;
 
 enum class ExprKind {
@@ -94,6 +95,18 @@ class Expr {
 
   /// Evaluates a predicate on a row. Must be bound first.
   bool EvalBool(const std::vector<std::string>& row) const;
+
+  /// \brief EvalBool with the hot-loop fast path: comparisons of
+  /// column/literal/MOD operands are decided allocation-free (no Value
+  /// copies, no lowercased temporaries), everything else falls back to
+  /// EvalBool. Same result for every input; callers evaluating a predicate
+  /// per row in bulk (fused scans, FilterBatch) use this.
+  bool EvalBoolFast(const std::vector<std::string>& row) const;
+
+  /// \brief Evaluates this predicate over a whole batch via EvalBoolFast,
+  /// compacting the batch's selection vector to the surviving rows.
+  /// Returns the survivor count. Must be bound first.
+  std::size_t FilterBatch(RowBatch* batch) const;
 
   /// Collects pointers to all kColumn nodes in the tree.
   void CollectColumns(std::vector<const Expr*>* out) const;

@@ -245,7 +245,8 @@ double StatisticsCache::DuplicationFactor(TableRuntime* runtime) {
       QueryBlockIndex::Build(table, sample, runtime->blocking_options());
   BlockCollection enriched = BlockJoin(qbi, runtime->tbi());
   MetaBlockingResult refined =
-      RunMetaBlocking(std::move(enriched), runtime->meta_blocking_config());
+      RunMetaBlocking(std::move(enriched), runtime->meta_blocking_config(),
+                      runtime->thread_pool());
   LinkIndex scratch(n);
   ExecuteComparisons(table, refined.comparisons, runtime->matching_config(),
                      &scratch, &runtime->attribute_weights());
