@@ -1,0 +1,172 @@
+// Parallel join-probe and group-aggregation sweep: the two operators PR 4
+// moved onto the morsel machinery, measured at 1/2/4 worker threads.
+//
+// Point A is a plain (non-DEDUP) hash join whose probe side spans many
+// probe morsels — pure pipeline cost, so the probe parallelism is the only
+// thing that can move the needle. Point B is a DEDUP query whose
+// Group-Entities input spans many aggregation chunks (the ER resolution
+// inside it also parallelizes, so its total time mixes both effects; the
+// reported group_seconds isolates the aggregation).
+//
+// Per point the harness asserts the operators' determinism contract —
+// identical result rows (and link counts for B) at every thread count —
+// and exits 1 on a violation, so CI smoke runs double as a regression
+// check. Honors --threads=N only as the *maximum* sweep point and
+// --batch-size=N for the RowBatch capacity.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/string_util.h"
+#include "datagen/scholarly.h"
+
+namespace {
+
+constexpr int kReps = 3;
+
+struct SweepPoint {
+  std::size_t threads = 0;
+  double join_seconds = 0;
+  double dedup_seconds = 0;
+  double group_seconds = 0;
+  std::size_t probe_morsels = 0;
+  std::size_t partial_groups_merged = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace queryer::bench;
+  InitBenchArgs(&argc, argv);
+  Banner("Parallel join probe & entity-group aggregation: 1/2/4 threads");
+
+  // A joinier OAGP/OAGV pair than the paper's 5% default, so the probe
+  // actually emits rows, plus a DSD selection wide enough that the
+  // Group-Entities input spans several aggregation chunks.
+  auto universe = queryer::datagen::MakeVenueUniverse(400, 7);
+  queryer::datagen::OagpOptions oagp_options;
+  oagp_options.venue_join_fraction = 0.5;
+  auto oagp = queryer::datagen::MakeOagpLike(Scaled(kSize1M), universe, 11,
+                                             oagp_options);
+  auto oagv = queryer::datagen::MakeOagvLike(Scaled(kOagvRows), universe, 13);
+  auto dsd = queryer::datagen::MakeDsdLike(Scaled(kDsdRows), 4242);
+
+  const std::string join_sql =
+      "SELECT * FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title";
+  const std::string dedup_sql =
+      SelectivityQuery(dsd.table->name(), 80, "title, venue");
+
+  std::printf("|oagp|=%zu |oagv|=%zu |dsd|=%zu\n\n", oagp.table->num_rows(),
+              oagv.table->num_rows(), dsd.table->num_rows());
+
+  std::vector<std::size_t> thread_counts = {1, 2, 4};
+  if (ThreadsExplicit()) {
+    // An explicit --threads=N caps the sweep — including N = 1, which
+    // yields a sequential-only run (the 1-thread point always stays).
+    while (thread_counts.size() > 1 && thread_counts.back() > Threads()) {
+      thread_counts.pop_back();
+    }
+  }
+
+  std::vector<std::vector<std::string>> join_baseline;
+  std::vector<std::vector<std::string>> dedup_baseline;
+  std::size_t links_baseline = 0;
+  std::vector<SweepPoint> points;
+
+  for (std::size_t threads : thread_counts) {
+    SetThreads(threads);
+    SweepPoint point;
+    point.threads = threads;
+
+    // Point A: plain join, best of kReps (fresh engine per rep is not
+    // needed — no ER state is involved).
+    {
+      queryer::EngineOptions options;
+      options.num_threads = threads;
+      if (BatchSize() != 0) options.batch_size = BatchSize();
+      queryer::QueryEngine engine(options);
+      if (!engine.RegisterTable(oagp.table).ok() ||
+          !engine.RegisterTable(oagv.table).ok()) {
+        return 1;
+      }
+      for (int rep = 0; rep < kReps; ++rep) {
+        queryer::QueryResult result = MustExecute(&engine, join_sql);
+        if (rep == 0 || result.stats.total_seconds < point.join_seconds) {
+          point.join_seconds = result.stats.total_seconds;
+        }
+        point.probe_morsels = result.stats.probe_morsels;
+        if (threads == thread_counts.front() && rep == 0) {
+          join_baseline = result.rows;
+        } else if (result.rows != join_baseline) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: join rows differ at %zu "
+                       "threads\n",
+                       threads);
+          return 1;
+        }
+      }
+    }
+
+    // Point B: DEDUP + Group-Entities. A fresh engine per point: the Link
+    // Index must start cold each time or later points get cheaper.
+    {
+      queryer::EngineOptions options;
+      options.num_threads = threads;
+      if (BatchSize() != 0) options.batch_size = BatchSize();
+      queryer::QueryEngine engine(options);
+      if (!engine.RegisterTable(dsd.table).ok()) return 1;
+      queryer::QueryResult result = MustExecute(&engine, dedup_sql);
+      std::size_t links =
+          engine.GetRuntime(dsd.table->name())->get()->link_index().num_links();
+      point.dedup_seconds = result.stats.total_seconds;
+      point.group_seconds = result.stats.group_seconds;
+      point.partial_groups_merged = result.stats.partial_groups_merged;
+      if (threads == thread_counts.front()) {
+        dedup_baseline = result.rows;
+        links_baseline = links;
+      } else if (result.rows != dedup_baseline || links != links_baseline) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: DEDUP rows or links differ at "
+                     "%zu threads\n",
+                     threads);
+        return 1;
+      }
+    }
+
+    points.push_back(point);
+  }
+
+  std::printf("%8s %12s %14s %12s %14s %14s\n", "threads", "join(s)",
+              "probe_morsels", "dedup(s)", "group(s)", "partials_merged");
+  for (const SweepPoint& point : points) {
+    std::printf("%8zu %12s %14zu %12s %14s %14zu\n", point.threads,
+                queryer::FormatDouble(point.join_seconds, 4).c_str(),
+                point.probe_morsels,
+                queryer::FormatDouble(point.dedup_seconds, 4).c_str(),
+                queryer::FormatDouble(point.group_seconds, 4).c_str(),
+                point.partial_groups_merged);
+    CsvLine("parallel_join",
+            {std::to_string(point.threads),
+             queryer::FormatDouble(point.join_seconds, 5),
+             std::to_string(point.probe_morsels),
+             queryer::FormatDouble(point.dedup_seconds, 5),
+             queryer::FormatDouble(point.group_seconds, 5),
+             std::to_string(point.partial_groups_merged)});
+    SetThreads(point.threads);  // JsonLine reports the sweep point's count.
+    JsonLine("parallel_join",
+             {{"join_seconds", queryer::FormatDouble(point.join_seconds, 5)},
+              {"probe_morsels", std::to_string(point.probe_morsels)},
+              {"dedup_seconds", queryer::FormatDouble(point.dedup_seconds, 5)},
+              {"group_seconds", queryer::FormatDouble(point.group_seconds, 5)},
+              {"partial_groups_merged",
+               std::to_string(point.partial_groups_merged)}});
+  }
+
+  std::printf(
+      "\nShape to verify: rows and links identical at every thread count; "
+      "join/group seconds shrink toward the core count on multi-core "
+      "hardware.\n");
+  return 0;
+}

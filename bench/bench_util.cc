@@ -14,15 +14,21 @@ std::size_t g_threads = SIZE_MAX;
 // 0 = engine-default RowBatch capacity; SIZE_MAX = env not read yet.
 std::size_t g_batch_size = SIZE_MAX;
 
+// True once the count came from --threads, QUERYER_BENCH_THREADS or
+// SetThreads — as opposed to the silent default of 1. Sweep harnesses use
+// this to tell an explicit --threads=1 apart from "no preference".
+bool g_threads_explicit = false;
+
 }  // namespace
 
 std::size_t Threads() {
   if (g_threads == SIZE_MAX) {
     const char* env = std::getenv("QUERYER_BENCH_THREADS");
-    std::size_t threads =
-        env != nullptr
-            ? static_cast<std::size_t>(std::strtoull(env, nullptr, 10))
-            : 1;
+    std::size_t threads = 1;
+    if (env != nullptr) {
+      threads = static_cast<std::size_t>(std::strtoull(env, nullptr, 10));
+      g_threads_explicit = true;
+    }
     // Resolve 0 (= hardware concurrency) eagerly so CSV/JSON lines always
     // report the actual worker count, matching the --threads flag path.
     g_threads = threads == 0 ? ThreadPool::HardwareConcurrency() : threads;
@@ -30,7 +36,15 @@ std::size_t Threads() {
   return g_threads;
 }
 
-void SetThreads(std::size_t threads) { g_threads = threads; }
+bool ThreadsExplicit() {
+  Threads();  // Force the env-variable read.
+  return g_threads_explicit;
+}
+
+void SetThreads(std::size_t threads) {
+  g_threads = threads;
+  g_threads_explicit = true;
+}
 
 std::size_t BatchSize() {
   if (g_batch_size == SIZE_MAX) {

@@ -37,6 +37,12 @@ std::size_t Threads();
 /// Overrides the thread count programmatically (sweep harnesses).
 void SetThreads(std::size_t threads);
 
+/// True when the thread count was set explicitly (--threads,
+/// QUERYER_BENCH_THREADS or SetThreads) rather than defaulted to 1.
+/// Sweep harnesses use this to honor an explicit --threads=N — including
+/// N = 1 — as the maximum sweep point.
+bool ThreadsExplicit();
+
 /// RowBatch capacity for engines built by MakeEngine. Set by a
 /// `--batch-size=N` argument or the QUERYER_BENCH_BATCH_SIZE environment
 /// variable; 0 (the default) keeps the engine's default capacity.

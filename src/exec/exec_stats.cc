@@ -23,6 +23,8 @@ void ExecStats::Accumulate(const ExecStats& other) {
   blocks_after_join += other.blocks_after_join;
   comparisons_after_metablocking += other.comparisons_after_metablocking;
   morsels_scanned += other.morsels_scanned;
+  probe_morsels += other.probe_morsels;
+  partial_groups_merged += other.partial_groups_merged;
   blocking_seconds += other.blocking_seconds;
   block_join_seconds += other.block_join_seconds;
   purging_seconds += other.purging_seconds;

@@ -36,6 +36,13 @@ struct ExecStats {
   /// Morsels consumed by this session's parallel table scans (0 when every
   /// scan ran sequentially).
   std::size_t morsels_scanned = 0;
+  /// Probe morsels consumed by this session's parallel hash-join probes
+  /// (0 when every probe ran sequentially).
+  std::size_t probe_morsels = 0;
+  /// Partial groups merged by parallel Group-Entities aggregations: the
+  /// summed group counts of the per-worker partial tables (0 when every
+  /// aggregation ran sequentially).
+  std::size_t partial_groups_merged = 0;
 
   // Stage timings (seconds), cumulative over all ER operators of the query.
   double blocking_seconds = 0;      // QBI construction.

@@ -103,9 +103,9 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
       QUERYER_RETURN_NOT_OK(BindJoinKeys(left->output_columns(),
                                          right->output_columns(), &left_key,
                                          &right_key));
-      return OperatorPtr(new HashJoinOp(std::move(left), std::move(right),
-                                        std::move(left_key),
-                                        std::move(right_key), batch_size_));
+      return OperatorPtr(new HashJoinOp(
+          std::move(left), std::move(right), std::move(left_key),
+          std::move(right_key), batch_size_, pool_, stats_, session_id_));
     }
     case PlanKind::kDeduplicate: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
@@ -136,7 +136,7 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
     case PlanKind::kGroupEntities: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
       return OperatorPtr(
-          new GroupEntitiesOp(std::move(child), stats_, batch_size_));
+          new GroupEntitiesOp(std::move(child), stats_, batch_size_, pool_));
     }
   }
   return Status::Internal("unknown plan kind");

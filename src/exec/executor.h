@@ -1,4 +1,13 @@
 // Executor: lowers a logical plan to physical operators and runs it.
+//
+// Lowering is where the plan meets the engine's execution machinery: every
+// expression is cloned and bound against its child's output columns, a
+// Filter directly above a TableScan is fused into the scan, and the
+// engine's thread pool, batch size, per-query ExecStats and session id are
+// plumbed into the operators that use them (morsel-parallel scans, the
+// parallel join probe, parallel Group-Entities aggregation, the ER
+// operators' comparison execution). One Executor = one query session; see
+// docs/ARCHITECTURE.md for the full pipeline walkthrough.
 
 #ifndef QUERYER_EXEC_EXECUTOR_H_
 #define QUERYER_EXEC_EXECUTOR_H_

@@ -3,12 +3,92 @@
 #include <unordered_map>
 
 #include "common/stopwatch.h"
+#include "parallel/reorder_window.h"
 
 namespace queryer {
 
+namespace {
+
+/// One duplicate group under construction: per attribute, the distinct
+/// non-empty variants in first-seen order.
+struct Group {
+  std::vector<std::vector<std::string>> variants;
+};
+
+/// A group table over one contiguous slice of the input: groups (and each
+/// group's variants) in slice-local first-seen order. The whole input is
+/// one slice on the sequential path; a morsel of it on the parallel path.
+struct GroupTable {
+  std::vector<std::uint64_t> order;
+  std::unordered_map<std::uint64_t, Group> groups;
+};
+
+/// Folds one row into the table, preserving first-seen order of groups and
+/// variants. Both the sequential path and every parallel worker use this,
+/// so the two paths cannot drift apart.
+void AccumulateRow(const Row& row, std::size_t width, GroupTable* table) {
+  auto [it, inserted] = table->groups.try_emplace(row.group_key);
+  if (inserted) {
+    it->second.variants.resize(width);
+    table->order.push_back(row.group_key);
+  }
+  Group& group = it->second;
+  for (std::size_t a = 0; a < width && a < row.values.size(); ++a) {
+    const std::string& value = row.values[a];
+    if (value.empty()) continue;  // Nulls map to the empty variant.
+    auto& seen = group.variants[a];
+    bool duplicate = false;
+    for (const std::string& existing : seen) {
+      if (existing == value) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) seen.push_back(value);
+  }
+}
+
+/// Merges `partial` (the table of a later slice) into `merged`, preserving
+/// global first-seen order: groups new to `merged` are appended in the
+/// partial's order, and each attribute's variant list is extended with the
+/// partial's variants that are not yet present, in the partial's order.
+/// Merging slices in input order therefore reproduces the sequential
+/// accumulation exactly.
+void MergeGroupTable(GroupTable&& partial, std::size_t width,
+                     GroupTable* merged) {
+  for (std::uint64_t key : partial.order) {
+    Group& from = partial.groups[key];
+    auto [it, inserted] = merged->groups.try_emplace(key);
+    if (inserted) {
+      merged->order.push_back(key);
+      it->second = std::move(from);
+      continue;
+    }
+    Group& into = it->second;
+    for (std::size_t a = 0; a < width; ++a) {
+      auto& seen = into.variants[a];
+      for (std::string& value : from.variants[a]) {
+        bool duplicate = false;
+        for (const std::string& existing : seen) {
+          if (existing == value) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (!duplicate) seen.push_back(std::move(value));
+      }
+    }
+  }
+}
+
+}  // namespace
+
 GroupEntitiesOp::GroupEntitiesOp(OperatorPtr child, ExecStats* stats,
-                                 std::size_t batch_size)
-    : child_(std::move(child)), stats_(stats), batch_size_(batch_size) {
+                                 std::size_t batch_size, ThreadPool* pool)
+    : child_(std::move(child)),
+      stats_(stats),
+      batch_size_(batch_size),
+      pool_(pool) {
   output_columns_ = child_->output_columns();
 }
 
@@ -18,38 +98,38 @@ Status GroupEntitiesOp::Open() {
   Stopwatch watch;
 
   const std::size_t width = output_columns_.size();
-  struct Group {
-    // Per attribute: distinct non-empty variants in first-seen order.
-    std::vector<std::vector<std::string>> variants;
-  };
-  std::vector<std::uint64_t> group_order;
-  std::unordered_map<std::uint64_t, Group> groups;
-  for (Row& row : input) {
-    auto [it, inserted] = groups.try_emplace(row.group_key);
-    if (inserted) {
-      it->second.variants.resize(width);
-      group_order.push_back(row.group_key);
+  GroupTable table;
+  const bool parallel = pool_ != nullptr && pool_->num_threads() > 1 &&
+                        input.size() > kMinMorselRows;
+  if (parallel) {
+    // Aggregate over morsels: per-chunk partial group tables built on the
+    // pool, merged deterministically in worker-chunk order. Fixed-size
+    // chunks, so the merge order — and thus the output — is independent
+    // of the pool width.
+    const std::vector<ChunkRange> chunks =
+        FixedSizeChunks(input.size(), kMinMorselRows);
+    std::vector<GroupTable> partials(chunks.size());
+    QUERYER_RETURN_NOT_OK(ParallelFor(
+        pool_, chunks,
+        [&](std::size_t chunk_index, std::size_t begin, std::size_t end) {
+          GroupTable& partial = partials[chunk_index];
+          for (std::size_t i = begin; i < end; ++i) {
+            AccumulateRow(input[i], width, &partial);
+          }
+          return Status::OK();
+        }));
+    for (GroupTable& partial : partials) {
+      stats_->partial_groups_merged += partial.order.size();
+      MergeGroupTable(std::move(partial), width, &table);
     }
-    Group& group = it->second;
-    for (std::size_t a = 0; a < width && a < row.values.size(); ++a) {
-      const std::string& value = row.values[a];
-      if (value.empty()) continue;  // Nulls map to the empty variant.
-      auto& seen = group.variants[a];
-      bool duplicate = false;
-      for (const std::string& existing : seen) {
-        if (existing == value) {
-          duplicate = true;
-          break;
-        }
-      }
-      if (!duplicate) seen.push_back(value);
-    }
+  } else {
+    for (const Row& row : input) AccumulateRow(row, width, &table);
   }
 
   output_.clear();
-  output_.reserve(group_order.size());
-  for (std::uint64_t key : group_order) {
-    const Group& group = groups[key];
+  output_.reserve(table.order.size());
+  for (std::uint64_t key : table.order) {
+    const Group& group = table.groups[key];
     Row row;
     row.group_key = key;
     row.values.reserve(width);

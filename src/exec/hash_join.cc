@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "parallel/reorder_window.h"
 
 namespace queryer {
 
@@ -35,13 +36,61 @@ void ConcatInto(const Row& left, const Row& right, Row* out) {
 
 }  // namespace
 
+/// Shared between the consuming operator and its probe tasks. Tasks hold
+/// the shared_ptr (plus the build table and key expression), so a join
+/// abandoned mid-stream stays memory-safe: straggler tasks finish against
+/// this state and the last reference frees it.
+struct HashJoinOp::ProbeState {
+  std::shared_ptr<const BuildTable> build;
+  std::shared_ptr<const Expr> key;
+  std::uint64_t session_id = 0;
+
+  /// In-order emission + bounded in-flight probe morsels (backpressure).
+  ReorderWindow<std::vector<Row>> window;
+
+  explicit ProbeState(std::size_t window_size) : window(window_size) {}
+
+  /// Pool task body: probes one morsel of left rows against the immutable
+  /// build table into a per-worker output buffer. Output rows carry no
+  /// group key yet — the coordinator assigns group keys at emission, in
+  /// output order, so they match the sequential probe exactly.
+  void RunMorsel(std::size_t slot, std::vector<Row> rows) {
+    std::vector<Row> out;
+    if (!window.cancelled()) {
+      try {
+        for (const Row& left : rows) {
+          std::string k = JoinKeyOf(*key, left.values);
+          if (k.empty()) continue;  // NULL keys never join.
+          auto it = build->find(k);
+          if (it == build->end()) continue;
+          for (const Row& right : it->second) {
+            Row joined;
+            ConcatInto(left, right, &joined);
+            joined.entity_id = kInvalidEntityId;
+            out.push_back(std::move(joined));
+          }
+        }
+      } catch (const std::exception& e) {
+        window.Fail(slot, e.what());
+        return;
+      }
+    }
+    window.Complete(slot, std::move(out));
+  }
+};
+
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
-                       ExprPtr right_key, std::size_t batch_size)
+                       ExprPtr right_key, std::size_t batch_size,
+                       ThreadPool* pool, ExecStats* stats,
+                       std::uint64_t session_id)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
       right_key_(std::move(right_key)),
-      batch_size_(batch_size == 0 ? 1 : batch_size) {
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      pool_(pool),
+      stats_(stats),
+      session_id_(session_id) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   output_columns_ = left_->output_columns();
@@ -50,34 +99,112 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
   }
 }
 
+bool HashJoinOp::UseParallelProbe() const {
+  // A parallel probe needs a pool with real parallelism and a non-empty
+  // build table (an empty one joins nothing — draining the left child
+  // sequentially is strictly cheaper).
+  return pool_ != nullptr && pool_->num_threads() > 1 &&
+         !build_side_->empty();
+}
+
 Status HashJoinOp::Open() {
   QUERYER_RETURN_NOT_OK(left_->Open());
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> rows,
                            DrainOperator(right_.get(), batch_size_));
-  build_side_.clear();
+  BuildTable build;
   // Sizing the table for one row per bucket up front avoids the rehash
   // cascade the per-tuple inserts used to pay.
-  build_side_.reserve(rows.size());
+  build.reserve(rows.size());
   for (Row& row : rows) {
     std::string key = JoinKeyOf(*right_key_, row.values);
     if (key.empty()) continue;  // NULL keys never join.
-    build_side_[std::move(key)].push_back(std::move(row));
+    build[std::move(key)].push_back(std::move(row));
   }
+  build_side_ = std::make_shared<const BuildTable>(std::move(build));
   probe_live_ = false;
   probe_pos_ = 0;
   current_matches_ = nullptr;
   match_index_ = 0;
   done_ = false;
   output_counter_ = 0;
+  left_done_ = false;
+  out_buffer_.clear();
+  out_pos_ = 0;
+  probe_state_.reset();
+  if (UseParallelProbe()) {
+    // Same window sizing as the parallel scan: each consumed morsel funds
+    // one replacement task, bounding the buffered output.
+    probe_state_ = std::make_shared<ProbeState>(2 * pool_->num_threads());
+    probe_state_->build = build_side_;
+    probe_state_->key = left_key_;
+    probe_state_->session_id = session_id_;
+  }
   return Status::OK();
 }
 
-Result<bool> HashJoinOp::Next(RowBatch* batch) {
-  batch->Clear();
-  if (done_) return false;
-  if (probe_ == nullptr) {
-    probe_ = std::make_unique<RowBatch>(batch->capacity());
+Status HashJoinOp::DispatchProbeMorsels() {
+  ProbeState& state = *probe_state_;
+  const std::size_t morsel_rows = MorselRowsFor(batch_size_);
+  while (!left_done_ && state.window.HasCapacity()) {
+    // Accumulate one probe morsel's worth of left rows. The left child may
+    // legally return empty batches mid-stream, so pull until the morsel is
+    // full or the stream definitively ends.
+    std::vector<Row> morsel;
+    morsel.reserve(morsel_rows);
+    while (morsel.size() < morsel_rows) {
+      QUERYER_ASSIGN_OR_RETURN(bool has, left_->Next(probe_.get()));
+      if (!has) {
+        left_done_ = true;
+        break;
+      }
+      for (std::size_t i = 0; i < probe_->size(); ++i) {
+        morsel.push_back(std::move(probe_->row(i)));
+      }
+    }
+    if (morsel.empty()) break;
+    std::size_t slot;
+    if (!state.window.TryAcquire(&slot)) break;  // Unreachable: capacity held.
+    std::shared_ptr<ProbeState> shared = probe_state_;
+    pool_->Submit([shared, slot, m = std::move(morsel)]() mutable {
+      shared->RunMorsel(slot, std::move(m));
+    });
   }
+  return Status::OK();
+}
+
+Result<bool> HashJoinOp::NextParallel(RowBatch* batch) {
+  ProbeState& state = *probe_state_;
+  while (!batch->full()) {
+    if (out_pos_ < out_buffer_.size()) {
+      // Rows leave the probed buffer by move; group keys are assigned
+      // here, in emission order, matching the sequential probe.
+      while (out_pos_ < out_buffer_.size() && !batch->full()) {
+        Row* out = batch->AppendRow();
+        *out = std::move(out_buffer_[out_pos_++]);
+        out->group_key = output_counter_++;
+      }
+      continue;
+    }
+    QUERYER_RETURN_NOT_OK(DispatchProbeMorsels());
+    if (!state.window.HasPending()) break;  // Left drained, all emitted.
+    Result<std::vector<Row>> probed = state.window.AwaitNext();
+    if (!probed.ok()) {
+      // AwaitNext already cancelled the window; queued tasks drain fast.
+      return Status::ExecutionError(
+          "parallel join probe failed (session " +
+          std::to_string(state.session_id) +
+          "): " + probed.status().message());
+    }
+    out_buffer_ = std::move(*probed);
+    out_pos_ = 0;
+    if (stats_ != nullptr) ++stats_->probe_morsels;
+  }
+  return !batch->empty() || out_pos_ < out_buffer_.size() ||
+         state.window.HasPending() || !left_done_;
+}
+
+Result<bool> HashJoinOp::NextSequential(RowBatch* batch) {
+  if (done_) return false;
   while (!batch->full()) {
     if (current_matches_ != nullptr) {
       if (match_index_ < current_matches_->size()) {
@@ -105,8 +232,8 @@ Result<bool> HashJoinOp::Next(RowBatch* batch) {
       continue;  // The new batch may itself be empty.
     }
     std::string key = JoinKeyOf(*left_key_, probe_->row(probe_pos_).values);
-    auto it = key.empty() ? build_side_.end() : build_side_.find(key);
-    if (it == build_side_.end()) {
+    auto it = key.empty() ? build_side_->end() : build_side_->find(key);
+    if (it == build_side_->end()) {
       ++probe_pos_;
       continue;
     }
@@ -116,10 +243,30 @@ Result<bool> HashJoinOp::Next(RowBatch* batch) {
   return !batch->empty() || !done_;
 }
 
+Result<bool> HashJoinOp::Next(RowBatch* batch) {
+  batch->Clear();
+  if (probe_ == nullptr) {
+    probe_ = std::make_unique<RowBatch>(batch->capacity());
+  }
+  if (probe_state_ != nullptr) return NextParallel(batch);
+  return NextSequential(batch);
+}
+
+void HashJoinOp::CancelProbe() {
+  if (probe_state_ != nullptr) {
+    // Stragglers deposit empty results and exit; the shared state keeps
+    // them (and the build table) safe after this operator is gone.
+    probe_state_->window.Cancel();
+    probe_state_.reset();
+  }
+}
+
 void HashJoinOp::Close() {
   left_->Close();
   // Right child already closed by DrainOperator in Open().
-  build_side_.clear();
+  CancelProbe();
+  build_side_.reset();
+  out_buffer_.clear();
 }
 
 }  // namespace queryer

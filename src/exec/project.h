@@ -1,4 +1,8 @@
-// Project: evaluates the SELECT list over child batches.
+// Project: evaluates the SELECT list over child batches. Unlike Filter, a
+// projection changes row shape, so it cannot just shrink the child's
+// selection vector: it pulls the child into an input batch it owns and
+// materializes the item expressions' values into the caller's batch (both
+// batches' row storage is recycled across calls).
 
 #ifndef QUERYER_EXEC_PROJECT_H_
 #define QUERYER_EXEC_PROJECT_H_

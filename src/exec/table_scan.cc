@@ -1,20 +1,8 @@
 #include "exec/table_scan.h"
 
 #include <algorithm>
-#include <atomic>
-#include <condition_variable>
-#include <map>
-#include <mutex>
 
 namespace queryer {
-
-namespace {
-
-std::size_t MorselRows(std::size_t batch_size) {
-  return batch_size < kMinMorselRows ? kMinMorselRows : batch_size;
-}
-
-}  // namespace
 
 /// Shared between the consuming operator and its pool tasks. Tasks hold the
 /// shared_ptr (plus the table), so a scan abandoned mid-stream (Close with
@@ -27,23 +15,16 @@ struct TableScanOp::MorselScan {
   std::size_t num_morsels = 0;
   std::uint64_t session_id = 0;
 
-  /// Hands morsels to tasks; every submitted task claims exactly one.
-  std::atomic<std::size_t> cursor{0};
-  /// Set by Close: unclaimed morsels deposit empty results and quit early.
-  std::atomic<bool> cancelled{false};
+  /// In-order emission + bounded in-flight morsels (backpressure).
+  ReorderWindow<std::vector<Row>> window;
 
-  std::mutex mutex;
-  std::condition_variable ready;
-  /// Finished morsels waiting for in-order emission (reorder window).
-  std::map<std::size_t, std::vector<Row>> done;
-  bool failed = false;
-  std::string error;
+  explicit MorselScan(std::size_t window_size) : window(window_size) {}
 
-  void RunOne() {
-    std::size_t m = cursor.fetch_add(1, std::memory_order_relaxed);
-    if (m >= num_morsels) return;
+  /// Pool task body: materializes morsel `m` and deposits it. A cancelled
+  /// scan deposits an empty result so the window's accounting stays whole.
+  void RunMorsel(std::size_t m) {
     std::vector<Row> out;
-    if (!cancelled.load(std::memory_order_acquire)) {
+    if (!window.cancelled()) {
       try {
         const std::size_t begin = m * morsel_rows;
         const std::size_t end =
@@ -62,17 +43,11 @@ struct TableScanOp::MorselScan {
           out.push_back(std::move(row));
         }
       } catch (const std::exception& e) {
-        std::lock_guard<std::mutex> lock(mutex);
-        failed = true;
-        if (error.empty()) error = e.what();
-        done[m];
-        ready.notify_all();
+        window.Fail(m, e.what());
         return;
       }
     }
-    std::lock_guard<std::mutex> lock(mutex);
-    done[m] = std::move(out);
-    ready.notify_all();
+    window.Complete(m, std::move(out));
   }
 };
 
@@ -95,40 +70,43 @@ bool TableScanOp::UseMorsels() const {
   // with real parallelism; otherwise the sequential path is strictly
   // cheaper and, by construction, produces the same row order.
   return pool_ != nullptr && pool_->num_threads() > 1 &&
-         table_->num_rows() > MorselRows(batch_size_);
+         table_->num_rows() > MorselRowsFor(batch_size_);
 }
 
 Status TableScanOp::Open() {
   position_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
-  next_emit_ = 0;
   submitted_ = 0;
   morsels_.reset();
   if (UseMorsels()) {
-    morsels_ = std::make_shared<MorselScan>();
+    // Window size: enough in-flight morsels to keep every worker fed, few
+    // enough to bound the reorder buffer. Each consumed morsel funds one
+    // replacement task, so at most `window` result buffers ever coexist.
+    morsels_ = std::make_shared<MorselScan>(2 * pool_->num_threads());
     morsels_->table = table_;
     morsels_->predicate = predicate_;
-    morsels_->morsel_rows = MorselRows(batch_size_);
+    morsels_->morsel_rows = MorselRowsFor(batch_size_);
     morsels_->num_morsels =
         (table_->num_rows() + morsels_->morsel_rows - 1) /
         morsels_->morsel_rows;
     morsels_->session_id = session_id_;
-    // Prime the window: enough in-flight morsels to keep every worker fed,
-    // few enough to bound the reorder buffer. Each consumed morsel funds
-    // one replacement task, so at most `window` buffers ever coexist.
-    const std::size_t window =
-        std::min(morsels_->num_morsels, 2 * pool_->num_threads());
-    for (std::size_t i = 0; i < window; ++i) SubmitMorselTask();
+    // Prime the window up to its capacity (or the whole table).
+    while (SubmitMorselTask()) {
+    }
   }
   return Status::OK();
 }
 
-void TableScanOp::SubmitMorselTask() {
-  if (submitted_ >= morsels_->num_morsels) return;
-  ++submitted_;
-  std::shared_ptr<MorselScan> state = morsels_;
-  pool_->Submit([state] { state->RunOne(); });
+bool TableScanOp::SubmitMorselTask() {
+  MorselScan& state = *morsels_;
+  if (submitted_ >= state.num_morsels) return false;  // Table dispatched.
+  std::size_t slot;
+  if (!state.window.TryAcquire(&slot)) return false;  // Window full.
+  ++submitted_;  // == slot + 1: the single coordinator acquires in order.
+  std::shared_ptr<MorselScan> shared = morsels_;
+  pool_->Submit([shared, slot] { shared->RunMorsel(slot); });
+  return true;
 }
 
 Result<bool> TableScanOp::NextSequential(RowBatch* batch) {
@@ -157,28 +135,22 @@ Result<bool> TableScanOp::NextMorsel(RowBatch* batch) {
       }
       continue;
     }
-    if (next_emit_ >= state.num_morsels) break;
-    {
-      std::unique_lock<std::mutex> lock(state.mutex);
-      state.ready.wait(lock, [&] { return state.done.count(next_emit_) > 0; });
-      if (state.failed) {
-        // Abandon the scan: window-queued tasks must not keep materializing
-        // morsels for a dead query on the shared pool.
-        state.cancelled.store(true, std::memory_order_release);
-        return Status::ExecutionError(
-            "parallel scan failed (session " +
-            std::to_string(state.session_id) + "): " + state.error);
-      }
-      auto it = state.done.find(next_emit_);
-      buffer_ = std::move(it->second);
-      state.done.erase(it);
+    if (state.window.emitted() >= state.num_morsels) break;
+    Result<std::vector<Row>> morsel = state.window.AwaitNext();
+    if (!morsel.ok()) {
+      // Abandon the scan: window-queued tasks must not keep materializing
+      // morsels for a dead query on the shared pool (AwaitNext already
+      // cancelled the window).
+      return Status::ExecutionError(
+          "parallel scan failed (session " + std::to_string(state.session_id) +
+          "): " + morsel.status().message());
     }
+    buffer_ = std::move(*morsel);
     buffer_pos_ = 0;
-    ++next_emit_;
     if (stats_ != nullptr) ++stats_->morsels_scanned;
     SubmitMorselTask();
   }
-  return !batch->empty() || next_emit_ < state.num_morsels ||
+  return !batch->empty() || state.window.emitted() < state.num_morsels ||
          buffer_pos_ < buffer_.size();
 }
 
@@ -192,7 +164,7 @@ void TableScanOp::CancelMorsels() {
   if (morsels_ != nullptr) {
     // Stragglers deposit empty results and exit; the shared state keeps
     // them safe after this operator is gone.
-    morsels_->cancelled.store(true, std::memory_order_release);
+    morsels_->window.Cancel();
     morsels_.reset();
   }
 }

@@ -9,15 +9,12 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "parallel/reorder_window.h"
 #include "parallel/thread_pool.h"
 #include "plan/expr.h"
 #include "storage/table.h"
 
 namespace queryer {
-
-/// Minimum rows per morsel: parallel scans never cut the table finer than
-/// this, so tiny batch sizes do not degenerate into per-row tasks.
-inline constexpr std::size_t kMinMorselRows = 1024;
 
 /// \brief Scan of one base table, optionally evaluating a fused filter
 /// predicate. Each emitted row carries its EntityId and a singleton group
@@ -30,13 +27,14 @@ inline constexpr std::size_t kMinMorselRows = 1024;
 ///
 /// With a multi-worker pool the scan is a morsel-driven parallel source:
 /// the table is cut into morsels (max(batch capacity, kMinMorselRows) rows)
-/// claimed from an atomic cursor by one pool task each. One task = one
-/// morsel, so the shared FIFO pool interleaves concurrent sessions' scans
-/// fairly — a long scan cannot starve another session's morsels — and every
-/// task carries its session tag. Finished morsels are handed back through a
-/// bounded reorder window and emitted strictly in table order, which keeps
-/// query answers bit-identical to the sequential scan at every thread
-/// count.
+/// dispatched as one pool task each. One task = one morsel, so the shared
+/// FIFO pool interleaves concurrent sessions' scans fairly — a long scan
+/// cannot starve another session's morsels — and every task carries its
+/// session tag. Finished morsels are handed back through a bounded
+/// ReorderWindow (see parallel/reorder_window.h; HashJoinOp's parallel
+/// probe shares the same machinery) and emitted strictly in table order,
+/// which keeps query answers bit-identical to the sequential scan at every
+/// thread count.
 class TableScanOp final : public PhysicalOperator {
  public:
   /// `pool` with more than one worker enables the morsel-parallel mode.
@@ -65,7 +63,10 @@ class TableScanOp final : public PhysicalOperator {
   bool UseMorsels() const;
   Result<bool> NextSequential(RowBatch* batch);
   Result<bool> NextMorsel(RowBatch* batch);
-  void SubmitMorselTask();
+  /// Dispatches the next undispatched morsel if the reorder window has
+  /// capacity; returns false when the table is fully dispatched or the
+  /// window is full.
+  bool SubmitMorselTask();
   void CancelMorsels();
 
   TablePtr table_;
@@ -83,7 +84,6 @@ class TableScanOp final : public PhysicalOperator {
   std::shared_ptr<MorselScan> morsels_;
   std::vector<Row> buffer_;      // Rows of the morsel being emitted.
   std::size_t buffer_pos_ = 0;
-  std::size_t next_emit_ = 0;    // Morsel index to emit next.
   std::size_t submitted_ = 0;    // Tasks handed to the pool so far.
 };
 

@@ -47,15 +47,6 @@ void ForEachQueryPairInRange(const BlockCollection& blocks, std::size_t begin,
 // across thread counts.
 constexpr std::size_t kWeightingChunkBlocks = 256;
 
-std::vector<ChunkRange> FixedSizeChunks(std::size_t n, std::size_t chunk_size) {
-  std::vector<ChunkRange> chunks;
-  chunks.reserve((n + chunk_size - 1) / chunk_size);
-  for (std::size_t begin = 0; begin < n; begin += chunk_size) {
-    chunks.push_back({begin, std::min(begin + chunk_size, n)});
-  }
-  return chunks;
-}
-
 }  // namespace
 
 BlockingGraph BuildBlockingGraph(const BlockCollection& blocks,

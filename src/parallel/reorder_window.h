@@ -1,0 +1,165 @@
+// ReorderWindow: the bounded in-order result window behind every
+// morsel-driven parallel operator (TableScanOp's parallel scan, HashJoinOp's
+// parallel probe). Workers complete work items out of order; the consumer
+// receives them strictly in submission order, so a parallel operator's
+// output is bit-identical to its sequential execution at every thread count.
+//
+// The window also provides the backpressure that bounds memory: at most
+// `window_size` items may be in flight (acquired but not yet emitted) at
+// once, so a fast pool can never pile up more than `window_size` finished
+// result buffers behind a slow consumer. Coordinators pace their task
+// submission with TryAcquire — prime the window at Open, then refund one
+// slot per consumed item — instead of throttling inside the pool.
+
+#ifndef QUERYER_PARALLEL_REORDER_WINDOW_H_
+#define QUERYER_PARALLEL_REORDER_WINDOW_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace queryer {
+
+/// Minimum rows per morsel, shared by every morsel-driven operator
+/// (TableScanOp, HashJoinOp's probe, GroupEntitiesOp's aggregation):
+/// parallel operators never cut their input finer than this, so tiny batch
+/// sizes do not degenerate into per-row tasks.
+inline constexpr std::size_t kMinMorselRows = 1024;
+
+/// max(batch_size, kMinMorselRows): the morsel granularity of an operator
+/// running with RowBatch capacity `batch_size`.
+inline constexpr std::size_t MorselRowsFor(std::size_t batch_size) {
+  return batch_size < kMinMorselRows ? kMinMorselRows : batch_size;
+}
+
+/// \brief Bounded reorder window between one coordinator thread and many
+/// worker tasks.
+///
+/// Roles and thread-safety contract:
+///
+///  * The COORDINATOR (single thread) calls TryAcquire to reserve slot
+///    indices 0, 1, 2, ... for dispatch, and AwaitNext to block for the
+///    next in-order result. TryAcquire fails exactly while `window_size`
+///    slots are in flight — that bound is the backpressure invariant: the
+///    map of finished-but-unemitted results never holds more than
+///    `window_size` entries.
+///
+///  * WORKERS (any thread) call Complete(slot, value) or Fail(slot, error)
+///    exactly once per acquired slot. Every acquired slot MUST eventually
+///    be completed or failed, even by cancelled workers (deposit an empty
+///    value), or AwaitNext deadlocks.
+///
+/// Failure: the first reported error wins (later errors are dropped), and
+/// AwaitNext surfaces it as soon as it can make progress — possibly before
+/// emitting earlier successful slots, since the query is doomed either way.
+/// A failed AwaitNext also cancels the window.
+///
+/// Cancellation is cooperative: Cancel() only raises a flag. In-flight
+/// workers poll cancelled() and deposit empty results, so a window shared
+/// via shared_ptr stays safe after the consuming operator is destroyed
+/// mid-stream (the straggler tasks finish against it and the last
+/// reference frees it).
+///
+/// T must be movable and default-constructible (Fail deposits a
+/// default-constructed placeholder to unblock the coordinator).
+template <typename T>
+class ReorderWindow {
+ public:
+  /// `window_size` is clamped to at least 1; 1 degenerates to fully
+  /// serialized dispatch (acquire, await, acquire, ...), which is the
+  /// sequential execution order.
+  explicit ReorderWindow(std::size_t window_size)
+      : window_size_(window_size == 0 ? 1 : window_size) {}
+
+  /// Coordinator: reserves the next slot index for dispatch. Returns false
+  /// while `window_size` slots are in flight (the backpressure bound).
+  bool TryAcquire(std::size_t* slot) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (acquired_ - emitted_ >= window_size_) return false;
+    *slot = acquired_++;
+    return true;
+  }
+
+  /// Coordinator: true while an acquired slot has not been emitted yet —
+  /// i.e. AwaitNext has something to wait for.
+  bool HasPending() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return emitted_ < acquired_;
+  }
+
+  /// Coordinator: true when TryAcquire would succeed.
+  bool HasCapacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return acquired_ - emitted_ < window_size_;
+  }
+
+  /// Slots emitted so far == the index AwaitNext waits for next.
+  std::size_t emitted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return emitted_;
+  }
+
+  /// Coordinator: blocks until the next in-order slot is completed, then
+  /// moves its value out. Precondition: HasPending(). If any worker failed,
+  /// returns that (first-reported) error and cancels the window.
+  Result<T> AwaitNext() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [&] { return failed_ || done_.count(emitted_) > 0; });
+    if (failed_) {
+      cancelled_.store(true, std::memory_order_release);
+      return Status::ExecutionError(error_);
+    }
+    auto it = done_.find(emitted_);
+    T value = std::move(it->second);
+    done_.erase(it);
+    ++emitted_;
+    return value;
+  }
+
+  /// Worker: deposits the result of `slot` (completions may arrive in any
+  /// order). Never blocks.
+  void Complete(std::size_t slot, T value) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    done_.emplace(slot, std::move(value));
+    ready_.notify_all();
+  }
+
+  /// Worker: reports failure of `slot`. The first error is kept; the slot
+  /// is filled with a placeholder so the coordinator always wakes up.
+  void Fail(std::size_t slot, std::string error) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failed_ = true;
+    if (error_.empty()) error_ = std::move(error);
+    done_.emplace(slot, T{});
+    ready_.notify_all();
+  }
+
+  /// Raises the cooperative cancellation flag (idempotent). Workers poll
+  /// cancelled() and must still Complete/Fail their slot afterwards.
+  void Cancel() { cancelled_.store(true, std::memory_order_release); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+
+ private:
+  const std::size_t window_size_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  /// Completed slots waiting for in-order emission; bounded by window_size_.
+  std::map<std::size_t, T> done_;
+  std::size_t acquired_ = 0;  // Slots handed out by TryAcquire.
+  std::size_t emitted_ = 0;   // Slots moved out by AwaitNext.
+  bool failed_ = false;
+  std::string error_;
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PARALLEL_REORDER_WINDOW_H_

@@ -108,6 +108,7 @@ TEST(FilterBatchTest, MatchesPerRowEvalBool) {
 struct RunOutcome {
   std::vector<std::vector<std::string>> rows;
   std::size_t num_links = 0;
+  ExecStats stats;
 };
 
 // Executes `sql` on a fresh engine (cold Link Index) over `tables`,
@@ -126,7 +127,10 @@ RunOutcome RunSql(const std::vector<TablePtr>& tables, const std::string& sql,
   auto result = engine.Execute(sql);
   EXPECT_TRUE(result.ok()) << result.status().ToString();
   RunOutcome outcome;
-  if (result.ok()) outcome.rows = std::move(result->rows);
+  if (result.ok()) {
+    outcome.rows = std::move(result->rows);
+    outcome.stats = result->stats;
+  }
   if (!link_table.empty()) {
     auto runtime = engine.GetRuntime(link_table);
     EXPECT_TRUE(runtime.ok());
@@ -146,24 +150,41 @@ class ExecBatchSweepTest : public ::testing::Test {
     pubs_ = new datagen::GeneratedDataset(
         datagen::MakeMotivatingPublications());
     venues_ = new datagen::GeneratedDataset(datagen::MakeMotivatingVenues());
+    // An OAGP/OAGV pair big enough that the join's probe side (left = the
+    // papers) spans several probe morsels.
+    auto universe = datagen::MakeVenueUniverse(300, 7);
+    datagen::OagpOptions oagp_options;
+    oagp_options.venue_join_fraction = 0.5;  // A joinier-than-paper mix.
+    oagp_ = new datagen::GeneratedDataset(
+        datagen::MakeOagpLike(3000, universe, 11, oagp_options));
+    oagv_ = new datagen::GeneratedDataset(
+        datagen::MakeOagvLike(800, universe, 13));
   }
   static void TearDownTestSuite() {
     delete dsd_;
     delete pubs_;
     delete venues_;
+    delete oagp_;
+    delete oagv_;
     dsd_ = nullptr;
     pubs_ = nullptr;
     venues_ = nullptr;
+    oagp_ = nullptr;
+    oagv_ = nullptr;
   }
 
   static datagen::GeneratedDataset* dsd_;
   static datagen::GeneratedDataset* pubs_;
   static datagen::GeneratedDataset* venues_;
+  static datagen::GeneratedDataset* oagp_;
+  static datagen::GeneratedDataset* oagv_;
 };
 
 datagen::GeneratedDataset* ExecBatchSweepTest::dsd_ = nullptr;
 datagen::GeneratedDataset* ExecBatchSweepTest::pubs_ = nullptr;
 datagen::GeneratedDataset* ExecBatchSweepTest::venues_ = nullptr;
+datagen::GeneratedDataset* ExecBatchSweepTest::oagp_ = nullptr;
+datagen::GeneratedDataset* ExecBatchSweepTest::oagv_ = nullptr;
 
 // Plain relational queries (scan, fused filter, projection, hash join):
 // identical answers at every batch size.
@@ -226,6 +247,68 @@ TEST_F(ExecBatchSweepTest, MorselScanDeterminismMatrix) {
         RunOutcome outcome = RunSql({dsd_->table}, sql, batch_size, num_threads);
         EXPECT_EQ(outcome.rows, reference.rows)
             << sql << " threads=" << num_threads << " batch=" << batch_size;
+      }
+    }
+  }
+}
+
+// The parallel hash-join probe: probe morsels are dispatched to the pool
+// and emitted through the reorder window in probe order, so the join's
+// answer is bit-identical to the sequential probe across the whole
+// num_threads x batch_size matrix.
+TEST_F(ExecBatchSweepTest, ParallelJoinProbeDeterminismMatrix) {
+  const std::vector<std::string> queries = {
+      "SELECT * FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title",
+      // A fused-filtered (morsel-parallel) scan feeding the probe side.
+      "SELECT * FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title "
+      "WHERE MOD(oagp.id, 100) < 50",
+  };
+  for (const std::string& sql : queries) {
+    RunOutcome reference = RunSql({oagp_->table, oagv_->table}, sql, 1024, 1);
+    EXPECT_FALSE(reference.rows.empty());
+    EXPECT_EQ(reference.stats.probe_morsels, 0u);
+    for (std::size_t num_threads : {std::size_t{1}, std::size_t{4}}) {
+      for (std::size_t batch_size : kBatchSizes) {
+        RunOutcome outcome =
+            RunSql({oagp_->table, oagv_->table}, sql, batch_size, num_threads);
+        EXPECT_EQ(outcome.rows, reference.rows)
+            << sql << " threads=" << num_threads << " batch=" << batch_size;
+      }
+    }
+  }
+}
+
+// The parallel probe must actually engage with a multi-worker pool: the
+// 3000-row probe side spans 3 morsels at the kMinMorselRows granularity.
+TEST_F(ExecBatchSweepTest, ParallelJoinProbeConsumesMorsels) {
+  const std::string sql =
+      "SELECT * FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title";
+  RunOutcome outcome = RunSql({oagp_->table, oagv_->table}, sql, 1024, 4);
+  EXPECT_EQ(outcome.stats.probe_morsels, 3u);
+}
+
+// Parallel Group-Entities aggregation: per-chunk partial group tables
+// merged in chunk order reproduce the sequential grouping bit for bit, for
+// answers AND link counts, across the num_threads x batch_size matrix.
+TEST_F(ExecBatchSweepTest, ParallelGroupEntitiesDeterminismMatrix) {
+  const std::string sql =
+      "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 50";
+  RunOutcome reference = RunSql({dsd_->table}, sql, 1024, 1, "dsd");
+  EXPECT_FALSE(reference.rows.empty());
+  EXPECT_EQ(reference.stats.partial_groups_merged, 0u);
+  for (std::size_t num_threads : {std::size_t{1}, std::size_t{4}}) {
+    for (std::size_t batch_size : kBatchSizes) {
+      RunOutcome outcome =
+          RunSql({dsd_->table}, sql, batch_size, num_threads, "dsd");
+      EXPECT_EQ(outcome.rows, reference.rows)
+          << "threads=" << num_threads << " batch=" << batch_size;
+      EXPECT_EQ(outcome.num_links, reference.num_links)
+          << "threads=" << num_threads << " batch=" << batch_size;
+      if (num_threads > 1) {
+        // > kMinMorselRows input rows reach Group-Entities, so the
+        // parallel aggregation really ran and merged at least one partial
+        // table per chunk.
+        EXPECT_GT(outcome.stats.partial_groups_merged, 0u);
       }
     }
   }

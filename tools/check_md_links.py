@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Checks that every relative link in the repo's Markdown files resolves.
+
+Scans all *.md files (skipping build trees and hidden directories), extracts
+inline links and images ([text](target), ![alt](target)), and verifies that
+every non-external target exists on disk relative to the file containing it.
+External schemes (http/https/mailto) and pure in-page anchors (#...) are
+skipped; an anchor suffix on a relative link is stripped before the
+existence check. Exits 1 listing every broken link.
+
+Usage: python3 tools/check_md_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", ".github", ".claude", "node_modules"}
+SKIP_DIR_PREFIXES = ("build",)
+# Inline link/image: [text](target) with an optional "title" after the
+# target. Reference-style definitions are rare here and not used.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+EXTERNAL_RE = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def iter_markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith(SKIP_DIR_PREFIXES)
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    broken = []
+    with open(path, encoding="utf-8") as handle:
+        text = handle.read()
+    # Fenced code blocks routinely contain bracketed text that is not a
+    # link; drop them before matching.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if EXTERNAL_RE.match(target) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), relative)
+        )
+        if not os.path.exists(resolved):
+            broken.append((os.path.relpath(path, root), target))
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = []
+    checked = 0
+    for path in iter_markdown_files(root):
+        checked += 1
+        broken.extend(check_file(path, root))
+    if broken:
+        print(f"{len(broken)} broken relative link(s):")
+        for origin, target in broken:
+            print(f"  {origin}: {target}")
+        return 1
+    print(f"OK: all relative links resolve across {checked} Markdown files.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
