@@ -1,0 +1,200 @@
+// Streaming-session latency bench: time-to-first-batch (TTFB) vs
+// time-to-last-batch (TTLB) of the Prepare/Open/Next cursor API, against
+// the materializing Execute wrapper, plus the cost of abandoning a session
+// after the first `kAbandonRows` rows (the pagination / early-LIMIT client
+// the streaming API exists for).
+//
+// Pipeline shapes covered: a full table scan (pure streaming — TTFB is one
+// batch), a selective fused-filter scan, a hash join (build at Open, probe
+// streamed) and a DEDUP selection (resolution happens at Open, grouping
+// materializes — TTFB ~ TTLB by design; the number quantifies exactly how
+// much of the answer the session must pay for before the first row).
+//
+// The clock starts BEFORE PreparedQuery::Open, so Open-time work (build
+// side drain, ER resolution) is charged to TTFB. Best of `kReps` runs per
+// metric; DEDUP runs are cold (fresh engine per rep — the Link Index would
+// otherwise turn later reps into lookups).
+//
+// Exits 1 if the streamed row count ever disagrees with Execute's answer.
+// Honors --threads=N / --batch-size=N (see docs/BENCHMARKS.md).
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace {
+
+constexpr int kReps = 3;
+constexpr std::size_t kAbandonRows = 100;
+
+struct QuerySpec {
+  const char* name;
+  std::string sql;
+  bool dedup;
+};
+
+struct Timings {
+  double execute_seconds = 0;   // Materializing Execute wrapper.
+  double ttfb_seconds = 0;      // Open -> first non-empty batch.
+  double ttlb_seconds = 0;      // Open -> end of stream.
+  double abandon_seconds = 0;   // Open -> kAbandonRows rows -> Close.
+  std::size_t rows = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace queryer::bench;
+  InitBenchArgs(&argc, argv);
+  Banner("Streaming sessions: time-to-first-batch vs time-to-last-batch");
+
+  auto dsd = Dsd(Scaled(kDsdRows));
+  auto oagp = Oagp(Scaled(kSize500K));
+  auto oagv = Oagv(Scaled(kOagvRows));
+
+  const std::vector<QuerySpec> queries = {
+      {"scan", "SELECT * FROM oagp", false},
+      {"filter5", "SELECT * FROM oagp WHERE MOD(id, 100) < 5", false},
+      {"join",
+       "SELECT * FROM oagp INNER JOIN oagv ON oagp.venue = oagv.title",
+       false},
+      {"dedup_q2", "SELECT DEDUP title, venue FROM dsd "
+                   "WHERE MOD(id, 100) < 20", true},
+  };
+
+  auto make_engine = [&]() {
+    queryer::EngineOptions options;
+    options.num_threads = Threads();
+    if (BatchSize() != 0) options.batch_size = BatchSize();
+    auto engine = std::make_unique<queryer::QueryEngine>(options);
+    for (const auto& table : {dsd.table, oagp.table, oagv.table}) {
+      queryer::Status status = engine->RegisterTable(table);
+      if (!status.ok()) {
+        std::fprintf(stderr, "RegisterTable failed: %s\n",
+                     status.ToString().c_str());
+        std::exit(1);
+      }
+    }
+    return engine;
+  };
+
+  std::printf("%-10s %10s %12s %12s %12s %12s\n", "query", "rows",
+              "execute(s)", "ttfb(s)", "ttlb(s)", "abandon(s)");
+  bool mismatch = false;
+  for (const QuerySpec& query : queries) {
+    Timings best;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Timings t;
+
+      // Materializing wrapper (its own engine when DEDUP, so every arm of
+      // this rep starts from an equally cold Link Index).
+      auto execute_engine = make_engine();
+      {
+        queryer::Stopwatch watch;
+        queryer::QueryResult result = MustExecute(execute_engine.get(),
+                                                  query.sql);
+        t.execute_seconds = watch.ElapsedSeconds();
+        t.rows = result.rows.size();
+      }
+
+      // Streaming drain: TTFB + TTLB in one pass.
+      auto stream_engine = query.dedup ? make_engine()
+                                       : std::move(execute_engine);
+      {
+        queryer::Stopwatch watch;
+        auto cursor = stream_engine->ExecuteStream(query.sql);
+        if (!cursor.ok()) {
+          std::fprintf(stderr, "ExecuteStream failed: %s\n",
+                       cursor.status().ToString().c_str());
+          return 1;
+        }
+        std::size_t rows = 0;
+        double first = -1;
+        queryer::RowBatch batch((*cursor)->batch_size());
+        while (true) {
+          auto has = (*cursor)->Next(&batch);
+          if (!has.ok()) {
+            std::fprintf(stderr, "Next failed: %s\n",
+                         has.status().ToString().c_str());
+            return 1;
+          }
+          if (!*has) break;
+          if (!batch.empty() && first < 0) first = watch.ElapsedSeconds();
+          rows += batch.size();
+        }
+        t.ttlb_seconds = watch.ElapsedSeconds();
+        t.ttfb_seconds = first < 0 ? t.ttlb_seconds : first;
+        if (rows != t.rows) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: %s streamed %zu rows, "
+                       "Execute returned %zu\n",
+                       query.name, rows, t.rows);
+          mismatch = true;
+        }
+      }
+
+      // Early abandonment: first kAbandonRows rows, then Close.
+      auto abandon_engine = query.dedup ? make_engine()
+                                        : std::move(stream_engine);
+      {
+        queryer::Stopwatch watch;
+        auto cursor = abandon_engine->ExecuteStream(query.sql);
+        if (!cursor.ok()) {
+          std::fprintf(stderr, "ExecuteStream failed: %s\n",
+                       cursor.status().ToString().c_str());
+          return 1;
+        }
+        auto page = (*cursor)->Fetch(kAbandonRows);
+        if (!page.ok()) {
+          std::fprintf(stderr, "Fetch failed: %s\n",
+                       page.status().ToString().c_str());
+          return 1;
+        }
+        (*cursor)->Close();
+        t.abandon_seconds = watch.ElapsedSeconds();
+      }
+
+      if (rep == 0 || t.execute_seconds < best.execute_seconds) {
+        best.execute_seconds = t.execute_seconds;
+      }
+      if (rep == 0 || t.ttfb_seconds < best.ttfb_seconds) {
+        best.ttfb_seconds = t.ttfb_seconds;
+      }
+      if (rep == 0 || t.ttlb_seconds < best.ttlb_seconds) {
+        best.ttlb_seconds = t.ttlb_seconds;
+      }
+      if (rep == 0 || t.abandon_seconds < best.abandon_seconds) {
+        best.abandon_seconds = t.abandon_seconds;
+      }
+      best.rows = t.rows;
+    }
+
+    std::printf("%-10s %10zu %12s %12s %12s %12s\n", query.name, best.rows,
+                queryer::FormatDouble(best.execute_seconds, 4).c_str(),
+                queryer::FormatDouble(best.ttfb_seconds, 4).c_str(),
+                queryer::FormatDouble(best.ttlb_seconds, 4).c_str(),
+                queryer::FormatDouble(best.abandon_seconds, 4).c_str());
+    CsvLine("streaming_latency",
+            {query.name, std::to_string(best.rows),
+             queryer::FormatDouble(best.execute_seconds, 5),
+             queryer::FormatDouble(best.ttfb_seconds, 5),
+             queryer::FormatDouble(best.ttlb_seconds, 5),
+             queryer::FormatDouble(best.abandon_seconds, 5)});
+    JsonLine("streaming_latency",
+             {{"query", query.name},
+              {"rows", std::to_string(best.rows)},
+              {"execute_seconds",
+               queryer::FormatDouble(best.execute_seconds, 5)},
+              {"ttfb_seconds", queryer::FormatDouble(best.ttfb_seconds, 5)},
+              {"ttlb_seconds", queryer::FormatDouble(best.ttlb_seconds, 5)},
+              {"abandon_seconds",
+               queryer::FormatDouble(best.abandon_seconds, 5)},
+              {"abandon_rows", std::to_string(kAbandonRows)}});
+  }
+  return mismatch ? 1 : 0;
+}

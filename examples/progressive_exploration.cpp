@@ -1,7 +1,9 @@
-// Progressive exploration (the paper's Fig. 11 usage pattern): an analyst
-// issues overlapping queries against the same dirty table; the Link Index
-// makes every successive query cheaper because already-resolved entities
-// skip the ER pipeline entirely.
+// Progressive exploration (the paper's Fig. 11 usage pattern), on the
+// streaming cursor API: an analyst issues overlapping queries against the
+// same dirty table and watches batches arrive as soon as the relevant
+// entities are resolved. The Link Index makes every successive query
+// cheaper because already-resolved entities skip the ER pipeline entirely
+// — visible here as a shrinking time-to-first-batch.
 //
 //   ./progressive_exploration [num_rows]
 
@@ -9,6 +11,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "datagen/scholarly.h"
 #include "engine/query_engine.h"
@@ -32,26 +35,53 @@ int main(int argc, char** argv) {
     engine.set_use_link_index(use_link_index);
     std::printf("\n== %s the Link Index ==\n",
                 use_link_index ? "With" : "Without");
-    std::printf("%-10s %12s %12s %12s %10s\n", "query", "|QE|",
-                "from-LI", "comparisons", "time(s)");
+    std::printf("%-10s %10s %8s %12s %12s %12s %10s %10s\n", "query", "rows",
+                "batches", "|QE|", "from-LI", "comparisons", "first(s)",
+                "total(s)");
     int i = 0;
     for (const std::string& sql : queries) {
-      auto result = engine.Execute(sql);
-      if (!result.ok()) {
-        std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      // Open a streaming session and consume batches as they arrive. The
+      // clock starts before Open: a DEDUP plan resolves its entities
+      // there, so that is the cost the Link Index amortizes away.
+      queryer::Stopwatch drain;
+      auto cursor = engine.ExecuteStream(sql);
+      if (!cursor.ok()) {
+        std::fprintf(stderr, "%s\n", cursor.status().ToString().c_str());
         return 1;
       }
-      std::printf("%-10s %12zu %12zu %12zu %10s\n",
-                  ("Q" + std::to_string(++i)).c_str(),
-                  result->stats.query_entities,
-                  result->stats.entities_already_resolved,
-                  result->stats.comparisons_executed,
-                  queryer::FormatDouble(result->stats.total_seconds, 3).c_str());
+      double first_batch_seconds = -1;
+      std::size_t rows = 0, batches = 0;
+      queryer::RowBatch batch((*cursor)->batch_size());
+      while (true) {
+        auto has = (*cursor)->Next(&batch);
+        if (!has.ok()) {
+          std::fprintf(stderr, "%s\n", has.status().ToString().c_str());
+          return 1;
+        }
+        if (!*has) break;
+        if (batch.empty()) continue;
+        if (first_batch_seconds < 0) {
+          first_batch_seconds = drain.ElapsedSeconds();
+        }
+        rows += batch.size();
+        ++batches;
+      }
+      // A query that selects nothing never yields a non-empty batch; its
+      // first answer IS the end of the stream.
+      if (first_batch_seconds < 0) first_batch_seconds = drain.ElapsedSeconds();
+      const queryer::ExecStats& stats = (*cursor)->stats();
+      std::printf("%-10s %10zu %8zu %12zu %12zu %12zu %10s %10s\n",
+                  ("Q" + std::to_string(++i)).c_str(), rows, batches,
+                  stats.query_entities, stats.entities_already_resolved,
+                  stats.comparisons_executed,
+                  queryer::FormatDouble(first_batch_seconds, 3).c_str(),
+                  queryer::FormatDouble(stats.total_seconds, 3).c_str());
     }
   }
   std::printf(
       "\nWith the LI, each query only pays for entities not covered by the "
       "previous ones — the progressive-cleaning behaviour of the paper's "
-      "Fig. 11.\n");
+      "Fig. 11, and the first batch of every later query streams out almost "
+      "immediately.\n");
   return 0;
 }

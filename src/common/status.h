@@ -28,6 +28,11 @@ enum class StatusCode {
   kExecutionError,
   kInternal,
   kNotImplemented,
+  /// A query session was cancelled cooperatively (QueryCursor::Cancel).
+  kCancelled,
+  /// A query session ran past its deadline
+  /// (EngineOptions::default_query_deadline).
+  kDeadlineExceeded,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -76,6 +81,12 @@ class Status {
   static Status NotImplemented(std::string message) {
     return Status(StatusCode::kNotImplemented, std::move(message));
   }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -86,6 +97,10 @@ class Status {
   bool IsNotFound() const { return code() == StatusCode::kNotFound; }
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsPlanError() const { return code() == StatusCode::kPlanError; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;

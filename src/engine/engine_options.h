@@ -1,0 +1,89 @@
+// Engine-wide configuration and the materialized query answer type, split
+// out of query_engine.h so the streaming-session headers (prepared_query.h,
+// query_cursor.h) can use them without pulling in the whole facade.
+
+#ifndef QUERYER_ENGINE_ENGINE_OPTIONS_H_
+#define QUERYER_ENGINE_ENGINE_OPTIONS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "blocking/token_blocking.h"
+#include "exec/exec_stats.h"
+#include "exec/row_batch.h"
+#include "matching/profile_matcher.h"
+#include "metablocking/meta_blocking.h"
+
+namespace queryer {
+
+/// \brief How DEDUP queries are evaluated.
+enum class ExecutionMode {
+  /// Batch Approach (BA): fully deduplicate every involved table first,
+  /// then answer the query. The paper's baseline.
+  kBatch,
+  /// Naive ER Solution (NES): Deduplicate directly above each Table Scan.
+  kNaive,
+  /// Naive ER plan 2: Deduplicate above each Filter.
+  kNaive2,
+  /// Advanced ER Solution (AES): cost-based operator placement.
+  kAdvanced,
+};
+
+std::string_view ExecutionModeToString(ExecutionMode mode);
+
+/// \brief Engine-wide configuration. Blocking/meta-blocking/matching apply
+/// to tables registered afterwards.
+struct EngineOptions {
+  BlockingOptions blocking;
+  MetaBlockingConfig meta_blocking;
+  MatchingConfig matching;
+  ExecutionMode mode = ExecutionMode::kAdvanced;
+  /// When false, resolved links are forgotten before every DEDUP query —
+  /// the "Without LI" arm of the paper's Fig. 11.
+  bool use_link_index = true;
+  /// When true, every ER operator appends its surviving comparisons to the
+  /// result stats (for Pair Completeness measurement).
+  bool collect_comparisons = false;
+  /// Worker threads for the data-parallel phases (comparison execution,
+  /// once-off index construction). 0 = hardware concurrency; 1 = fully
+  /// sequential execution (no pool — identical to the pre-parallel engine).
+  /// Query answers and LinkIndex::num_links() are identical across thread
+  /// counts; only the executed/skipped comparison split may vary. Engines
+  /// with num_threads > 1 draw their workers from the process-wide shared
+  /// pool (ThreadPool::Shared), not a private one.
+  std::size_t num_threads = 1;
+  /// Maximum number of query sessions admitted simultaneously — an open
+  /// QueryCursor holds one admission slot for its whole lifetime, and
+  /// Execute/Explain count as one session for their duration.
+  /// 1 (default) serializes queries — exactly the single-client engine,
+  /// merely made safe to call from any thread. Values > 1 admit that many
+  /// concurrent query sessions, which then resolve through the Link
+  /// Index's reader/writer protocol and the per-table resolution
+  /// coordinator (entity claims + comparison-dedup table). 0 = unlimited.
+  std::size_t max_concurrent_queries = 1;
+  /// RowBatch capacity of the batch execution pipeline: how many rows flow
+  /// through one Next(RowBatch*) call. Also the morsel granularity of
+  /// parallel table scans. Query answers are identical for every value;
+  /// tiny values only add per-batch overhead. Clamped to at least 1.
+  std::size_t batch_size = kDefaultBatchSize;
+  /// Per-session deadline in seconds, measured from cursor open (which is
+  /// where a DEDUP query's resolution work happens) and checked at batch
+  /// boundaries — a session never aborts mid-batch. A cursor that runs
+  /// past it surfaces Status::DeadlineExceeded from Next() and releases
+  /// its resources on Close. 0 (default) = no deadline. Captured at
+  /// Prepare time like the rest of the options.
+  double default_query_deadline = 0;
+};
+
+/// \brief A materialized query answer plus its execution statistics.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+  ExecStats stats;
+  std::string plan_text;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_ENGINE_ENGINE_OPTIONS_H_

@@ -1,0 +1,30 @@
+#include "engine/prepared_query.h"
+
+#include <utility>
+
+#include "engine/query_engine.h"
+
+namespace queryer {
+
+PreparedQuery::PreparedQuery(
+    QueryEngine* engine, std::string sql, SelectStatement statement,
+    PlanPtr plan, EngineOptions options,
+    std::vector<std::shared_ptr<TableRuntime>> involved)
+    : engine_(engine),
+      sql_(std::move(sql)),
+      statement_(std::move(statement)),
+      plan_(std::move(plan)),
+      // Null plan = the without-LI arm, which must plan after the
+      // per-Open Link Index reset (see QueryEngine::Prepare).
+      plan_text_(plan_ != nullptr
+                     ? plan_->ToString()
+                     : "(planned at Open: the without-LI arm resets the "
+                       "Link Index before planning)"),
+      options_(std::move(options)),
+      involved_(std::move(involved)) {}
+
+Result<CursorPtr> PreparedQuery::Open() const {
+  return engine_->OpenPrepared(*this);
+}
+
+}  // namespace queryer

@@ -1,0 +1,148 @@
+#include "engine/query_cursor.h"
+
+#include <utility>
+
+namespace queryer {
+
+QueryCursor::QueryCursor(Semaphore* admission,
+                         std::vector<std::shared_ptr<TableRuntime>> runtimes,
+                         std::shared_ptr<ThreadPool> pool,
+                         std::shared_ptr<std::atomic<bool>> cancel,
+                         std::unique_ptr<ExecStats> stats, OperatorPtr root,
+                         std::string plan_text, std::size_t batch_size,
+                         double deadline_seconds,
+                         std::chrono::steady_clock::time_point opened_at)
+    : admission_(admission),
+      runtimes_(std::move(runtimes)),
+      pool_(std::move(pool)),
+      cancel_(std::move(cancel)),
+      stats_(std::move(stats)),
+      plan_text_(std::move(plan_text)),
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      opened_at_(opened_at),
+      root_(std::move(root)) {
+  columns_ = root_->output_columns();
+  if (deadline_seconds > 0) {
+    has_deadline_ = true;
+    deadline_ = opened_at_ + std::chrono::duration_cast<
+                                 std::chrono::steady_clock::duration>(
+                                 std::chrono::duration<double>(
+                                     deadline_seconds));
+  }
+}
+
+QueryCursor::~QueryCursor() { Close(); }
+
+void QueryCursor::ReleaseAdmission() {
+  if (admission_ != nullptr) {
+    admission_->Release();
+    admission_ = nullptr;
+  }
+}
+
+void QueryCursor::Terminate(Status status) {
+  if (root_ != nullptr) {
+    // Close cascades down the tree; TableScanOp / HashJoinOp cancel their
+    // in-flight morsels through the ReorderWindow cancellation path, so
+    // window-queued tasks stop materializing for this dead session.
+    root_->Close();
+    root_.reset();
+  }
+  if (!finished_) {
+    // A finished stream already recorded its open → end-of-stream time.
+    stats_->total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      opened_at_)
+            .count();
+  }
+  ReleaseAdmission();
+  status_ = std::move(status);
+}
+
+void QueryCursor::Close() {
+  if (closed_) return;
+  closed_ = true;
+  if (status_.ok() && !finished_) {
+    // Abandoned mid-stream: make sure straggler morsels see the session
+    // die even if the client never called Cancel.
+    cancel_->store(true, std::memory_order_release);
+  }
+  if (status_.ok()) {
+    Terminate(Status::OK());
+  }
+  fetch_batch_.reset();
+}
+
+Status QueryCursor::CheckRunnable() {
+  if (!status_.ok()) return status_;
+  if (closed_) return Status::ExecutionError("cursor is closed");
+  if (cancel_->load(std::memory_order_acquire)) {
+    Terminate(Status::Cancelled("query session cancelled"));
+    return status_;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    // Let the tree's morsels die with the session, like a cancellation.
+    cancel_->store(true, std::memory_order_release);
+    Terminate(Status::DeadlineExceeded("query deadline exceeded"));
+    return status_;
+  }
+  return Status::OK();
+}
+
+Result<bool> QueryCursor::Next(RowBatch* batch) {
+  // A finished stream stays finished: a Cancel() or deadline that fires
+  // after the last batch was delivered must not turn success into error.
+  if (finished_) return false;
+  QUERYER_RETURN_NOT_OK(CheckRunnable());
+  Result<bool> has = root_->Next(batch);
+  if (!has.ok()) {
+    Terminate(has.status());
+    return status_;
+  }
+  if (!*has) {
+    // End of stream — but a Cancel() that landed mid-pull truncates the
+    // morsel stream silently (cancelled morsels come back empty), so
+    // check the flag before declaring the answer complete. Only the
+    // cancel flag, NOT the deadline: the deadline acts solely through
+    // CheckRunnable, which terminates the stream on the spot, so it can
+    // never truncate — a stream that reaches its end under a just-expired
+    // deadline is complete and stays successful.
+    if (cancel_->load(std::memory_order_acquire)) {
+      Terminate(Status::Cancelled("query session cancelled"));
+      return status_;
+    }
+    stats_->total_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      opened_at_)
+            .count();
+    finished_ = true;
+    // The session is over: close the tree and release the admission slot
+    // NOW, not at Close/destruction — a client that drains a cursor and
+    // keeps the handle around (for stats, say) must not block the
+    // engine's next session.
+    Terminate(Status::OK());
+    return false;
+  }
+  return true;
+}
+
+Result<std::vector<std::vector<std::string>>> QueryCursor::Fetch(
+    std::size_t n) {
+  std::vector<std::vector<std::string>> rows;
+  if (fetch_batch_ == nullptr) {
+    fetch_batch_ = std::make_unique<RowBatch>(batch_size_);
+    fetch_pos_ = 0;
+  }
+  while (rows.size() < n) {
+    if (fetch_pos_ >= fetch_batch_->size()) {
+      QUERYER_ASSIGN_OR_RETURN(bool has, Next(fetch_batch_.get()));
+      fetch_pos_ = 0;
+      if (!has) break;
+      continue;  // The refilled batch may legally be empty.
+    }
+    rows.push_back(std::move(fetch_batch_->row(fetch_pos_++).values));
+  }
+  return rows;
+}
+
+}  // namespace queryer

@@ -1,0 +1,168 @@
+// QueryCursor: the pull-based streaming handle of one query session.
+//
+// A cursor is what PreparedQuery::Open() / QueryEngine::ExecuteStream()
+// return: the session's admission slot, Executor-lowered operator tree and
+// per-session ER state stay alive for the cursor's lifetime, and every
+// Next(RowBatch*) call drains the physical tree incrementally — a client
+// that paginates, stops at a LIMIT, or abandons the query pays only for the
+// batches it consumed. QueryEngine::Execute is a thin materialize-from-
+// cursor wrapper, so the streaming path is the only drain implementation.
+//
+//   auto cursor = engine.ExecuteStream(sql);          // Result<CursorPtr>
+//   RowBatch batch((*cursor)->batch_size());
+//   while (true) {
+//     auto has = (*cursor)->Next(&batch);
+//     if (!has.ok()) { /* kCancelled / kDeadlineExceeded / error */ }
+//     if (!*has) break;                               // End of stream.
+//     for (std::size_t i = 0; i < batch.size(); ++i) use(batch.row(i));
+//   }
+//   (*cursor)->Close();                               // Or just destroy it.
+//
+// Lifetime: a cursor must not outlive its QueryEngine (it points into the
+// engine's admission semaphore and catalog). Close() — or destruction,
+// including mid-stream abandonment — closes the operator tree, which
+// cancels in-flight scan/probe morsels through the ReorderWindow
+// cancellation path, and releases the admission slot so another session
+// can be admitted. Per-table ResolutionCoordinator claims never outlive
+// the operator tree's Open (the resolution transaction releases or
+// abandons them before Open returns), so an abandoned cursor leaves no
+// claim behind either.
+//
+// Cancellation is cooperative: Cancel() (safe from any thread) raises the
+// session flag; morsel workers observe it through their linked reorder
+// windows and stop materializing, and the next batch boundary surfaces
+// Status::Cancelled. A deadline (EngineOptions::default_query_deadline)
+// is checked at the same boundaries and surfaces DeadlineExceeded.
+
+#ifndef QUERYER_ENGINE_QUERY_CURSOR_H_
+#define QUERYER_ENGINE_QUERY_CURSOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/exec_stats.h"
+#include "exec/operator.h"
+#include "exec/table_runtime.h"
+#include "parallel/thread_pool.h"
+
+namespace queryer {
+
+class PreparedQuery;
+class QueryEngine;
+
+/// \brief Streaming handle of one admitted query session. Single-consumer:
+/// Next/Fetch/Close from one thread at a time; Cancel from any thread.
+class QueryCursor {
+ public:
+  /// Closes the session (see Close) if the client has not already.
+  ~QueryCursor();
+
+  QueryCursor(const QueryCursor&) = delete;
+  QueryCursor& operator=(const QueryCursor&) = delete;
+
+  /// Output column names ("alias.column"), valid from construction.
+  const std::vector<std::string>& columns() const { return columns_; }
+  /// The logical plan this session executes.
+  const std::string& plan_text() const { return plan_text_; }
+  /// The engine's configured RowBatch capacity — the natural size for the
+  /// batch handed to Next.
+  std::size_t batch_size() const { return batch_size_; }
+
+  /// Pulls the next batch of the answer into `batch` (cleared first).
+  /// Returns false at end of stream; a true return with an empty batch is
+  /// legal mid-stream (e.g. a fully filtered morsel) — keep pulling.
+  /// Cancellation and the deadline are checked at this boundary: once
+  /// either trips, Next returns kCancelled / kDeadlineExceeded, the
+  /// operator tree is closed (in-flight morsels cancelled) and the
+  /// admission slot is released; the error is sticky. End of stream also
+  /// releases the session (tree + slot) immediately — a fully drained
+  /// cursor blocks nobody, even before Close — and is equally sticky: a
+  /// Cancel() arriving after the last batch does not turn success into
+  /// an error.
+  Result<bool> Next(RowBatch* batch);
+
+  /// Row convenience over Next: up to `n` rows, with the value strings
+  /// moved out of the stream. Fewer than `n` rows means end of stream; an
+  /// empty vector means the stream was already exhausted. Buffers a
+  /// partially consumed batch internally, so do not interleave Fetch with
+  /// Next on the same cursor.
+  Result<std::vector<std::vector<std::string>>> Fetch(std::size_t n);
+
+  /// Raises the cooperative cancellation flag (idempotent, any thread).
+  /// In-flight scan/probe morsels observe it through their reorder
+  /// windows; the consumer sees kCancelled at the next batch boundary.
+  void Cancel() { cancel_->store(true, std::memory_order_release); }
+
+  /// Ends the session (idempotent): closes the operator tree — cancelling
+  /// in-flight morsels — and releases the admission slot. Called by the
+  /// destructor for abandoned cursors. After a Close that cut the stream
+  /// short, Next returns an error; after a fully drained stream, Next
+  /// keeps reporting end of stream (Close is then a no-op — the session
+  /// was already released at end-of-stream).
+  void Close();
+
+  /// Execution statistics so far; complete once the stream ended or the
+  /// cursor was closed. total_seconds covers open → end-of-stream/Close.
+  const ExecStats& stats() const { return *stats_; }
+
+ private:
+  friend class PreparedQuery;
+  friend class QueryEngine;
+
+  /// Built by QueryEngine around an already-opened operator tree.
+  /// `runtimes` pins the involved tables' ER state; `pool` pins the shared
+  /// worker pool for straggler morsel tasks. `opened_at` is when the
+  /// session was admitted (before the tree's Open ran), so the deadline
+  /// and total_seconds cover the ER prologue and Open-time resolution.
+  QueryCursor(Semaphore* admission,
+              std::vector<std::shared_ptr<TableRuntime>> runtimes,
+              std::shared_ptr<ThreadPool> pool,
+              std::shared_ptr<std::atomic<bool>> cancel,
+              std::unique_ptr<ExecStats> stats, OperatorPtr root,
+              std::string plan_text, std::size_t batch_size,
+              double deadline_seconds,
+              std::chrono::steady_clock::time_point opened_at);
+
+  /// The batch-boundary admission check: OK, or the sticky terminal
+  /// status after cancellation / deadline expiry.
+  Status CheckRunnable();
+  /// Transitions into a terminal state: closes the tree, releases the
+  /// slot, records total_seconds, and makes `status` sticky.
+  void Terminate(Status status);
+  void ReleaseAdmission();
+
+  // Destruction order matters: root_ (declared last) dies first, while
+  // stats_, the pinned runtimes and the pool it points into are alive.
+  Semaphore* admission_;  // Null once released.
+  std::vector<std::shared_ptr<TableRuntime>> runtimes_;
+  std::shared_ptr<ThreadPool> pool_;
+  std::shared_ptr<std::atomic<bool>> cancel_;
+  std::unique_ptr<ExecStats> stats_;
+  std::vector<std::string> columns_;
+  std::string plan_text_;
+  std::size_t batch_size_;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  std::chrono::steady_clock::time_point opened_at_;
+
+  Status status_;        // Sticky terminal error (OK while streaming).
+  bool finished_ = false;  // Stream ended cleanly.
+  bool closed_ = false;
+
+  // Fetch's carry-over of a partially consumed batch.
+  std::unique_ptr<RowBatch> fetch_batch_;
+  std::size_t fetch_pos_ = 0;
+
+  OperatorPtr root_;  // Null after Close.
+};
+
+/// Cursors are heap-allocated: operators hold pointers into the cursor's
+/// session state, so the handle itself must not move.
+using CursorPtr = std::unique_ptr<QueryCursor>;
+
+}  // namespace queryer
+
+#endif  // QUERYER_ENGINE_QUERY_CURSOR_H_

@@ -1,6 +1,8 @@
 #include "engine/query_engine.h"
 
+#include <chrono>
 #include <mutex>
+#include <utility>
 
 #include "baseline/batch_er.h"
 #include "common/stopwatch.h"
@@ -111,64 +113,169 @@ PlannerMode QueryEngine::PlannerModeFor(ExecutionMode mode) const {
   return PlannerMode::kAdvanced;
 }
 
-Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
-  // Admission: at most max_concurrent_queries sessions past this point.
-  // With the default of 1 this serializes queries — the single-client
-  // engine, made safe to call from any thread.
-  Semaphore::Slot session(admission_.get());
-  Stopwatch total;
+Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) {
   QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
-
-  QueryResult result;
-  result.stats.collect_comparisons = options_.collect_comparisons;
-
+  // Resolve the involved runtimes now: a DEDUP statement over an
+  // unregistered table must fail at Prepare, not at the first Open, and
+  // Open's ER prologue reuses the handles without a registry lookup.
+  std::vector<std::shared_ptr<TableRuntime>> involved;
   if (stmt.dedup) {
-    QUERYER_ASSIGN_OR_RETURN(auto involved, InvolvedRuntimes(stmt));
-    if (options_.mode == ExecutionMode::kBatch) {
+    QUERYER_ASSIGN_OR_RETURN(involved, InvolvedRuntimes(stmt));
+  }
+  // Planning is thread-safe (the statistics cache is mutex-guarded, the
+  // runtimes' lazy indices are call_once-guarded), so Prepare takes no
+  // admission slot — preparing while one of your own cursors holds the
+  // engine's only slot must not deadlock.
+  //
+  // The without-LI arm is the one statement shape Prepare cannot plan: it
+  // resets the Link Index at every Open and must plan AFTER that reset
+  // (the cost estimates consult the index's resolved state), so planning
+  // here would only produce a plan Open discards. Defer it entirely —
+  // plan_text() says so until the first Open.
+  PlanPtr plan;
+  if (!(stmt.dedup && !options_.use_link_index)) {
+    Planner planner(&catalog_, &runtimes_, statistics_.get());
+    QUERYER_ASSIGN_OR_RETURN(
+        plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
+  }
+  return PreparedQuery(this, sql, std::move(stmt), std::move(plan), options_,
+                       std::move(involved));
+}
+
+Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
+  const EngineOptions& options = prepared.options_;
+  // Admission: at most max_concurrent_queries sessions past this point.
+  // The RAII slot covers every failure path (including exceptions) of the
+  // fallible prologue below; on success it is disarmed and the slot is
+  // held for the whole cursor lifetime, released by QueryCursor::Close
+  // (or its destructor).
+  Semaphore::Slot slot(admission_.get());
+  const auto opened_at = std::chrono::steady_clock::now();
+
+  auto stats = std::make_unique<ExecStats>();
+  stats->collect_comparisons = options.collect_comparisons;
+
+  if (prepared.statement_.dedup) {
+    if (options.mode == ExecutionMode::kBatch) {
       // BA: clean every involved table in full before answering. The
       // per-runtime mutex serializes concurrent sessions racing the same
       // cold table: the first cleans, the rest wait here and reuse.
-      for (const auto& runtime : involved) {
+      for (const auto& runtime : prepared.involved_) {
         std::lock_guard<std::mutex> batch_lock(runtime->batch_er_mutex());
         if (runtime->link_index().num_resolved() <
             runtime->table().num_rows()) {
-          BatchDeduplicate(runtime.get(), &result.stats);
+          BatchDeduplicate(runtime.get(), stats.get());
         }
       }
-    } else if (!options_.use_link_index) {
+    } else if (!options.use_link_index) {
       // "Without LI": no reuse of links across queries. (An experiment
       // arm; concurrent sessions would race each other's resets, so run
       // this arm with max_concurrent_queries == 1.)
-      for (const auto& runtime : involved) runtime->ResetLinkIndex();
+      for (const auto& runtime : prepared.involved_) {
+        runtime->ResetLinkIndex();
+      }
     }
   }
 
-  Planner planner(&catalog_, &runtimes_, statistics_.get());
-  QUERYER_ASSIGN_OR_RETURN(
-      PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
-  result.plan_text = plan->ToString();
-
-  Executor executor(&catalog_, &runtimes_, &result.stats, pool_.get(),
-                    concurrent_sessions(), options_.batch_size);
-  QUERYER_ASSIGN_OR_RETURN(QueryOutput output, executor.Run(*plan));
-
-  result.columns = std::move(output.columns);
-  result.rows.reserve(output.rows.size());
-  for (Row& row : output.rows) {
-    result.rows.push_back(std::move(row.values));
+  // The without-LI arm just reset the Link Index this query plans
+  // against, so Prepare deferred planning to here: plan under the
+  // post-reset state, exactly the order the facade always had (reset,
+  // then plan). Normal prepared queries reuse the captured plan.
+  const LogicalPlan* plan = prepared.plan_.get();
+  PlanPtr deferred;
+  std::string plan_text = prepared.plan_text_;
+  if (plan == nullptr) {
+    Planner planner(&catalog_, &runtimes_, statistics_.get());
+    Result<PlanPtr> fresh = planner.BuildPlan(prepared.statement_,
+                                              PlannerModeFor(options.mode));
+    if (!fresh.ok()) return fresh.status();
+    deferred = fresh.MoveValueUnsafe();
+    plan = deferred.get();
+    plan_text = plan->ToString();
   }
+
+  // The session-level cancellation flag: QueryCursor::Cancel raises it,
+  // every morsel-driven operator's reorder window observes it.
+  auto cancel = std::make_shared<std::atomic<bool>>(false);
+  Executor executor(&catalog_, &runtimes_, stats.get(), pool_.get(),
+                    options.max_concurrent_queries != 1, options.batch_size,
+                    cancel);
+  Result<OperatorPtr> root = executor.Lower(*plan);
+  if (!root.ok()) return root.status();
+  // Open is where the materializing operators do their heavy lifting —
+  // for a DEDUP plan, the resolution transaction (claim / evaluate /
+  // publish / release) runs and completes HERE, which is why an abandoned
+  // cursor never holds ResolutionCoordinator claims.
+  Status opened = (*root)->Open();
+  if (!opened.ok()) {
+    // No Close after a failed Open (same contract as DrainOperator): the
+    // operator destructors cancel whatever the partial Open dispatched.
+    return opened;
+  }
+  CursorPtr cursor(new QueryCursor(
+      admission_.get(), prepared.involved_, pool_, std::move(cancel),
+      std::move(stats), root.MoveValueUnsafe(), std::move(plan_text),
+      options.batch_size, options.default_query_deadline, opened_at));
+  slot.Disarm();  // The cursor owns the slot now.
+  return cursor;
+}
+
+Result<CursorPtr> QueryEngine::ExecuteStream(const std::string& sql) {
+  QUERYER_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  return prepared.Open();
+}
+
+Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
+  Stopwatch total;
+  QUERYER_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  QUERYER_ASSIGN_OR_RETURN(CursorPtr cursor, prepared.Open());
+
+  QueryResult result;
+  result.columns = cursor->columns();
+  // From the cursor, not the PreparedQuery: the without-LI arm replans at
+  // Open, and the result must report the plan that actually executed.
+  result.plan_text = cursor->plan_text();
+
+  // Materialize from the cursor: each drained batch reserves the result
+  // vector ahead by its row count (vector growth stays geometric — the
+  // larger of the two wins), and every row's value strings are MOVED out
+  // of the stream, never copied.
+  RowBatch batch(cursor->batch_size());
+  while (true) {
+    QUERYER_ASSIGN_OR_RETURN(bool has, cursor->Next(&batch));
+    if (!has) break;
+    const std::size_t n = batch.size();
+    if (n == 0) continue;
+    if (result.rows.capacity() - result.rows.size() < n) {
+      result.rows.reserve(
+          std::max(result.rows.size() + n, 2 * result.rows.capacity()));
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      result.rows.push_back(std::move(batch.row(i).values));
+    }
+  }
+  cursor->Close();
+  // Moved, not copied: collected_comparisons can be huge under
+  // collect_comparisons, and the closed cursor is about to die.
+  result.stats = std::move(*cursor->stats_);
   result.stats.total_seconds = total.ElapsedSeconds();
   return result;
 }
 
 Result<std::string> QueryEngine::Explain(const std::string& sql) {
-  // Planning can be heavy on a cold statistics cache; Explain honors the
-  // same admission bound as Execute.
-  Semaphore::Slot session(admission_.get());
-  QUERYER_ASSIGN_OR_RETURN(SelectStatement stmt, Parse(sql));
+  // Explain IS Prepare minus the handle: one parse+plan entry path (and,
+  // like Prepare, no admission slot — a client inspecting a plan while
+  // its own cursor holds the engine's only slot must not deadlock).
+  QUERYER_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  if (prepared.plan_ != nullptr) return prepared.plan_text();
+  // The without-LI arm defers planning to Open (which resets the index
+  // first). Explain must stay side-effect free AND still show a plan, so
+  // it plans under the current index state — the plan this mode would
+  // execute right now, exactly Explain's pre-streaming contract.
   Planner planner(&catalog_, &runtimes_, statistics_.get());
   QUERYER_ASSIGN_OR_RETURN(
-      PlanPtr plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
+      PlanPtr plan,
+      planner.BuildPlan(prepared.statement_, PlannerModeFor(options_.mode)));
   return plan->ToString();
 }
 

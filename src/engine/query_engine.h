@@ -2,14 +2,29 @@
 //
 //   QueryEngine engine;
 //   engine.RegisterTable(my_table);                  // or RegisterCsvFile
+//
+//   // One-shot materialized answer:
 //   auto result = engine.Execute(
 //       "SELECT DEDUP p.title, v.rank FROM p "
 //       "INNER JOIN v ON p.venue = v.title WHERE p.venue = 'EDBT'");
+//
+//   // Streaming: batches arrive as soon as the relevant entities are
+//   // resolved; abandon early and pay only for what you consumed.
+//   auto prepared = engine.Prepare(sql);             // Parse + plan once.
+//   auto cursor = prepared->Open();                  // Or ExecuteStream(sql).
+//   RowBatch batch((*cursor)->batch_size());
+//   while (true) {
+//     auto has = (*cursor)->Next(&batch);            // Result<bool>.
+//     if (!has.ok() || !*has) break;                 // Error / end of stream.
+//     ...use batch...
+//   }
 //
 // The engine owns the catalog, the per-table ER runtimes (Table Block Index
 // + Link Index, built once-off), the statistics cache of the cost-based
 // planner, and the execution-mode switch that selects between the Batch
 // Approach baseline and the Naive/Advanced ER solutions of the paper.
+// Execute is a thin wrapper that opens a cursor and materializes it, so
+// every query — one-shot or streaming — takes the same path.
 
 #ifndef QUERYER_ENGINE_QUERY_ENGINE_H_
 #define QUERYER_ENGINE_QUERY_ENGINE_H_
@@ -18,6 +33,9 @@
 #include <string>
 #include <vector>
 
+#include "engine/engine_options.h"
+#include "engine/prepared_query.h"
+#include "engine/query_cursor.h"
 #include "exec/exec_stats.h"
 #include "exec/executor.h"
 #include "exec/row_batch.h"
@@ -31,77 +49,23 @@
 
 namespace queryer {
 
-/// \brief How DEDUP queries are evaluated.
-enum class ExecutionMode {
-  /// Batch Approach (BA): fully deduplicate every involved table first,
-  /// then answer the query. The paper's baseline.
-  kBatch,
-  /// Naive ER Solution (NES): Deduplicate directly above each Table Scan.
-  kNaive,
-  /// Naive ER plan 2: Deduplicate above each Filter.
-  kNaive2,
-  /// Advanced ER Solution (AES): cost-based operator placement.
-  kAdvanced,
-};
-
-std::string_view ExecutionModeToString(ExecutionMode mode);
-
-/// \brief Engine-wide configuration. Blocking/meta-blocking/matching apply
-/// to tables registered afterwards.
-struct EngineOptions {
-  BlockingOptions blocking;
-  MetaBlockingConfig meta_blocking;
-  MatchingConfig matching;
-  ExecutionMode mode = ExecutionMode::kAdvanced;
-  /// When false, resolved links are forgotten before every DEDUP query —
-  /// the "Without LI" arm of the paper's Fig. 11.
-  bool use_link_index = true;
-  /// When true, every ER operator appends its surviving comparisons to the
-  /// result stats (for Pair Completeness measurement).
-  bool collect_comparisons = false;
-  /// Worker threads for the data-parallel phases (comparison execution,
-  /// once-off index construction). 0 = hardware concurrency; 1 = fully
-  /// sequential execution (no pool — identical to the pre-parallel engine).
-  /// Query answers and LinkIndex::num_links() are identical across thread
-  /// counts; only the executed/skipped comparison split may vary. Engines
-  /// with num_threads > 1 draw their workers from the process-wide shared
-  /// pool (ThreadPool::Shared), not a private one.
-  std::size_t num_threads = 1;
-  /// Maximum number of Execute/Explain calls admitted simultaneously.
-  /// 1 (default) serializes queries — exactly the single-client engine,
-  /// merely made safe to call from any thread. Values > 1 admit that many
-  /// concurrent query sessions, which then resolve through the Link
-  /// Index's reader/writer protocol and the per-table resolution
-  /// coordinator (entity claims + comparison-dedup table). 0 = unlimited.
-  std::size_t max_concurrent_queries = 1;
-  /// RowBatch capacity of the batch execution pipeline: how many rows flow
-  /// through one Next(RowBatch*) call. Also the morsel granularity of
-  /// parallel table scans. Query answers are identical for every value;
-  /// tiny values only add per-batch overhead. Clamped to at least 1.
-  std::size_t batch_size = kDefaultBatchSize;
-};
-
-/// \brief A materialized query answer plus its execution statistics.
-struct QueryResult {
-  std::vector<std::string> columns;
-  std::vector<std::vector<std::string>> rows;
-  ExecStats stats;
-  std::string plan_text;
-};
-
 /// \brief The QueryER engine.
 ///
-/// Thread-safety: Execute and Explain may be called from any number of
-/// client threads once every table is registered. Admission is bounded by
-/// EngineOptions::max_concurrent_queries; admitted sessions share the Link
-/// Index through its reader/writer protocol and split resolution work via
-/// the per-table ResolutionCoordinator: every entity is resolved exactly
-/// once (in claim order) and no comparison runs twice in flight, so the
-/// execution is equivalent to a serial interleaving of the same queries —
-/// each answer is one that some serial schedule produces, and the final link
-/// set matches that schedule's. Queries whose answers depend on the serial
-/// ORDER (overlapping selections whose meta-blocking prunes differently
-/// per order) are order-sensitive serially and stay so concurrently.
+/// Thread-safety: Prepare, Execute, ExecuteStream and Explain may be called
+/// from any number of client threads once every table is registered.
+/// Admission is bounded by EngineOptions::max_concurrent_queries — an open
+/// QueryCursor counts as one admitted session for its whole lifetime, so at
+/// max_concurrent_queries == 1 a second session (including one opened by
+/// the same thread) blocks until the first cursor closes. Admitted sessions
+/// share the Link Index through its reader/writer protocol and split
+/// resolution work via the per-table ResolutionCoordinator: every entity is
+/// resolved exactly once (in claim order) and no comparison runs twice in
+/// flight, so the execution is equivalent to a serial interleaving of the
+/// same queries — each answer is one that some serial schedule produces,
+/// and the final link set matches that schedule's. Queries whose answers
+/// depend on the serial ORDER (overlapping selections whose meta-blocking
+/// prunes differently per order) are order-sensitive serially and stay so
+/// concurrently.
 /// Registration (RegisterTable/RegisterCsvFile) and the setters are NOT
 /// safe against in-flight queries — finish setup first.
 class QueryEngine {
@@ -114,8 +78,22 @@ class QueryEngine {
   /// Loads a CSV file as a table named `table_name`.
   Status RegisterCsvFile(const std::string& path, std::string table_name);
 
-  /// Parses, plans and executes one SELECT statement. Safe to call
-  /// concurrently (see the class comment).
+  /// Parses and plans one SELECT statement, capturing the current mode and
+  /// options. The returned query can be inspected (plan_text) and opened
+  /// any number of times; it must not outlive the engine. Does not take an
+  /// admission slot — planning is thread-safe — so preparing while one of
+  /// your own cursors is open never blocks.
+  Result<PreparedQuery> Prepare(const std::string& sql);
+
+  /// Prepare + PreparedQuery::Open in one call: a streaming cursor over
+  /// the statement's answer. Blocks while the engine is at
+  /// max_concurrent_queries (an open cursor holds its slot until closed).
+  Result<CursorPtr> ExecuteStream(const std::string& sql);
+
+  /// Parses, plans and executes one SELECT statement, materializing the
+  /// whole answer. A thin wrapper over ExecuteStream — the streaming
+  /// cursor is the only drain path. Safe to call concurrently (see the
+  /// class comment).
   Result<QueryResult> Execute(const std::string& sql);
 
   /// Returns the logical plan the current mode would execute.
@@ -140,14 +118,18 @@ class QueryEngine {
 
   ExecutionMode mode() const { return options_.mode; }
   void set_mode(ExecutionMode mode) { options_.mode = mode; }
-  /// Setters are registration-time only (no query may be in flight).
-  /// Disabling the Link Index serializes admission: that arm resets the
-  /// index per query, which cannot overlap other sessions.
+  /// Setters are registration-time only (no query may be in flight), and
+  /// do not affect already-prepared queries (options are captured at
+  /// Prepare time). Disabling the Link Index serializes admission: that
+  /// arm resets the index per query, which cannot overlap other sessions.
   void set_use_link_index(bool use) {
     options_.use_link_index = use;
     if (!use && options_.max_concurrent_queries != 1) {
       options_.max_concurrent_queries = 1;
-      admission_ = std::make_unique<Semaphore>(1);
+      // Reset in place, never replace: an open cursor holds a pointer to
+      // this semaphore (calling a setter with a session in flight is
+      // forbidden anyway, but a stale pointer must not dangle).
+      admission_->Reset(1);
     }
   }
   void set_collect_comparisons(bool collect) {
@@ -155,16 +137,18 @@ class QueryEngine {
   }
 
  private:
+  friend class PreparedQuery;
+
   Result<SelectStatement> Parse(const std::string& sql) const;
   Result<std::vector<std::shared_ptr<TableRuntime>>> InvolvedRuntimes(
       const SelectStatement& stmt);
   PlannerMode PlannerModeFor(ExecutionMode mode) const;
 
-  /// True when the engine may admit overlapping query sessions, which is
-  /// when the operators must use the concurrent resolution protocol.
-  bool concurrent_sessions() const {
-    return options_.max_concurrent_queries != 1;
-  }
+  /// The session factory behind PreparedQuery::Open / ExecuteStream:
+  /// acquires an admission slot, runs the captured mode's ER prologue
+  /// (BA cleaning / without-LI reset), lowers the prepared plan and opens
+  /// the tree. On failure the slot is released before returning.
+  Result<CursorPtr> OpenPrepared(const PreparedQuery& prepared);
 
   EngineOptions options_;
   // Handle on the process-wide shared pool (ThreadPool::Shared); also given
@@ -175,9 +159,10 @@ class QueryEngine {
   RuntimeRegistry runtimes_;
   // Behind unique_ptrs: both hold synchronization primitives, and the
   // engine itself must stay movable (move it only while no query is in
-  // flight).
+  // flight and no PreparedQuery or QueryCursor is alive — both hold
+  // pointers into this engine).
   std::unique_ptr<StatisticsCache> statistics_;
-  // Admission control for concurrent Execute calls.
+  // Admission control for concurrent query sessions.
   std::unique_ptr<Semaphore> admission_;
 };
 

@@ -41,19 +41,22 @@ std::uint64_t NextSessionId() {
 
 Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
                    ExecStats* stats, ThreadPool* pool,
-                   bool concurrent_sessions, std::size_t batch_size)
+                   bool concurrent_sessions, std::size_t batch_size,
+                   std::shared_ptr<const std::atomic<bool>> session_cancel)
     : catalog_(catalog),
       runtimes_(runtimes),
       stats_(stats),
       pool_(pool),
       concurrent_sessions_(concurrent_sessions),
       batch_size_(batch_size == 0 ? 1 : batch_size),
+      session_cancel_(std::move(session_cancel)),
       session_id_(NextSessionId()) {}
 
 Result<OperatorPtr> Executor::LowerScan(const LogicalPlan& plan) {
   QUERYER_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan.table_name));
   return OperatorPtr(new TableScanOp(std::move(table), plan.table_alias, pool_,
-                                     batch_size_, stats_, session_id_));
+                                     batch_size_, stats_, session_id_,
+                                     session_cancel_));
 }
 
 Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
@@ -105,7 +108,8 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
                                          &right_key));
       return OperatorPtr(new HashJoinOp(
           std::move(left), std::move(right), std::move(left_key),
-          std::move(right_key), batch_size_, pool_, stats_, session_id_));
+          std::move(right_key), batch_size_, pool_, stats_, session_id_,
+          session_cancel_));
     }
     case PlanKind::kDeduplicate: {
       QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
@@ -140,14 +144,6 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
     }
   }
   return Status::Internal("unknown plan kind");
-}
-
-Result<QueryOutput> Executor::Run(const LogicalPlan& plan) {
-  QUERYER_ASSIGN_OR_RETURN(OperatorPtr root, Lower(plan));
-  QueryOutput output;
-  output.columns = root->output_columns();
-  QUERYER_ASSIGN_OR_RETURN(output.rows, DrainOperator(root.get(), batch_size_));
-  return output;
 }
 
 }  // namespace queryer

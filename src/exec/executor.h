@@ -1,4 +1,4 @@
-// Executor: lowers a logical plan to physical operators and runs it.
+// Executor: lowers a logical plan to physical operators.
 //
 // Lowering is where the plan meets the engine's execution machinery: every
 // expression is cloned and bound against its child's output columns, a
@@ -12,6 +12,8 @@
 #ifndef QUERYER_EXEC_EXECUTOR_H_
 #define QUERYER_EXEC_EXECUTOR_H_
 
+#include <atomic>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -24,16 +26,10 @@
 
 namespace queryer {
 
-/// \brief Materialized result of one query.
-struct QueryOutput {
-  std::vector<std::string> columns;
-  std::vector<Row> rows;
-};
-
-/// \brief Plan lowering + execution against a catalog and the per-table ER
-/// runtimes. Stateless across queries apart from what the runtimes carry
-/// (notably the Link Index), so one executor per query is cheap and many
-/// executors may run side by side over the same registry.
+/// \brief Plan lowering against a catalog and the per-table ER runtimes.
+/// Stateless across queries apart from what the runtimes carry (notably
+/// the Link Index), so one executor per query is cheap and many executors
+/// may run side by side over the same registry.
 class Executor {
  public:
   /// `pool` is handed to the ER operators for their data-parallel phases
@@ -43,15 +39,23 @@ class Executor {
   /// claim/publish transaction protocol; set it whenever other executors
   /// may run against the same runtimes concurrently. `batch_size` is the
   /// RowBatch capacity of the whole pipeline (EngineOptions::batch_size).
+  /// `session_cancel` (may be null) is the session-level cancellation flag
+  /// linked into every morsel-driven operator's reorder window
+  /// (QueryCursor::Cancel raises it).
   Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
            ThreadPool* pool = nullptr, bool concurrent_sessions = false,
-           std::size_t batch_size = kDefaultBatchSize);
+           std::size_t batch_size = kDefaultBatchSize,
+           std::shared_ptr<const std::atomic<bool>> session_cancel = nullptr);
 
-  /// Builds the physical operator tree (binding all expressions).
+  /// Builds the physical operator tree (binding all expressions). The tree
+  /// may outlive the Executor — operators capture the catalog tables, the
+  /// runtimes, `stats`, the pool and the session id, not the Executor
+  /// itself — which is how QueryCursor keeps an open tree streaming after
+  /// the lowering Executor is gone. Callers drive the tree themselves
+  /// (Open / Next* / Close); the cursor drain is the engine's ONLY drain
+  /// implementation (DrainOperator serves operators draining their own
+  /// children).
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
-
-  /// Lowers and drains the plan.
-  Result<QueryOutput> Run(const LogicalPlan& plan);
 
  private:
   Result<OperatorPtr> LowerScan(const LogicalPlan& plan);
@@ -62,6 +66,7 @@ class Executor {
   ThreadPool* pool_;
   bool concurrent_sessions_;
   std::size_t batch_size_;
+  std::shared_ptr<const std::atomic<bool>> session_cancel_;
   /// Tags this executor's morsel tasks so concurrent sessions sharing the
   /// process-wide pool are distinguishable (fair FIFO interleaving is per
   /// morsel; the tag identifies the session a morsel belongs to).

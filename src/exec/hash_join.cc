@@ -82,7 +82,8 @@ struct HashJoinOp::ProbeState {
 HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                        ExprPtr right_key, std::size_t batch_size,
                        ThreadPool* pool, ExecStats* stats,
-                       std::uint64_t session_id)
+                       std::uint64_t session_id,
+                       std::shared_ptr<const std::atomic<bool>> session_cancel)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -90,7 +91,8 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       batch_size_(batch_size == 0 ? 1 : batch_size),
       pool_(pool),
       stats_(stats),
-      session_id_(session_id) {
+      session_id_(session_id),
+      session_cancel_(std::move(session_cancel)) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   output_columns_ = left_->output_columns();
@@ -135,6 +137,9 @@ Status HashJoinOp::Open() {
     // Same window sizing as the parallel scan: each consumed morsel funds
     // one replacement task, bounding the buffered output.
     probe_state_ = std::make_shared<ProbeState>(2 * pool_->num_threads());
+    // Link BEFORE the first dispatch: a cursor's Cancel() must reach
+    // probe morsels that are already queued on the pool.
+    probe_state_->window.LinkSessionCancel(session_cancel_);
     probe_state_->build = build_side_;
     probe_state_->key = left_key_;
     probe_state_->session_id = session_id_;

@@ -5,6 +5,7 @@
 #ifndef QUERYER_EXEC_HASH_JOIN_H_
 #define QUERYER_EXEC_HASH_JOIN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -46,11 +47,15 @@ class HashJoinOp final : public PhysicalOperator {
  public:
   /// `pool` with more than one worker enables the parallel probe; `stats`
   /// (may be null) receives the probe-morsel counter; `session_id` tags
-  /// this join's probe tasks.
+  /// this join's probe tasks; `session_cancel` (may be null) is the
+  /// session-level cancellation flag the probe window observes
+  /// (QueryCursor::Cancel).
   HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
              ExprPtr right_key, std::size_t batch_size = kDefaultBatchSize,
              ThreadPool* pool = nullptr, ExecStats* stats = nullptr,
-             std::uint64_t session_id = 0);
+             std::uint64_t session_id = 0,
+             std::shared_ptr<const std::atomic<bool>> session_cancel =
+                 nullptr);
 
   /// Cancels any in-flight probe morsels: a query that dies in ANOTHER
   /// operator destroys this join without Close() (DrainOperator's error
@@ -84,6 +89,7 @@ class HashJoinOp final : public PhysicalOperator {
   ThreadPool* pool_;
   ExecStats* stats_;
   std::uint64_t session_id_;
+  std::shared_ptr<const std::atomic<bool>> session_cancel_;
 
   // Shared with in-flight probe tasks (read-only after Open).
   std::shared_ptr<const BuildTable> build_side_;

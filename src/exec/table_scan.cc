@@ -53,12 +53,14 @@ struct TableScanOp::MorselScan {
 
 TableScanOp::TableScanOp(TablePtr table, std::string alias, ThreadPool* pool,
                          std::size_t batch_size, ExecStats* stats,
-                         std::uint64_t session_id)
+                         std::uint64_t session_id,
+                         std::shared_ptr<const std::atomic<bool>> session_cancel)
     : table_(std::move(table)),
       pool_(pool),
       batch_size_(batch_size == 0 ? 1 : batch_size),
       stats_(stats),
-      session_id_(session_id) {
+      session_id_(session_id),
+      session_cancel_(std::move(session_cancel)) {
   output_columns_.reserve(table_->num_attributes());
   for (const std::string& name : table_->schema().names()) {
     output_columns_.push_back(alias + "." + name);
@@ -84,6 +86,9 @@ Status TableScanOp::Open() {
     // enough to bound the reorder buffer. Each consumed morsel funds one
     // replacement task, so at most `window` result buffers ever coexist.
     morsels_ = std::make_shared<MorselScan>(2 * pool_->num_threads());
+    // Link BEFORE the first dispatch: a cursor's Cancel() must reach
+    // morsels that are already queued on the pool.
+    morsels_->window.LinkSessionCancel(session_cancel_);
     morsels_->table = table_;
     morsels_->predicate = predicate_;
     morsels_->morsel_rows = MorselRowsFor(batch_size_);

@@ -4,6 +4,7 @@
 #ifndef QUERYER_EXEC_TABLE_SCAN_H_
 #define QUERYER_EXEC_TABLE_SCAN_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -39,10 +40,14 @@ class TableScanOp final : public PhysicalOperator {
  public:
   /// `pool` with more than one worker enables the morsel-parallel mode.
   /// `batch_size` sizes the morsels; `stats` (may be null) receives the
-  /// morsel counters; `session_id` tags this scan's morsel tasks.
+  /// morsel counters; `session_id` tags this scan's morsel tasks;
+  /// `session_cancel` (may be null) is the session-level cancellation flag
+  /// the morsel window observes (QueryCursor::Cancel).
   TableScanOp(TablePtr table, std::string alias, ThreadPool* pool = nullptr,
               std::size_t batch_size = kDefaultBatchSize,
-              ExecStats* stats = nullptr, std::uint64_t session_id = 0);
+              ExecStats* stats = nullptr, std::uint64_t session_id = 0,
+              std::shared_ptr<const std::atomic<bool>> session_cancel =
+                  nullptr);
 
   /// Cancels any in-flight morsels: a query that dies in ANOTHER operator
   /// destroys this scan without Close() (DrainOperator's error path), and
@@ -76,6 +81,7 @@ class TableScanOp final : public PhysicalOperator {
   std::size_t batch_size_;
   ExecStats* stats_;
   std::uint64_t session_id_;
+  std::shared_ptr<const std::atomic<bool>> session_cancel_;
 
   // Sequential cursor.
   EntityId position_ = 0;

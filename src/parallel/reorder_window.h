@@ -18,6 +18,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -64,7 +65,11 @@ inline constexpr std::size_t MorselRowsFor(std::size_t batch_size) {
 /// workers poll cancelled() and deposit empty results, so a window shared
 /// via shared_ptr stays safe after the consuming operator is destroyed
 /// mid-stream (the straggler tasks finish against it and the last
-/// reference frees it).
+/// reference frees it). A window may additionally be linked to a
+/// SESSION-level cancel flag (LinkSessionCancel): cancelled() then also
+/// reports true once that flag is raised, which is how
+/// QueryCursor::Cancel() reaches into every morsel-driven operator of an
+/// in-flight query without touching the operators themselves.
 ///
 /// T must be movable and default-constructible (Fail deposits a
 /// default-constructed placeholder to unblock the coordinator).
@@ -144,7 +149,19 @@ class ReorderWindow {
   /// cancelled() and must still Complete/Fail their slot afterwards.
   void Cancel() { cancelled_.store(true, std::memory_order_release); }
   bool cancelled() const {
-    return cancelled_.load(std::memory_order_acquire);
+    return cancelled_.load(std::memory_order_acquire) ||
+           (session_cancel_ != nullptr &&
+            session_cancel_->load(std::memory_order_acquire));
+  }
+
+  /// Links an external (session-level) cancellation flag: cancelled() also
+  /// reports true once `*flag` is set. Must be called before any worker
+  /// task can touch the window (i.e. before the first dispatch) — the
+  /// shared_ptr itself is written without synchronization. Shared
+  /// ownership keeps the flag alive for straggler tasks that outlive the
+  /// session that raised it.
+  void LinkSessionCancel(std::shared_ptr<const std::atomic<bool>> flag) {
+    session_cancel_ = std::move(flag);
   }
 
  private:
@@ -158,6 +175,8 @@ class ReorderWindow {
   bool failed_ = false;
   std::string error_;
   std::atomic<bool> cancelled_{false};
+  /// Session-level flag this window observes; null for standalone windows.
+  std::shared_ptr<const std::atomic<bool>> session_cancel_;
 };
 
 }  // namespace queryer

@@ -68,19 +68,28 @@ std::size_t ThreadPool::HardwareConcurrency() {
 }
 
 void Semaphore::Acquire() {
-  if (unlimited_) return;
   std::unique_lock<std::mutex> lock(mutex_);
-  available_cv_.wait(lock, [this] { return available_ > 0; });
-  --available_;
+  if (unlimited_) return;
+  available_cv_.wait(lock, [this] { return unlimited_ || available_ > 0; });
+  if (!unlimited_) --available_;
 }
 
 void Semaphore::Release() {
-  if (unlimited_) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (unlimited_) return;
     ++available_;
   }
   available_cv_.notify_one();
+}
+
+void Semaphore::Reset(std::size_t count) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    available_ = count;
+    unlimited_ = count == 0;
+  }
+  available_cv_.notify_all();
 }
 
 void ThreadPool::WorkerLoop() {

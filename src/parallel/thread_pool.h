@@ -120,15 +120,28 @@ class Semaphore {
   void Acquire();
   void Release();
 
-  /// RAII slot: acquired on construction, released on destruction.
+  /// Re-initializes the capacity. Only valid while no slot is held (the
+  /// engine's registration-time setters) — existing holders' Releases
+  /// would otherwise over-count the new capacity.
+  void Reset(std::size_t count);
+
+  /// RAII slot: acquired on construction, released on destruction —
+  /// unless Disarm() transferred ownership (QueryCursor takes its
+  /// session's slot over this way).
   class Slot {
    public:
     explicit Slot(Semaphore* semaphore) : semaphore_(semaphore) {
       semaphore_->Acquire();
     }
-    ~Slot() { semaphore_->Release(); }
+    ~Slot() {
+      if (semaphore_ != nullptr) semaphore_->Release();
+    }
     Slot(const Slot&) = delete;
     Slot& operator=(const Slot&) = delete;
+
+    /// Gives the slot up without releasing it; the caller now owns the
+    /// release.
+    void Disarm() { semaphore_ = nullptr; }
 
    private:
     Semaphore* semaphore_;
