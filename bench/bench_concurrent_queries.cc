@@ -24,6 +24,7 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -68,12 +69,19 @@ int main(int argc, char** argv) {
     options.mode = queryer::ExecutionMode::kAdvanced;
     options.num_threads = Threads();
     options.max_concurrent_queries = clients;
+    options.trace_sink = BenchTraceSink();
     queryer::QueryEngine engine(options);
     if (!engine.RegisterTable(dataset.table).ok() ||
         !engine.WarmIndices(table).ok()) {
       std::fprintf(stderr, "engine setup failed\n");
       return 1;
     }
+
+    // The admission-wait histogram is process-wide and cumulative; the
+    // snapshot delta isolates this point's sessions.
+    const queryer::LatencyHistogram& admission_wait =
+        *queryer::GlobalEngineMetrics().admission_wait;
+    const queryer::HistogramSnapshot wait_before = admission_wait.Snapshot();
 
     queryer::Stopwatch watch;
     std::vector<std::thread> threads;
@@ -116,6 +124,12 @@ int main(int argc, char** argv) {
       return 1;
     }
 
+    const queryer::HistogramSnapshot wait =
+        admission_wait.Snapshot().Since(wait_before);
+    const double wait_p50 = wait.Quantile(0.50);
+    const double wait_p95 = wait.Quantile(0.95);
+    const double wait_p99 = wait.Quantile(0.99);
+
     double speedup =
         point.seconds > 0 ? baseline_seconds / point.seconds : 0;
     std::printf(
@@ -125,17 +139,29 @@ int main(int argc, char** argv) {
         queryer::FormatDouble(point.qps, 2).c_str(),
         queryer::FormatDouble(speedup, 2).c_str(), point.links,
         identical ? "yes" : "no");
+    std::printf(
+        "           admission-wait: p50=%ss  p95=%ss  p99=%ss  (n=%llu)\n",
+        queryer::FormatDouble(wait_p50, 6).c_str(),
+        queryer::FormatDouble(wait_p95, 6).c_str(),
+        queryer::FormatDouble(wait_p99, 6).c_str(),
+        static_cast<unsigned long long>(wait.count));
     CsvLine("concurrent_queries",
             {std::to_string(point.clients),
              queryer::FormatDouble(point.seconds, 6),
              queryer::FormatDouble(point.qps, 3), std::to_string(point.links),
-             queryer::FormatDouble(speedup, 3)});
+             queryer::FormatDouble(speedup, 3),
+             queryer::FormatDouble(wait_p50, 6),
+             queryer::FormatDouble(wait_p95, 6),
+             queryer::FormatDouble(wait_p99, 6)});
     JsonLine("concurrent_queries",
              {{"clients", std::to_string(point.clients)},
               {"wall_seconds", queryer::FormatDouble(point.seconds, 6)},
               {"qps", queryer::FormatDouble(point.qps, 3)},
               {"links", std::to_string(point.links)},
-              {"speedup", queryer::FormatDouble(speedup, 3)}});
+              {"speedup", queryer::FormatDouble(speedup, 3)},
+              {"admission_wait_p50", queryer::FormatDouble(wait_p50, 6)},
+              {"admission_wait_p95", queryer::FormatDouble(wait_p95, 6)},
+              {"admission_wait_p99", queryer::FormatDouble(wait_p99, 6)}});
   }
   return 0;
 }

@@ -71,6 +71,7 @@ int main(int argc, char** argv) {
     queryer::EngineOptions options;
     options.num_threads = Threads();
     if (BatchSize() != 0) options.batch_size = BatchSize();
+    options.trace_sink = BenchTraceSink();
     auto engine = std::make_unique<queryer::QueryEngine>(options);
     for (const auto& table : {dsd.table, oagp.table, oagv.table}) {
       queryer::Status status = engine->RegisterTable(table);

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace queryer::bench {
 
 namespace {
@@ -19,7 +21,28 @@ std::size_t g_batch_size = SIZE_MAX;
 // this to tell an explicit --threads=1 apart from "no preference".
 bool g_threads_explicit = false;
 
+// Set by --trace-out: every MakeEngine engine records into this sink, and
+// its destructor (static destruction at process exit) writes the JSON file.
+std::shared_ptr<TraceSink> g_trace_sink;
+
+// Set by --metrics-out: the registered atexit hook dumps the registry here.
+std::string g_metrics_out;
+
+void WriteMetricsAtExit() {
+  std::FILE* out = std::fopen(g_metrics_out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write metrics to %s\n", g_metrics_out.c_str());
+    return;
+  }
+  std::string json = MetricsRegistry::Global().ExportJson();
+  std::fwrite(json.data(), 1, json.size(), out);
+  std::fputc('\n', out);
+  std::fclose(out);
+}
+
 }  // namespace
+
+std::shared_ptr<TraceSink> BenchTraceSink() { return g_trace_sink; }
 
 std::size_t Threads() {
   if (g_threads == SIZE_MAX) {
@@ -97,6 +120,21 @@ void InitBenchArgs(int* argc, char** argv) {
         std::exit(2);
       }
       SetBatchSize(batch_size);
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      const char* value = argv[i] + 12;
+      if (*value == '\0') {
+        std::fprintf(stderr, "empty --trace-out value (want a file path)\n");
+        std::exit(2);
+      }
+      g_trace_sink = std::make_shared<TraceSink>(std::string(value));
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      const char* value = argv[i] + 14;
+      if (*value == '\0') {
+        std::fprintf(stderr, "empty --metrics-out value (want a file path)\n");
+        std::exit(2);
+      }
+      g_metrics_out = value;
+      std::atexit(WriteMetricsAtExit);
     } else {
       argv[out++] = argv[i];
     }
@@ -164,6 +202,7 @@ QueryEngine MakeEngine(const std::vector<TablePtr>& tables,
   options.collect_comparisons = collect_comparisons;
   options.num_threads = Threads();
   if (BatchSize() != 0) options.batch_size = BatchSize();
+  options.trace_sink = g_trace_sink;  // Null unless --trace-out was given.
   QueryEngine engine(options);
   for (const TablePtr& table : tables) {
     Status status = engine.RegisterTable(table);

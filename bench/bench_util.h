@@ -51,9 +51,18 @@ std::size_t BatchSize();
 /// Overrides the batch size programmatically (sweep harnesses).
 void SetBatchSize(std::size_t batch_size);
 
-/// Parses the shared bench flags (`--threads=N`, `--batch-size=N`) out of
-/// argv. Unrecognized arguments are left in place and argc/argv are
-/// compacted, so harnesses with their own flag parsing can run this first.
+/// Session trace sink shared by every engine MakeEngine builds. Non-null
+/// only after InitBenchArgs saw a `--trace-out=FILE` argument; the Chrome
+/// trace-event JSON is written to FILE at process exit (load it in
+/// https://ui.perfetto.dev). Null = tracing off, zero overhead.
+std::shared_ptr<TraceSink> BenchTraceSink();
+
+/// Parses the shared bench flags (`--threads=N`, `--batch-size=N`,
+/// `--trace-out=FILE`, `--metrics-out=FILE`) out of argv. `--trace-out`
+/// records a session trace (see BenchTraceSink); `--metrics-out` dumps the
+/// process-wide metrics registry as JSON at exit. Unrecognized arguments
+/// are left in place and argc/argv are compacted, so harnesses with their
+/// own flag parsing can run this first.
 void InitBenchArgs(int* argc, char** argv);
 
 // Baseline (scale = 1.0) dataset sizes: paper size / 20.

@@ -6,13 +6,40 @@
 #include <cstdio>
 #include <cstdlib>
 
+namespace queryer {
+namespace internal {
+
+/// Strips leading directories from __FILE__ so check messages print the
+/// same repo-relative "dir/file.cc" regardless of the build's source root.
+/// constexpr: the scan happens at compile time, not in the failure path.
+constexpr const char* CheckFileName(const char* path) {
+  const char* last = path;
+  const char* prev = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/' || *p == '\\') {
+      prev = last;
+      last = p + 1;
+    }
+  }
+  // Keep one parent directory ("exec/operator.cc"), which is how sources
+  // are addressed throughout the docs.
+  return prev;
+}
+
+}  // namespace internal
+}  // namespace queryer
+
 /// Aborts with a message when `condition` is false. Active in all builds:
 /// these guard invariants whose violation would corrupt query results.
+/// stderr is explicitly flushed before abort() so the message survives
+/// fully-buffered CI log pipes.
 #define QUERYER_CHECK(condition)                                          \
   do {                                                                    \
     if (!(condition)) {                                                   \
       std::fprintf(stderr, "QUERYER_CHECK failed at %s:%d: %s\n",         \
-                   __FILE__, __LINE__, #condition);                       \
+                   ::queryer::internal::CheckFileName(__FILE__),          \
+                   __LINE__, #condition);                                 \
+      std::fflush(stderr);                                                \
       std::abort();                                                       \
     }                                                                     \
   } while (false)

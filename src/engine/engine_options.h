@@ -5,6 +5,7 @@
 #ifndef QUERYER_ENGINE_ENGINE_OPTIONS_H_
 #define QUERYER_ENGINE_ENGINE_OPTIONS_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "exec/row_batch.h"
 #include "matching/profile_matcher.h"
 #include "metablocking/meta_blocking.h"
+#include "obs/trace.h"
 
 namespace queryer {
 
@@ -74,6 +76,13 @@ struct EngineOptions {
   /// its resources on Close. 0 (default) = no deadline. Captured at
   /// Prepare time like the rest of the options.
   double default_query_deadline = 0;
+  /// When set, every session records Chrome trace-event JSON into this sink
+  /// (plan/open/emit spans, per-operator spans, ER-stage spans, per-morsel
+  /// instants on the worker threads). Null (default) = tracing off, with
+  /// strictly zero overhead — no clock reads, no allocations. Sinks may be
+  /// shared across sessions; events carry the session id in their args.
+  /// Captured at Prepare time like the rest of the options.
+  std::shared_ptr<TraceSink> trace_sink;
 };
 
 /// \brief A materialized query answer plus its execution statistics.

@@ -51,6 +51,12 @@ class PreparedQuery {
   const std::string& plan_text() const { return plan_text_; }
   /// True for SELECT DEDUP statements.
   bool dedup() const { return statement_.dedup; }
+  /// True when the statement was prefixed with EXPLAIN [ANALYZE]. The
+  /// prepared plan is the same either way — the flags only change how
+  /// QueryEngine::Execute presents the answer.
+  bool explain() const { return statement_.explain; }
+  /// True for EXPLAIN ANALYZE: execute, then present the annotated plan.
+  bool analyze() const { return statement_.analyze; }
 
   /// Opens one streaming session over the prepared plan: acquires an
   /// admission slot (blocking while the engine is at

@@ -2,13 +2,17 @@
 
 #include <utility>
 
+#include "obs/metrics.h"
+
 namespace queryer {
 
 QueryCursor::QueryCursor(Semaphore* admission,
                          std::vector<std::shared_ptr<TableRuntime>> runtimes,
                          std::shared_ptr<ThreadPool> pool,
                          std::shared_ptr<std::atomic<bool>> cancel,
-                         std::unique_ptr<ExecStats> stats, OperatorPtr root,
+                         std::unique_ptr<ExecStats> stats,
+                         std::unique_ptr<PlanProfile> profile,
+                         std::shared_ptr<TraceSink> trace, OperatorPtr root,
                          std::string plan_text, std::size_t batch_size,
                          double deadline_seconds,
                          std::chrono::steady_clock::time_point opened_at)
@@ -17,6 +21,8 @@ QueryCursor::QueryCursor(Semaphore* admission,
       pool_(std::move(pool)),
       cancel_(std::move(cancel)),
       stats_(std::move(stats)),
+      profile_(std::move(profile)),
+      trace_(std::move(trace)),
       plan_text_(std::move(plan_text)),
       batch_size_(batch_size == 0 ? 1 : batch_size),
       opened_at_(opened_at),
@@ -40,6 +46,80 @@ void QueryCursor::ReleaseAdmission() {
   }
 }
 
+namespace {
+
+// Folds one profile node's self time into the ExecStats relational buckets.
+// Dedup-ish categories are skipped: their self time is already reported in
+// the ER-stage seconds (blocking/resolution/group/...), and folding it here
+// would double-count. Fused Filter+Scan pairs share one kScan node, so a
+// fused predicate's time lands in scan_seconds — exactly where it ran.
+void FoldProfile(const OperatorProfile& node, ExecStats* stats) {
+  switch (node.category) {
+    case OperatorCategory::kScan:
+      stats->scan_seconds += node.self_seconds();
+      break;
+    case OperatorCategory::kFilter:
+    case OperatorCategory::kGroupFilter:
+      stats->filter_seconds += node.self_seconds();
+      break;
+    case OperatorCategory::kJoin:
+      stats->join_seconds += node.self_seconds();
+      break;
+    case OperatorCategory::kProject:
+      stats->project_seconds += node.self_seconds();
+      break;
+    case OperatorCategory::kDedup:
+    case OperatorCategory::kDedupJoin:
+    case OperatorCategory::kGroup:
+    case OperatorCategory::kOther:
+      break;
+  }
+  for (const auto& child : node.children) FoldProfile(*child, stats);
+}
+
+// Emits one Complete span per operator that ever ran, spanning its first to
+// last activity (Open through the final Next/Close the consumer issued).
+void EmitOperatorSpans(const OperatorProfile& node, TraceSink* trace) {
+  if (node.opens > 0) {
+    trace->Complete(node.label, "operator", node.first_activity,
+                    node.last_activity,
+                    "\"rows\":" + std::to_string(node.rows) +
+                        ",\"batches\":" + std::to_string(node.batches));
+  }
+  for (const auto& child : node.children) EmitOperatorSpans(*child, trace);
+}
+
+}  // namespace
+
+void QueryCursor::FinishObservation(const Status& status) {
+  if (folded_) return;
+  folded_ = true;
+  if (profile_ != nullptr && profile_->root() != nullptr) {
+    FoldProfile(*profile_->root(), stats_.get());
+    if (trace_ != nullptr) {
+      EmitOperatorSpans(*profile_->root(), trace_.get());
+    }
+  }
+  if (trace_ != nullptr && emit_started_) {
+    // The consumer-visible streaming window: first Next() to termination.
+    trace_->Complete("emit", "session", first_next_,
+                     std::chrono::steady_clock::now());
+  }
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  if (finished_) {
+    metrics.queries_executed->Increment();
+  } else if (status.IsCancelled()) {
+    metrics.queries_cancelled->Increment();
+  } else if (status.IsDeadlineExceeded()) {
+    metrics.queries_deadline_exceeded->Increment();
+  } else if (status.ok()) {
+    // Closed (or destroyed) mid-stream without an error: abandoned.
+    metrics.queries_abandoned->Increment();
+  } else {
+    metrics.queries_failed->Increment();
+  }
+}
+
 void QueryCursor::Terminate(Status status) {
   if (root_ != nullptr) {
     // Close cascades down the tree; TableScanOp / HashJoinOp cancel their
@@ -55,6 +135,10 @@ void QueryCursor::Terminate(Status status) {
                                       opened_at_)
             .count();
   }
+  // After the tree closed (operators wrote their last profile entries),
+  // before the slot frees: fold profiles into stats, flush trace spans,
+  // count the session outcome. Runs once even though Terminate may not.
+  FinishObservation(status);
   ReleaseAdmission();
   status_ = std::move(status);
 }
@@ -94,6 +178,10 @@ Result<bool> QueryCursor::Next(RowBatch* batch) {
   // after the last batch was delivered must not turn success into error.
   if (finished_) return false;
   QUERYER_RETURN_NOT_OK(CheckRunnable());
+  if (!emit_started_ && trace_ != nullptr) {
+    emit_started_ = true;
+    first_next_ = std::chrono::steady_clock::now();
+  }
   Result<bool> has = root_->Next(batch);
   if (!has.ok()) {
     Terminate(has.status());
@@ -143,6 +231,18 @@ Result<std::vector<std::vector<std::string>>> QueryCursor::Fetch(
     rows.push_back(std::move(fetch_batch_->row(fetch_pos_++).values));
   }
   return rows;
+}
+
+std::string QueryCursor::AnnotatedPlan() const {
+  std::string out;
+  if (profile_ != nullptr && profile_->root() != nullptr) {
+    out += profile_->ToString();
+  } else {
+    out += plan_text_;
+  }
+  out += "\n";
+  out += stats_->ToString();
+  return out;
 }
 
 }  // namespace queryer

@@ -46,6 +46,8 @@
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
+#include "obs/operator_profile.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace queryer {
@@ -108,6 +110,17 @@ class QueryCursor {
   /// cursor was closed. total_seconds covers open → end-of-stream/Close.
   const ExecStats& stats() const { return *stats_; }
 
+  /// The session's per-operator profile tree (never null for cursors opened
+  /// through the engine). Like stats(), it survives Close() — the operators
+  /// die with the tree, the profile stays with the cursor.
+  const PlanProfile& profile() const { return *profile_; }
+
+  /// The EXPLAIN ANALYZE rendering: the plan tree annotated with each
+  /// operator's cardinality and self time, followed by the ExecStats
+  /// summary (ER-stage breakdown). Complete once the stream ended or the
+  /// cursor was closed; called earlier it reports the stats so far.
+  std::string AnnotatedPlan() const;
+
  private:
   friend class PreparedQuery;
   friend class QueryEngine;
@@ -121,7 +134,9 @@ class QueryCursor {
               std::vector<std::shared_ptr<TableRuntime>> runtimes,
               std::shared_ptr<ThreadPool> pool,
               std::shared_ptr<std::atomic<bool>> cancel,
-              std::unique_ptr<ExecStats> stats, OperatorPtr root,
+              std::unique_ptr<ExecStats> stats,
+              std::unique_ptr<PlanProfile> profile,
+              std::shared_ptr<TraceSink> trace, OperatorPtr root,
               std::string plan_text, std::size_t batch_size,
               double deadline_seconds,
               std::chrono::steady_clock::time_point opened_at);
@@ -133,14 +148,23 @@ class QueryCursor {
   /// slot, records total_seconds, and makes `status` sticky.
   void Terminate(Status status);
   void ReleaseAdmission();
+  /// The once-per-session epilogue, run by the first Terminate: folds the
+  /// profile's relational self-times into stats_, emits the per-operator
+  /// and emit trace spans, and counts the session outcome in the global
+  /// metrics. Terminate runs twice on some paths (end-of-stream Next, then
+  /// Close) — the folded_ flag keeps this to exactly once.
+  void FinishObservation(const Status& status);
 
   // Destruction order matters: root_ (declared last) dies first, while
-  // stats_, the pinned runtimes and the pool it points into are alive.
+  // stats_, profile_ (operators hold raw OperatorProfile pointers into
+  // it), the pinned runtimes and the pool it points into are alive.
   Semaphore* admission_;  // Null once released.
   std::vector<std::shared_ptr<TableRuntime>> runtimes_;
   std::shared_ptr<ThreadPool> pool_;
   std::shared_ptr<std::atomic<bool>> cancel_;
   std::unique_ptr<ExecStats> stats_;
+  std::unique_ptr<PlanProfile> profile_;
+  std::shared_ptr<TraceSink> trace_;  // Null = tracing off.
   std::vector<std::string> columns_;
   std::string plan_text_;
   std::size_t batch_size_;
@@ -151,6 +175,10 @@ class QueryCursor {
   Status status_;        // Sticky terminal error (OK while streaming).
   bool finished_ = false;  // Stream ended cleanly.
   bool closed_ = false;
+  bool folded_ = false;  // FinishObservation already ran.
+  // First Next() call, for the session's "emit" trace span.
+  bool emit_started_ = false;
+  std::chrono::steady_clock::time_point first_next_{};
 
   // Fetch's carry-over of a partially consumed batch.
   std::unique_ptr<RowBatch> fetch_batch_;

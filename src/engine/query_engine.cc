@@ -7,6 +7,7 @@
 #include "baseline/batch_er.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace queryer {
 
@@ -28,6 +29,9 @@ QueryEngine::QueryEngine(EngineOptions options)
   // resolutions, so that configuration is forcibly serialized.
   if (!options_.use_link_index) options_.max_concurrent_queries = 1;
   admission_ = std::make_unique<Semaphore>(options_.max_concurrent_queries);
+  // Sessions blocked on admission show up in the process-wide wait
+  // histogram (bench_concurrent_queries reports its quantiles).
+  admission_->set_wait_histogram(GlobalEngineMetrics().admission_wait);
   std::size_t threads = options_.num_threads == 0
                             ? ThreadPool::HardwareConcurrency()
                             : options_.num_threads;
@@ -134,6 +138,7 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) {
   // plan_text() says so until the first Open.
   PlanPtr plan;
   if (!(stmt.dedup && !options_.use_link_index)) {
+    TraceSpan plan_span(options_.trace_sink.get(), "plan", "session");
     Planner planner(&catalog_, &runtimes_, statistics_.get());
     QUERYER_ASSIGN_OR_RETURN(
         plan, planner.BuildPlan(stmt, PlannerModeFor(options_.mode)));
@@ -151,6 +156,7 @@ Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
   // (or its destructor).
   Semaphore::Slot slot(admission_.get());
   const auto opened_at = std::chrono::steady_clock::now();
+  GlobalEngineMetrics().queries_opened->Increment();
 
   auto stats = std::make_unique<ExecStats>();
   stats->collect_comparisons = options.collect_comparisons;
@@ -185,6 +191,7 @@ Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
   PlanPtr deferred;
   std::string plan_text = prepared.plan_text_;
   if (plan == nullptr) {
+    TraceSpan plan_span(options.trace_sink.get(), "plan", "session");
     Planner planner(&catalog_, &runtimes_, statistics_.get());
     Result<PlanPtr> fresh = planner.BuildPlan(prepared.statement_,
                                               PlannerModeFor(options.mode));
@@ -197,25 +204,33 @@ Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
   // The session-level cancellation flag: QueryCursor::Cancel raises it,
   // every morsel-driven operator's reorder window observes it.
   auto cancel = std::make_shared<std::atomic<bool>>(false);
+  // Every session carries a profile tree (EXPLAIN ANALYZE and the
+  // scan/filter/join/project stats breakdown read from it); the overhead
+  // is one steady_clock read pair per operator call.
+  auto profile = std::make_unique<PlanProfile>();
   Executor executor(&catalog_, &runtimes_, stats.get(), pool_.get(),
                     options.max_concurrent_queries != 1, options.batch_size,
-                    cancel);
+                    cancel, profile.get(), options.trace_sink);
   Result<OperatorPtr> root = executor.Lower(*plan);
   if (!root.ok()) return root.status();
-  // Open is where the materializing operators do their heavy lifting —
-  // for a DEDUP plan, the resolution transaction (claim / evaluate /
-  // publish / release) runs and completes HERE, which is why an abandoned
-  // cursor never holds ResolutionCoordinator claims.
-  Status opened = (*root)->Open();
-  if (!opened.ok()) {
-    // No Close after a failed Open (same contract as DrainOperator): the
-    // operator destructors cancel whatever the partial Open dispatched.
-    return opened;
+  {
+    // Open is where the materializing operators do their heavy lifting —
+    // for a DEDUP plan, the resolution transaction (claim / evaluate /
+    // publish / release) runs and completes HERE, which is why an
+    // abandoned cursor never holds ResolutionCoordinator claims.
+    TraceSpan open_span(options.trace_sink.get(), "open", "session");
+    Status opened = (*root)->Open();
+    if (!opened.ok()) {
+      // No Close after a failed Open (same contract as DrainOperator): the
+      // operator destructors cancel whatever the partial Open dispatched.
+      return opened;
+    }
   }
   CursorPtr cursor(new QueryCursor(
       admission_.get(), prepared.involved_, pool_, std::move(cancel),
-      std::move(stats), root.MoveValueUnsafe(), std::move(plan_text),
-      options.batch_size, options.default_query_deadline, opened_at));
+      std::move(stats), std::move(profile), options.trace_sink,
+      root.MoveValueUnsafe(), std::move(plan_text), options.batch_size,
+      options.default_query_deadline, opened_at));
   slot.Disarm();  // The cursor owns the slot now.
   return cursor;
 }
@@ -225,9 +240,35 @@ Result<CursorPtr> QueryEngine::ExecuteStream(const std::string& sql) {
   return prepared.Open();
 }
 
+namespace {
+
+// The EXPLAIN presentation: one plan line per result row, PostgreSQL-style.
+std::vector<std::vector<std::string>> PlanTextAsRows(const std::string& text) {
+  std::vector<std::vector<std::string>> rows;
+  for (std::string& line : Split(text, '\n')) {
+    rows.push_back({std::move(line)});
+  }
+  return rows;
+}
+
+}  // namespace
+
 Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   Stopwatch total;
   QUERYER_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+
+  if (prepared.explain() && !prepared.analyze()) {
+    // Plain EXPLAIN: present the static plan, execute nothing (no
+    // admission slot, no session, no ER work).
+    QUERYER_ASSIGN_OR_RETURN(std::string text, StaticPlanText(prepared));
+    QueryResult result;
+    result.columns = {"QUERY PLAN"};
+    result.plan_text = text;
+    result.rows = PlanTextAsRows(text);
+    result.stats.total_seconds = total.ElapsedSeconds();
+    return result;
+  }
+
   QUERYER_ASSIGN_OR_RETURN(CursorPtr cursor, prepared.Open());
 
   QueryResult result;
@@ -239,13 +280,15 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   // Materialize from the cursor: each drained batch reserves the result
   // vector ahead by its row count (vector growth stays geometric — the
   // larger of the two wins), and every row's value strings are MOVED out
-  // of the stream, never copied.
+  // of the stream, never copied. EXPLAIN ANALYZE takes the same drain
+  // loop — the full execution is the point — but discards the answer.
+  const bool analyze = prepared.analyze();
   RowBatch batch(cursor->batch_size());
   while (true) {
     QUERYER_ASSIGN_OR_RETURN(bool has, cursor->Next(&batch));
     if (!has) break;
     const std::size_t n = batch.size();
-    if (n == 0) continue;
+    if (n == 0 || analyze) continue;
     if (result.rows.capacity() - result.rows.size() < n) {
       result.rows.reserve(
           std::max(result.rows.size() + n, 2 * result.rows.capacity()));
@@ -255,6 +298,11 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
     }
   }
   cursor->Close();
+  if (analyze) {
+    // After Close: the profile tree is final (Close times folded in).
+    result.columns = {"QUERY PLAN"};
+    result.rows = PlanTextAsRows(cursor->AnnotatedPlan());
+  }
   // Moved, not copied: collected_comparisons can be huge under
   // collect_comparisons, and the closed cursor is about to die.
   result.stats = std::move(*cursor->stats_);
@@ -267,6 +315,24 @@ Result<std::string> QueryEngine::Explain(const std::string& sql) {
   // like Prepare, no admission slot — a client inspecting a plan while
   // its own cursor holds the engine's only slot must not deadlock).
   QUERYER_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(sql));
+  if (prepared.analyze()) {
+    // EXPLAIN ANALYZE: execute the statement in full (this one DOES take
+    // an admission slot for its duration), discard the answer, return the
+    // plan annotated with the run's per-operator stats.
+    QUERYER_ASSIGN_OR_RETURN(CursorPtr cursor, prepared.Open());
+    RowBatch batch(cursor->batch_size());
+    while (true) {
+      QUERYER_ASSIGN_OR_RETURN(bool has, cursor->Next(&batch));
+      if (!has) break;
+    }
+    cursor->Close();
+    return cursor->AnnotatedPlan();
+  }
+  return StaticPlanText(prepared);
+}
+
+Result<std::string> QueryEngine::StaticPlanText(
+    const PreparedQuery& prepared) {
   if (prepared.plan_ != nullptr) return prepared.plan_text();
   // The without-LI arm defers planning to Open (which resets the index
   // first). Explain must stay side-effect free AND still show a plan, so

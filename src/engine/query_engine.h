@@ -94,9 +94,19 @@ class QueryEngine {
   /// whole answer. A thin wrapper over ExecuteStream — the streaming
   /// cursor is the only drain path. Safe to call concurrently (see the
   /// class comment).
+  ///
+  /// `EXPLAIN SELECT ...` statements execute nothing and return the static
+  /// plan as rows (one line per row, single "QUERY PLAN" column).
+  /// `EXPLAIN ANALYZE SELECT ...` statements execute the query in full,
+  /// discard its answer, and return the plan annotated with per-operator
+  /// cardinalities and self-times plus the ExecStats ER-stage breakdown.
   Result<QueryResult> Execute(const std::string& sql);
 
-  /// Returns the logical plan the current mode would execute.
+  /// Returns the logical plan the current mode would execute. When `sql`
+  /// is prefixed with `EXPLAIN ANALYZE`, the statement is executed (one
+  /// admitted session, answer discarded) and the annotated plan comes
+  /// back instead — per-operator rows/batches/self-time plus the stats
+  /// summary.
   Result<std::string> Explain(const std::string& sql);
 
   /// Eagerly builds the once-off indices of a table (otherwise they are
@@ -149,6 +159,11 @@ class QueryEngine {
   /// (BA cleaning / without-LI reset), lowers the prepared plan and opens
   /// the tree. On failure the slot is released before returning.
   Result<CursorPtr> OpenPrepared(const PreparedQuery& prepared);
+
+  /// The static (pre-execution) plan text of a prepared statement. The
+  /// without-LI arm defers planning to Open; for it this plans under the
+  /// current index state without side effects, like Explain always did.
+  Result<std::string> StaticPlanText(const PreparedQuery& prepared);
 
   EngineOptions options_;
   // Handle on the process-wide shared pool (ThreadPool::Shared); also given

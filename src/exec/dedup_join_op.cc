@@ -13,7 +13,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                          ExprPtr right_key, DirtySide dirty_side,
                          std::shared_ptr<TableRuntime> dirty_runtime,
                          ExecStats* stats, ThreadPool* pool,
-                         bool concurrent_sessions, std::size_t batch_size)
+                         bool concurrent_sessions, std::size_t batch_size,
+                         std::shared_ptr<TraceSink> trace)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -23,7 +24,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       stats_(stats),
       pool_(pool),
       concurrent_sessions_(concurrent_sessions),
-      batch_size_(batch_size) {
+      batch_size_(batch_size),
+      trace_(std::move(trace)) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   if (dirty_side_ != DirtySide::kNone) {
@@ -35,7 +37,7 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
   }
 }
 
-Status DedupJoinOp::Open() {
+Status DedupJoinOp::OpenImpl() {
   QUERYER_RETURN_NOT_OK(BuildOutput());
   position_ = 0;
   return Status::OK();
@@ -81,7 +83,7 @@ Status DedupJoinOp::BuildOutput() {
     // that determined the membership, so concurrent publishes cannot shear
     // the groups mid-materialization.
     Deduplicator deduplicator(dirty_runtime_.get(), stats_, pool_,
-                              concurrent_sessions_);
+                              concurrent_sessions_, trace_.get());
     std::vector<EntityId> group_keys;
     std::vector<EntityId> resolved =
         deduplicator.Resolve(query_entities, &group_keys);
@@ -148,10 +150,10 @@ Status DedupJoinOp::BuildOutput() {
   return Status::OK();
 }
 
-Result<bool> DedupJoinOp::Next(RowBatch* batch) {
+Result<bool> DedupJoinOp::NextImpl(RowBatch* batch) {
   return EmitMaterialized(&output_, &position_, batch);
 }
 
-void DedupJoinOp::Close() { output_.clear(); }
+void DedupJoinOp::CloseImpl() { output_.clear(); }
 
 }  // namespace queryer

@@ -35,16 +35,18 @@ class DedupJoinOp final : public PhysicalOperator {
   /// `pool` parallelizes the dirty side's comparison execution (null =
   /// sequential); `concurrent_sessions` selects the Deduplicator's
   /// transaction protocol for engines that admit concurrent Execute calls;
-  /// `batch_size` sizes the batches draining both children.
+  /// `batch_size` sizes the batches draining both children; `trace` (may
+  /// be null) receives the dirty side's ER-stage spans.
   DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
               ExprPtr right_key, DirtySide dirty_side,
               std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats,
               ThreadPool* pool = nullptr, bool concurrent_sessions = false,
-              std::size_t batch_size = kDefaultBatchSize);
+              std::size_t batch_size = kDefaultBatchSize,
+              std::shared_ptr<TraceSink> trace = nullptr);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   Status BuildOutput();
@@ -59,6 +61,7 @@ class DedupJoinOp final : public PhysicalOperator {
   ThreadPool* pool_;
   bool concurrent_sessions_;
   std::size_t batch_size_;
+  std::shared_ptr<TraceSink> trace_;
 
   std::vector<Row> output_;
   std::size_t position_ = 0;

@@ -7,13 +7,15 @@ namespace queryer {
 DeduplicateOp::DeduplicateOp(OperatorPtr child,
                              std::shared_ptr<TableRuntime> runtime,
                              ExecStats* stats, ThreadPool* pool,
-                             bool concurrent_sessions, std::size_t batch_size)
+                             bool concurrent_sessions, std::size_t batch_size,
+                             std::shared_ptr<TraceSink> trace)
     : child_(std::move(child)),
       runtime_(std::move(runtime)),
       stats_(stats),
       pool_(pool),
       concurrent_sessions_(concurrent_sessions),
-      batch_size_(batch_size) {
+      batch_size_(batch_size),
+      trace_(std::move(trace)) {
   // DR_E rows come from the base table, so the child must expose all of its
   // columns (same arity).
   QUERYER_CHECK(child_->output_columns().size() ==
@@ -21,7 +23,7 @@ DeduplicateOp::DeduplicateOp(OperatorPtr child,
   output_columns_ = child_->output_columns();
 }
 
-Status DeduplicateOp::Open() {
+Status DeduplicateOp::OpenImpl() {
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
                            DrainOperator(child_.get(), batch_size_));
   std::vector<EntityId> query_entities;
@@ -37,13 +39,13 @@ Status DeduplicateOp::Open() {
   // determined the membership: a concurrent session publishing links while
   // this operator streams must not change the groups mid-answer.
   Deduplicator deduplicator(runtime_.get(), stats_, pool_,
-                            concurrent_sessions_);
+                            concurrent_sessions_, trace_.get());
   result_entities_ = deduplicator.Resolve(query_entities, &group_keys_);
   position_ = 0;
   return Status::OK();
 }
 
-Result<bool> DeduplicateOp::Next(RowBatch* batch) {
+Result<bool> DeduplicateOp::NextImpl(RowBatch* batch) {
   batch->Clear();
   const Table& table = runtime_->table();
   while (position_ < result_entities_.size() && !batch->full()) {
@@ -57,7 +59,7 @@ Result<bool> DeduplicateOp::Next(RowBatch* batch) {
   return !batch->empty();
 }
 
-void DeduplicateOp::Close() {
+void DeduplicateOp::CloseImpl() {
   result_entities_.clear();
   group_keys_.clear();
 }

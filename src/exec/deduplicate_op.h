@@ -23,15 +23,17 @@ class DeduplicateOp final : public PhysicalOperator {
   /// `pool` parallelizes comparison execution (null = sequential);
   /// `concurrent_sessions` selects the Deduplicator's transaction protocol
   /// for engines that admit concurrent Execute calls; `batch_size` sizes
-  /// the batches draining the child.
+  /// the batches draining the child; `trace` (may be null) receives the
+  /// ER-stage spans.
   DeduplicateOp(OperatorPtr child, std::shared_ptr<TableRuntime> runtime,
                 ExecStats* stats, ThreadPool* pool = nullptr,
                 bool concurrent_sessions = false,
-                std::size_t batch_size = kDefaultBatchSize);
+                std::size_t batch_size = kDefaultBatchSize,
+                std::shared_ptr<TraceSink> trace = nullptr);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;
@@ -40,6 +42,7 @@ class DeduplicateOp final : public PhysicalOperator {
   ThreadPool* pool_;
   bool concurrent_sessions_;
   std::size_t batch_size_;
+  std::shared_ptr<TraceSink> trace_;
 
   // DR_E materialized at Open time: entity ids plus their cluster keys,
   // captured under one Link Index snapshot so concurrent publishes between

@@ -4,6 +4,7 @@
 
 #include "blocking/block_join.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
 
 namespace queryer {
 
@@ -12,14 +13,22 @@ std::vector<Comparison> Deduplicator::BuildComparisons(
     const std::vector<EntityId>& unresolved) {
   // (i) Query Blocking: build the QBI with the table's blocking function.
   Stopwatch watch;
-  QueryBlockIndex qbi = QueryBlockIndex::Build(
-      runtime_->table(), unresolved, runtime_->blocking_options());
+  QueryBlockIndex qbi;
+  {
+    TraceSpan span(trace_, "blocking", "er");
+    qbi = QueryBlockIndex::Build(runtime_->table(), unresolved,
+                                 runtime_->blocking_options());
+  }
   stats_->blocking_seconds += watch.ElapsedSeconds();
 
   // (ii) Block-Join against the TBI (built once per table).
   const TableBlockIndex& tbi = runtime_->tbi();
   watch.Restart();
-  BlockCollection enriched = BlockJoin(qbi, tbi);
+  BlockCollection enriched;
+  {
+    TraceSpan span(trace_, "block-join", "er");
+    enriched = BlockJoin(qbi, tbi);
+  }
   stats_->block_join_seconds += watch.ElapsedSeconds();
   stats_->blocks_after_join += enriched.size();
 
@@ -30,23 +39,26 @@ std::vector<Comparison> Deduplicator::BuildComparisons(
   BlockCollection refined = std::move(enriched);
   if (config.block_purging) {
     watch.Restart();
+    TraceSpan span(trace_, "purging", "er");
     refined = BlockPurging(std::move(refined), config.purging_outlier_factor,
                            pool_);
     stats_->purging_seconds += watch.ElapsedSeconds();
   }
   if (config.block_filtering) {
     watch.Restart();
+    TraceSpan span(trace_, "filtering", "er");
     refined = BlockFiltering(refined, config.filtering_ratio, pool_);
     stats_->filtering_seconds += watch.ElapsedSeconds();
   }
   std::vector<Comparison> comparisons;
-  if (config.edge_pruning) {
+  {
+    TraceSpan span(trace_, "edge-pruning", "er");
     watch.Restart();
-    comparisons = EdgePruning(refined, config.edge_weighting, pool_);
-    stats_->edge_pruning_seconds += watch.ElapsedSeconds();
-  } else {
-    watch.Restart();
-    comparisons = DistinctComparisons(refined);
+    if (config.edge_pruning) {
+      comparisons = EdgePruning(refined, config.edge_weighting, pool_);
+    } else {
+      comparisons = DistinctComparisons(refined);
+    }
     stats_->edge_pruning_seconds += watch.ElapsedSeconds();
   }
   stats_->comparisons_after_metablocking += comparisons.size();
@@ -82,11 +94,17 @@ std::vector<EntityId> Deduplicator::ResolveSerial(
     }
   }
 
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  metrics.link_index_hits->Increment(query_entities.size() -
+                                     unresolved.size());
+  metrics.link_index_misses->Increment(unresolved.size());
+
   if (!unresolved.empty()) {
     std::vector<Comparison> comparisons = BuildComparisons(unresolved);
 
     // (iv) Comparison-Execution; amends the Link Index with new links.
     Stopwatch watch;
+    TraceSpan span(trace_, "resolution", "er");
     ComparisonExecStats exec_stats = ExecuteComparisons(
         runtime_->table(), comparisons, runtime_->matching_config(), &li,
         &runtime_->attribute_weights(), pool_);
@@ -94,6 +112,11 @@ std::vector<EntityId> Deduplicator::ResolveSerial(
     stats_->comparisons_executed += exec_stats.executed;
     stats_->comparisons_skipped_linked += exec_stats.skipped_linked;
     stats_->matches_found += exec_stats.matches_found;
+    metrics.comparisons_executed->Increment(exec_stats.executed);
+    metrics.comparisons_skipped_linked->Increment(exec_stats.skipped_linked);
+    metrics.matches_found->Increment(exec_stats.matches_found);
+    span.set_args("\"comparisons\":" + std::to_string(exec_stats.executed) +
+                  ",\"matches\":" + std::to_string(exec_stats.matches_found));
 
     li.MarkResolvedBatch(unresolved);
   }
@@ -120,13 +143,21 @@ void Deduplicator::EvaluateAndPublishOwned(
   ResolutionCoordinator& coordinator = runtime_->coordinator();
   try {
     Stopwatch watch;
+    TraceSpan span(trace_, "resolution", "er");
     StagedComparisons staged = EvaluateComparisons(
         runtime_->table(), owned, runtime_->matching_config(), li,
         &runtime_->attribute_weights(), pool_);
+    const std::uint64_t published = li.PublishLinks(staged.matched);
     stats_->comparisons_executed += staged.executed;
     stats_->comparisons_skipped_linked += staged.skipped_linked;
-    stats_->matches_found += li.PublishLinks(staged.matched);
+    stats_->matches_found += published;
     stats_->resolution_seconds += watch.ElapsedSeconds();
+    const EngineMetrics& metrics = GlobalEngineMetrics();
+    metrics.comparisons_executed->Increment(staged.executed);
+    metrics.comparisons_skipped_linked->Increment(staged.skipped_linked);
+    metrics.matches_found->Increment(published);
+    span.set_args("\"comparisons\":" + std::to_string(staged.executed) +
+                  ",\"matches\":" + std::to_string(published));
     coordinator.ReleaseComparisons(owned);
   } catch (...) {
     // Could not publish: park the pairs for a waiter to adopt — a normal
@@ -160,6 +191,10 @@ void Deduplicator::ResolveClaimed(const std::vector<EntityId>& claimed) {
       stats_->comparisons_skipped_inflight -= orphans.size();
       EvaluateAndPublishOwned(orphans);
     }
+    // Monotonic counter: count only the pairs that stayed skipped (adopted
+    // orphans were executed after all).
+    GlobalEngineMetrics().comparisons_skipped_inflight->Increment(
+        pairs.foreign.size() - orphans.size());
     li.MarkResolvedBatch(claimed);
     coordinator.ReleaseEntities(claimed);
   } catch (...) {
@@ -184,6 +219,12 @@ std::vector<EntityId> Deduplicator::ResolveConcurrent(
       coordinator.ClaimEntities(query_entities, li);
   stats_->entities_already_resolved += claim.already_resolved;
   stats_->entities_claimed_elsewhere += claim.foreign.size();
+  {
+    const EngineMetrics& metrics = GlobalEngineMetrics();
+    metrics.link_index_hits->Increment(claim.already_resolved);
+    metrics.link_index_misses->Increment(query_entities.size() -
+                                         claim.already_resolved);
+  }
 
   // Claim loop: resolve what we own, wait for what others own, then
   // re-claim the leftovers — a waited-on entity is only guaranteed

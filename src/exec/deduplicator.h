@@ -28,6 +28,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/table_runtime.h"
+#include "obs/trace.h"
 
 namespace queryer {
 
@@ -36,13 +37,17 @@ class Deduplicator {
  public:
   /// `pool` parallelizes the comparison-execution stage (null = sequential;
   /// the operators pass the engine's pool through). `concurrent_sessions`
-  /// selects the transaction protocol above.
+  /// selects the transaction protocol above. `trace` (may be null) receives
+  /// one span per ER stage; the Deduplicator is used synchronously from one
+  /// operator call, so a raw pointer suffices (no straggler tasks hold it).
   Deduplicator(TableRuntime* runtime, ExecStats* stats,
-               ThreadPool* pool = nullptr, bool concurrent_sessions = false)
+               ThreadPool* pool = nullptr, bool concurrent_sessions = false,
+               TraceSink* trace = nullptr)
       : runtime_(runtime),
         stats_(stats),
         pool_(pool),
-        concurrent_sessions_(concurrent_sessions) {}
+        concurrent_sessions_(concurrent_sessions),
+        trace_(trace) {}
 
   /// \brief Resolves `query_entities` against the whole table.
   ///
@@ -83,6 +88,7 @@ class Deduplicator {
   ExecStats* stats_;
   ThreadPool* pool_;
   bool concurrent_sessions_;
+  TraceSink* trace_;
 };
 
 }  // namespace queryer

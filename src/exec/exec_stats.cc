@@ -9,7 +9,7 @@ namespace queryer {
 double ExecStats::other_seconds() const {
   double er = blocking_seconds + block_join_seconds + meta_blocking_seconds() +
               resolution_seconds + group_seconds;
-  return std::max(0.0, total_seconds - er);
+  return std::max(0.0, total_seconds - er - relational_seconds());
 }
 
 void ExecStats::Accumulate(const ExecStats& other) {
@@ -33,6 +33,10 @@ void ExecStats::Accumulate(const ExecStats& other) {
   resolution_seconds += other.resolution_seconds;
   group_seconds += other.group_seconds;
   total_seconds += other.total_seconds;
+  scan_seconds += other.scan_seconds;
+  filter_seconds += other.filter_seconds;
+  join_seconds += other.join_seconds;
+  project_seconds += other.project_seconds;
   collected_comparisons.insert(collected_comparisons.end(),
                                other.collected_comparisons.begin(),
                                other.collected_comparisons.end());
@@ -48,6 +52,12 @@ std::string ExecStats::ToString() const {
   out += " meta-blocking=" + FormatDouble(meta_blocking_seconds(), 4);
   out += " resolution=" + FormatDouble(resolution_seconds, 4);
   out += " group=" + FormatDouble(group_seconds, 4);
+  // New relational buckets go BEFORE the existing trailing "other=" token
+  // so scripts that parse the historical fields keep working.
+  out += " scan=" + FormatDouble(scan_seconds, 4);
+  out += " filter=" + FormatDouble(filter_seconds, 4);
+  out += " join=" + FormatDouble(join_seconds, 4);
+  out += " project=" + FormatDouble(project_seconds, 4);
   out += " other=" + FormatDouble(other_seconds(), 4) + "]";
   return out;
 }

@@ -54,6 +54,15 @@ struct ExecStats {
   double group_seconds = 0;         // Group-Entities.
   double total_seconds = 0;         // Whole query, set by the engine.
 
+  // Relational operator self-times (seconds), folded in from the session's
+  // OperatorProfile tree when one was attached (cursor sessions always
+  // attach one). Dedup-ish operators are NOT included: their self time is
+  // already covered by the ER stage seconds above.
+  double scan_seconds = 0;     // TableScan (incl. fused filters).
+  double filter_seconds = 0;   // Standalone Filter + GroupFilter.
+  double join_seconds = 0;     // HashJoin build + probe.
+  double project_seconds = 0;  // Project.
+
   /// When set, ER operators append every surviving comparison here so the
   /// benches can measure Pair Completeness against ground truth.
   bool collect_comparisons = false;
@@ -62,7 +71,14 @@ struct ExecStats {
   double meta_blocking_seconds() const {
     return purging_seconds + filtering_seconds + edge_pruning_seconds;
   }
-  /// Time not attributed to any ER stage (table scan, filter, join, ...).
+  /// Total of the relational self-times above.
+  double relational_seconds() const {
+    return scan_seconds + filter_seconds + join_seconds + project_seconds;
+  }
+  /// Time attributed neither to an ER stage nor to a relational operator
+  /// (result materialization, batch bookkeeping, ...). Before the operator
+  /// profiles existed this bucket silently swallowed all scan/filter/join/
+  /// project time; now those are reported explicitly.
   double other_seconds() const;
 
   /// Merges another stats object into this one (BA = batch ER + query run).

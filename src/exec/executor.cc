@@ -37,12 +37,27 @@ std::uint64_t NextSessionId() {
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
+OperatorCategory CategoryOf(PlanKind kind) {
+  switch (kind) {
+    case PlanKind::kScan: return OperatorCategory::kScan;
+    case PlanKind::kFilter: return OperatorCategory::kFilter;
+    case PlanKind::kGroupFilter: return OperatorCategory::kGroupFilter;
+    case PlanKind::kProject: return OperatorCategory::kProject;
+    case PlanKind::kHashJoin: return OperatorCategory::kJoin;
+    case PlanKind::kDeduplicate: return OperatorCategory::kDedup;
+    case PlanKind::kDedupJoin: return OperatorCategory::kDedupJoin;
+    case PlanKind::kGroupEntities: return OperatorCategory::kGroup;
+  }
+  return OperatorCategory::kOther;
+}
+
 }  // namespace
 
 Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
                    ExecStats* stats, ThreadPool* pool,
                    bool concurrent_sessions, std::size_t batch_size,
-                   std::shared_ptr<const std::atomic<bool>> session_cancel)
+                   std::shared_ptr<const std::atomic<bool>> session_cancel,
+                   PlanProfile* profile, std::shared_ptr<TraceSink> trace)
     : catalog_(catalog),
       runtimes_(runtimes),
       stats_(stats),
@@ -50,42 +65,79 @@ Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
       concurrent_sessions_(concurrent_sessions),
       batch_size_(batch_size == 0 ? 1 : batch_size),
       session_cancel_(std::move(session_cancel)),
+      profile_(profile),
+      trace_(std::move(trace)),
       session_id_(NextSessionId()) {}
 
-Result<OperatorPtr> Executor::LowerScan(const LogicalPlan& plan) {
+OperatorProfile* Executor::MakeNode(const LogicalPlan& plan,
+                                    OperatorProfile* parent) {
+  if (profile_ == nullptr) return nullptr;
+  return profile_->NewNode(parent, plan.NodeLabel(), CategoryOf(plan.kind));
+}
+
+Result<OperatorPtr> Executor::LowerScan(const LogicalPlan& plan,
+                                        OperatorProfile* parent) {
   QUERYER_ASSIGN_OR_RETURN(TablePtr table, catalog_->Get(plan.table_name));
-  return OperatorPtr(new TableScanOp(std::move(table), plan.table_alias, pool_,
-                                     batch_size_, stats_, session_id_,
-                                     session_cancel_));
+  OperatorProfile* node = MakeNode(plan, parent);
+  OperatorPtr op(new TableScanOp(std::move(table), plan.table_alias, pool_,
+                                 batch_size_, stats_, session_id_,
+                                 session_cancel_, trace_));
+  op->set_profile(node);
+  return op;
 }
 
 Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
+  return LowerNode(plan, nullptr);
+}
+
+Result<OperatorPtr> Executor::LowerNode(const LogicalPlan& plan,
+                                        OperatorProfile* parent) {
   switch (plan.kind) {
     case PlanKind::kScan:
-      return LowerScan(plan);
+      return LowerScan(plan, parent);
     case PlanKind::kFilter: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
-      ExprPtr predicate = plan.predicate->Clone();
-      QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
       // Filter over Scan fuses into the scan: the predicate runs against
       // the table's stored rows, so rejected tuples are never copied —
-      // and a morsel-parallel scan evaluates it on the workers.
+      // and a morsel-parallel scan evaluates it on the workers. The fused
+      // pair shares ONE profile node (there is one physical operator), with
+      // a label that shows both halves.
       if (plan.children[0]->kind == PlanKind::kScan) {
+        QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                                 LowerNode(*plan.children[0], parent));
+        ExprPtr predicate = plan.predicate->Clone();
+        QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
         static_cast<TableScanOp*>(child.get())
             ->FusePredicate(std::move(predicate));
+        if (child->profile() != nullptr) {
+          child->profile()->label =
+              plan.children[0]->NodeLabel() + " + " + plan.NodeLabel();
+        }
         return child;
       }
-      return OperatorPtr(new FilterOp(std::move(child), std::move(predicate)));
-    }
-    case PlanKind::kGroupFilter: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                               LowerNode(*plan.children[0], node));
       ExprPtr predicate = plan.predicate->Clone();
       QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
-      return OperatorPtr(new GroupFilterOp(std::move(child),
-                                           std::move(predicate), batch_size_));
+      OperatorPtr op(new FilterOp(std::move(child), std::move(predicate)));
+      op->set_profile(node);
+      return op;
+    }
+    case PlanKind::kGroupFilter: {
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                               LowerNode(*plan.children[0], node));
+      ExprPtr predicate = plan.predicate->Clone();
+      QUERYER_RETURN_NOT_OK(predicate->Bind(child->output_columns()));
+      OperatorPtr op(new GroupFilterOp(std::move(child), std::move(predicate),
+                                       batch_size_));
+      op->set_profile(node);
+      return op;
     }
     case PlanKind::kProject: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                               LowerNode(*plan.children[0], node));
       std::vector<ExprPtr> exprs;
       std::vector<std::string> names;
       for (const SelectItem& item : plan.items) {
@@ -95,33 +147,47 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
                                            : item.alias);
         exprs.push_back(std::move(expr));
       }
-      return OperatorPtr(
+      OperatorPtr op(
           new ProjectOp(std::move(child), std::move(exprs), std::move(names)));
+      op->set_profile(node);
+      return op;
     }
     case PlanKind::kHashJoin: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*plan.children[1]));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left,
+                               LowerNode(*plan.children[0], node));
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right,
+                               LowerNode(*plan.children[1], node));
       ExprPtr left_key = plan.left_key->Clone();
       ExprPtr right_key = plan.right_key->Clone();
       QUERYER_RETURN_NOT_OK(BindJoinKeys(left->output_columns(),
                                          right->output_columns(), &left_key,
                                          &right_key));
-      return OperatorPtr(new HashJoinOp(
+      OperatorPtr op(new HashJoinOp(
           std::move(left), std::move(right), std::move(left_key),
           std::move(right_key), batch_size_, pool_, stats_, session_id_,
-          session_cancel_));
+          session_cancel_, trace_));
+      op->set_profile(node);
+      return op;
     }
     case PlanKind::kDeduplicate: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                               LowerNode(*plan.children[0], node));
       QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
                                FindRuntime(*runtimes_, plan.table_name));
-      return OperatorPtr(new DeduplicateOp(std::move(child), std::move(runtime),
-                                           stats_, pool_, concurrent_sessions_,
-                                           batch_size_));
+      OperatorPtr op(new DeduplicateOp(std::move(child), std::move(runtime),
+                                       stats_, pool_, concurrent_sessions_,
+                                       batch_size_, trace_));
+      op->set_profile(node);
+      return op;
     }
     case PlanKind::kDedupJoin: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left, Lower(*plan.children[0]));
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right, Lower(*plan.children[1]));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr left,
+                               LowerNode(*plan.children[0], node));
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr right,
+                               LowerNode(*plan.children[1], node));
       ExprPtr left_key = plan.left_key->Clone();
       ExprPtr right_key = plan.right_key->Clone();
       QUERYER_RETURN_NOT_OK(BindJoinKeys(left->output_columns(),
@@ -132,15 +198,21 @@ Result<OperatorPtr> Executor::Lower(const LogicalPlan& plan) {
         QUERYER_ASSIGN_OR_RETURN(runtime,
                                  FindRuntime(*runtimes_, plan.table_name));
       }
-      return OperatorPtr(new DedupJoinOp(
+      OperatorPtr op(new DedupJoinOp(
           std::move(left), std::move(right), std::move(left_key),
           std::move(right_key), plan.dirty_side, std::move(runtime), stats_,
-          pool_, concurrent_sessions_, batch_size_));
+          pool_, concurrent_sessions_, batch_size_, trace_));
+      op->set_profile(node);
+      return op;
     }
     case PlanKind::kGroupEntities: {
-      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child, Lower(*plan.children[0]));
-      return OperatorPtr(
-          new GroupEntitiesOp(std::move(child), stats_, batch_size_, pool_));
+      OperatorProfile* node = MakeNode(plan, parent);
+      QUERYER_ASSIGN_OR_RETURN(OperatorPtr child,
+                               LowerNode(*plan.children[0], node));
+      OperatorPtr op(new GroupEntitiesOp(std::move(child), stats_, batch_size_,
+                                         pool_, trace_));
+      op->set_profile(node);
+      return op;
     }
   }
   return Status::Internal("unknown plan kind");

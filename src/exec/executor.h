@@ -20,6 +20,8 @@
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
+#include "obs/operator_profile.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "plan/logical_plan.h"
 #include "storage/catalog.h"
@@ -41,11 +43,17 @@ class Executor {
   /// RowBatch capacity of the whole pipeline (EngineOptions::batch_size).
   /// `session_cancel` (may be null) is the session-level cancellation flag
   /// linked into every morsel-driven operator's reorder window
-  /// (QueryCursor::Cancel raises it).
+  /// (QueryCursor::Cancel raises it). `profile` (may be null) receives one
+  /// OperatorProfile node per lowered operator, mirroring the plan tree —
+  /// the substrate of EXPLAIN ANALYZE. `trace` (may be null) is this
+  /// session's trace sink, plumbed into the operators that emit spans and
+  /// morsel events.
   Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
            ThreadPool* pool = nullptr, bool concurrent_sessions = false,
            std::size_t batch_size = kDefaultBatchSize,
-           std::shared_ptr<const std::atomic<bool>> session_cancel = nullptr);
+           std::shared_ptr<const std::atomic<bool>> session_cancel = nullptr,
+           PlanProfile* profile = nullptr,
+           std::shared_ptr<TraceSink> trace = nullptr);
 
   /// Builds the physical operator tree (binding all expressions). The tree
   /// may outlive the Executor — operators capture the catalog tables, the
@@ -58,7 +66,16 @@ class Executor {
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
 
  private:
-  Result<OperatorPtr> LowerScan(const LogicalPlan& plan);
+  /// Recursive lowering; `parent` is the profile node of the operator
+  /// being built above this subtree (null at the root or when profiling
+  /// is off).
+  Result<OperatorPtr> LowerNode(const LogicalPlan& plan,
+                                OperatorProfile* parent);
+  Result<OperatorPtr> LowerScan(const LogicalPlan& plan,
+                                OperatorProfile* parent);
+  /// Creates `plan`'s profile node under `parent`; null when profiling is
+  /// off.
+  OperatorProfile* MakeNode(const LogicalPlan& plan, OperatorProfile* parent);
 
   const Catalog* catalog_;
   RuntimeRegistry* runtimes_;
@@ -67,6 +84,8 @@ class Executor {
   bool concurrent_sessions_;
   std::size_t batch_size_;
   std::shared_ptr<const std::atomic<bool>> session_cancel_;
+  PlanProfile* profile_;
+  std::shared_ptr<TraceSink> trace_;
   /// Tags this executor's morsel tasks so concurrent sessions sharing the
   /// process-wide pool are distinguishable (fair FIFO interleaving is per
   /// morsel; the tag identifies the session a morsel belongs to).

@@ -10,15 +10,15 @@ FilterOp::FilterOp(OperatorPtr child, ExprPtr predicate)
   QUERYER_CHECK(predicate_->IsBound());
 }
 
-Status FilterOp::Open() { return child_->Open(); }
+Status FilterOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(RowBatch* batch) {
+Result<bool> FilterOp::NextImpl(RowBatch* batch) {
   QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(batch));
   if (!has) return false;
   predicate_->FilterBatch(batch);
   return true;
 }
 
-void FilterOp::Close() { child_->Close(); }
+void FilterOp::CloseImpl() { child_->Close(); }
 
 }  // namespace queryer

@@ -21,9 +21,9 @@ class FilterOp final : public PhysicalOperator {
  public:
   FilterOp(OperatorPtr child, ExprPtr predicate);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

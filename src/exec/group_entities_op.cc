@@ -84,18 +84,21 @@ void MergeGroupTable(GroupTable&& partial, std::size_t width,
 }  // namespace
 
 GroupEntitiesOp::GroupEntitiesOp(OperatorPtr child, ExecStats* stats,
-                                 std::size_t batch_size, ThreadPool* pool)
+                                 std::size_t batch_size, ThreadPool* pool,
+                                 std::shared_ptr<TraceSink> trace)
     : child_(std::move(child)),
       stats_(stats),
       batch_size_(batch_size),
-      pool_(pool) {
+      pool_(pool),
+      trace_(std::move(trace)) {
   output_columns_ = child_->output_columns();
 }
 
-Status GroupEntitiesOp::Open() {
+Status GroupEntitiesOp::OpenImpl() {
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
                            DrainOperator(child_.get(), batch_size_));
   Stopwatch watch;
+  TraceSpan span(trace_.get(), "group", "er");
 
   const std::size_t width = output_columns_.size();
   GroupTable table;
@@ -145,14 +148,16 @@ Status GroupEntitiesOp::Open() {
   }
 
   stats_->group_seconds += watch.ElapsedSeconds();
+  span.set_args("\"rows_in\":" + std::to_string(input.size()) +
+                ",\"groups\":" + std::to_string(output_.size()));
   position_ = 0;
   return Status::OK();
 }
 
-Result<bool> GroupEntitiesOp::Next(RowBatch* batch) {
+Result<bool> GroupEntitiesOp::NextImpl(RowBatch* batch) {
   return EmitMaterialized(&output_, &position_, batch);
 }
 
-void GroupEntitiesOp::Close() { output_.clear(); }
+void GroupEntitiesOp::CloseImpl() { output_.clear(); }
 
 }  // namespace queryer

@@ -8,6 +8,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 
 namespace queryer {
@@ -29,14 +30,16 @@ class GroupEntitiesOp final : public PhysicalOperator {
  public:
   /// `pool` with more than one worker enables the parallel aggregation
   /// (null = sequential); `stats` receives the group timing and the
-  /// partial-groups-merged counter.
+  /// partial-groups-merged counter; `trace` (may be null) receives the
+  /// "group" span.
   GroupEntitiesOp(OperatorPtr child, ExecStats* stats,
                   std::size_t batch_size = kDefaultBatchSize,
-                  ThreadPool* pool = nullptr);
+                  ThreadPool* pool = nullptr,
+                  std::shared_ptr<TraceSink> trace = nullptr);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
   /// Separator between grouped value variants.
   static constexpr const char* kVariantSeparator = " | ";
@@ -46,6 +49,7 @@ class GroupEntitiesOp final : public PhysicalOperator {
   ExecStats* stats_;
   std::size_t batch_size_;
   ThreadPool* pool_;
+  std::shared_ptr<TraceSink> trace_;
   std::vector<Row> output_;
   std::size_t position_ = 0;
 };

@@ -15,7 +15,7 @@ GroupFilterOp::GroupFilterOp(OperatorPtr child, ExprPtr predicate,
   QUERYER_CHECK(predicate_->IsBound());
 }
 
-Status GroupFilterOp::Open() {
+Status GroupFilterOp::OpenImpl() {
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
                            DrainOperator(child_.get(), batch_size_));
   std::unordered_set<std::uint64_t> passing_groups;
@@ -32,10 +32,10 @@ Status GroupFilterOp::Open() {
   return Status::OK();
 }
 
-Result<bool> GroupFilterOp::Next(RowBatch* batch) {
+Result<bool> GroupFilterOp::NextImpl(RowBatch* batch) {
   return EmitMaterialized(&output_, &position_, batch);
 }
 
-void GroupFilterOp::Close() { output_.clear(); }
+void GroupFilterOp::CloseImpl() { output_.clear(); }
 
 }  // namespace queryer

@@ -23,9 +23,9 @@ class GroupFilterOp final : public PhysicalOperator {
   GroupFilterOp(OperatorPtr child, ExprPtr predicate,
                 std::size_t batch_size = kDefaultBatchSize);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

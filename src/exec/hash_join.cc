@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
 #include "parallel/reorder_window.h"
 
 namespace queryer {
@@ -44,6 +45,7 @@ struct HashJoinOp::ProbeState {
   std::shared_ptr<const BuildTable> build;
   std::shared_ptr<const Expr> key;
   std::uint64_t session_id = 0;
+  std::shared_ptr<TraceSink> trace;  // May be null; held for stragglers.
 
   /// In-order emission + bounded in-flight probe morsels (backpressure).
   ReorderWindow<std::vector<Row>> window;
@@ -74,6 +76,13 @@ struct HashJoinOp::ProbeState {
         window.Fail(slot, e.what());
         return;
       }
+      if (trace != nullptr) {
+        trace->Instant("probe-morsel", "morsel",
+                       "\"session\":" + std::to_string(session_id) +
+                           ",\"morsel\":" + std::to_string(slot) +
+                           ",\"rows_in\":" + std::to_string(rows.size()) +
+                           ",\"rows_out\":" + std::to_string(out.size()));
+      }
     }
     window.Complete(slot, std::move(out));
   }
@@ -83,7 +92,8 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                        ExprPtr right_key, std::size_t batch_size,
                        ThreadPool* pool, ExecStats* stats,
                        std::uint64_t session_id,
-                       std::shared_ptr<const std::atomic<bool>> session_cancel)
+                       std::shared_ptr<const std::atomic<bool>> session_cancel,
+                       std::shared_ptr<TraceSink> trace)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -92,7 +102,8 @@ HashJoinOp::HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       pool_(pool),
       stats_(stats),
       session_id_(session_id),
-      session_cancel_(std::move(session_cancel)) {
+      session_cancel_(std::move(session_cancel)),
+      trace_(std::move(trace)) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   output_columns_ = left_->output_columns();
@@ -109,7 +120,7 @@ bool HashJoinOp::UseParallelProbe() const {
          !build_side_->empty();
 }
 
-Status HashJoinOp::Open() {
+Status HashJoinOp::OpenImpl() {
   QUERYER_RETURN_NOT_OK(left_->Open());
   QUERYER_ASSIGN_OR_RETURN(std::vector<Row> rows,
                            DrainOperator(right_.get(), batch_size_));
@@ -143,6 +154,7 @@ Status HashJoinOp::Open() {
     probe_state_->build = build_side_;
     probe_state_->key = left_key_;
     probe_state_->session_id = session_id_;
+    probe_state_->trace = trace_;
   }
   return Status::OK();
 }
@@ -203,6 +215,7 @@ Result<bool> HashJoinOp::NextParallel(RowBatch* batch) {
     out_buffer_ = std::move(*probed);
     out_pos_ = 0;
     if (stats_ != nullptr) ++stats_->probe_morsels;
+    GlobalEngineMetrics().probe_morsels->Increment();
   }
   return !batch->empty() || out_pos_ < out_buffer_.size() ||
          state.window.HasPending() || !left_done_;
@@ -248,7 +261,7 @@ Result<bool> HashJoinOp::NextSequential(RowBatch* batch) {
   return !batch->empty() || !done_;
 }
 
-Result<bool> HashJoinOp::Next(RowBatch* batch) {
+Result<bool> HashJoinOp::NextImpl(RowBatch* batch) {
   batch->Clear();
   if (probe_ == nullptr) {
     probe_ = std::make_unique<RowBatch>(batch->capacity());
@@ -266,7 +279,7 @@ void HashJoinOp::CancelProbe() {
   }
 }
 
-void HashJoinOp::Close() {
+void HashJoinOp::CloseImpl() {
   left_->Close();
   // Right child already closed by DrainOperator in Open().
   CancelProbe();

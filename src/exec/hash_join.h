@@ -13,6 +13,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "plan/expr.h"
 
@@ -49,22 +50,24 @@ class HashJoinOp final : public PhysicalOperator {
   /// (may be null) receives the probe-morsel counter; `session_id` tags
   /// this join's probe tasks; `session_cancel` (may be null) is the
   /// session-level cancellation flag the probe window observes
-  /// (QueryCursor::Cancel).
+  /// (QueryCursor::Cancel); `trace` (may be null) receives one
+  /// "probe-morsel" instant event per morsel on the worker that probed it.
   HashJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
              ExprPtr right_key, std::size_t batch_size = kDefaultBatchSize,
              ThreadPool* pool = nullptr, ExecStats* stats = nullptr,
              std::uint64_t session_id = 0,
              std::shared_ptr<const std::atomic<bool>> session_cancel =
-                 nullptr);
+                 nullptr,
+             std::shared_ptr<TraceSink> trace = nullptr);
 
   /// Cancels any in-flight probe morsels: a query that dies in ANOTHER
   /// operator destroys this join without Close() (DrainOperator's error
   /// path), and window-queued tasks must not keep probing for a dead query.
   ~HashJoinOp() override { CancelProbe(); }
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   struct ProbeState;
@@ -90,6 +93,8 @@ class HashJoinOp final : public PhysicalOperator {
   ExecStats* stats_;
   std::uint64_t session_id_;
   std::shared_ptr<const std::atomic<bool>> session_cancel_;
+  // shared_ptr: straggler probe tasks may outlive this operator.
+  std::shared_ptr<TraceSink> trace_;
 
   // Shared with in-flight probe tasks (read-only after Open).
   std::shared_ptr<const BuildTable> build_side_;

@@ -8,12 +8,14 @@
 #ifndef QUERYER_EXEC_OPERATOR_H_
 #define QUERYER_EXEC_OPERATOR_H_
 
+#include <chrono>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 #include "exec/row_batch.h"
+#include "obs/operator_profile.h"
 
 namespace queryer {
 
@@ -27,21 +29,74 @@ namespace queryer {
 /// RowBatch across all Next calls so the row storage is recycled.
 /// `output_columns()` is valid after construction and lists qualified
 /// column names ("alias.column") of the produced rows.
+///
+/// Non-virtual interface: subclasses implement OpenImpl/NextImpl/CloseImpl;
+/// the public Open/Next/Close wrappers record rows, batches, and cumulative
+/// time into the attached OperatorProfile (one steady_clock read pair per
+/// call) and are pass-throughs when no profile is attached. Profiles are
+/// written only from the consumer thread that drives the operator tree.
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
 
-  virtual Status Open() = 0;
+  Status Open() {
+    if (profile_ == nullptr) return OpenImpl();
+    const auto begin = OperatorProfile::Clock::now();
+    if (profile_->opens++ == 0) profile_->first_activity = begin;
+    Status status = OpenImpl();
+    const auto end = OperatorProfile::Clock::now();
+    const double dt = std::chrono::duration<double>(end - begin).count();
+    profile_->open_seconds += dt;
+    profile_->total_seconds += dt;
+    profile_->last_activity = end;
+    return status;
+  }
+
   /// Refills `batch`; returns false at end of stream.
-  virtual Result<bool> Next(RowBatch* batch) = 0;
-  virtual void Close() = 0;
+  Result<bool> Next(RowBatch* batch) {
+    if (profile_ == nullptr) return NextImpl(batch);
+    const auto begin = OperatorProfile::Clock::now();
+    Result<bool> result = NextImpl(batch);
+    const auto end = OperatorProfile::Clock::now();
+    profile_->total_seconds += std::chrono::duration<double>(end - begin).count();
+    if (result.ok() && *result) {
+      ++profile_->batches;
+      profile_->rows += batch->size();
+    }
+    profile_->last_activity = end;
+    return result;
+  }
+
+  void Close() {
+    if (profile_ == nullptr) {
+      CloseImpl();
+      return;
+    }
+    const auto begin = OperatorProfile::Clock::now();
+    CloseImpl();
+    const auto end = OperatorProfile::Clock::now();
+    profile_->total_seconds += std::chrono::duration<double>(end - begin).count();
+    profile_->last_activity = end;
+  }
+
+  /// Attaches the profile node this operator reports into (set by the
+  /// executor at lowering time; null = no profiling, zero overhead).
+  void set_profile(OperatorProfile* profile) { profile_ = profile; }
+  OperatorProfile* profile() const { return profile_; }
 
   const std::vector<std::string>& output_columns() const {
     return output_columns_;
   }
 
  protected:
+  virtual Status OpenImpl() = 0;
+  virtual Result<bool> NextImpl(RowBatch* batch) = 0;
+  virtual void CloseImpl() = 0;
+
   std::vector<std::string> output_columns_;
+
+ private:
+  OperatorProfile* profile_ = nullptr;
 };
 
 using OperatorPtr = std::unique_ptr<PhysicalOperator>;

@@ -12,9 +12,9 @@ ProjectOp::ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
   output_columns_ = std::move(names);
 }
 
-Status ProjectOp::Open() { return child_->Open(); }
+Status ProjectOp::OpenImpl() { return child_->Open(); }
 
-Result<bool> ProjectOp::Next(RowBatch* batch) {
+Result<bool> ProjectOp::NextImpl(RowBatch* batch) {
   batch->Clear();
   if (input_ == nullptr) {
     input_ = std::make_unique<RowBatch>(batch->capacity());
@@ -35,6 +35,6 @@ Result<bool> ProjectOp::Next(RowBatch* batch) {
   return true;
 }
 
-void ProjectOp::Close() { child_->Close(); }
+void ProjectOp::CloseImpl() { child_->Close(); }
 
 }  // namespace queryer

@@ -25,9 +25,9 @@ class ProjectOp final : public PhysicalOperator {
   ProjectOp(OperatorPtr child, std::vector<ExprPtr> exprs,
             std::vector<std::string> names);
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   OperatorPtr child_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace queryer {
 
 /// Shared between the consuming operator and its pool tasks. Tasks hold the
@@ -14,6 +16,7 @@ struct TableScanOp::MorselScan {
   std::size_t morsel_rows = 0;
   std::size_t num_morsels = 0;
   std::uint64_t session_id = 0;
+  std::shared_ptr<TraceSink> trace;  // May be null; held for stragglers.
 
   /// In-order emission + bounded in-flight morsels (backpressure).
   ReorderWindow<std::vector<Row>> window;
@@ -46,6 +49,12 @@ struct TableScanOp::MorselScan {
         window.Fail(m, e.what());
         return;
       }
+      if (trace != nullptr) {
+        trace->Instant("scan-morsel", "morsel",
+                       "\"session\":" + std::to_string(session_id) +
+                           ",\"morsel\":" + std::to_string(m) +
+                           ",\"rows\":" + std::to_string(out.size()));
+      }
     }
     window.Complete(m, std::move(out));
   }
@@ -54,13 +63,15 @@ struct TableScanOp::MorselScan {
 TableScanOp::TableScanOp(TablePtr table, std::string alias, ThreadPool* pool,
                          std::size_t batch_size, ExecStats* stats,
                          std::uint64_t session_id,
-                         std::shared_ptr<const std::atomic<bool>> session_cancel)
+                         std::shared_ptr<const std::atomic<bool>> session_cancel,
+                         std::shared_ptr<TraceSink> trace)
     : table_(std::move(table)),
       pool_(pool),
       batch_size_(batch_size == 0 ? 1 : batch_size),
       stats_(stats),
       session_id_(session_id),
-      session_cancel_(std::move(session_cancel)) {
+      session_cancel_(std::move(session_cancel)),
+      trace_(std::move(trace)) {
   output_columns_.reserve(table_->num_attributes());
   for (const std::string& name : table_->schema().names()) {
     output_columns_.push_back(alias + "." + name);
@@ -75,7 +86,7 @@ bool TableScanOp::UseMorsels() const {
          table_->num_rows() > MorselRowsFor(batch_size_);
 }
 
-Status TableScanOp::Open() {
+Status TableScanOp::OpenImpl() {
   position_ = 0;
   buffer_.clear();
   buffer_pos_ = 0;
@@ -96,6 +107,7 @@ Status TableScanOp::Open() {
         (table_->num_rows() + morsels_->morsel_rows - 1) /
         morsels_->morsel_rows;
     morsels_->session_id = session_id_;
+    morsels_->trace = trace_;
     // Prime the window up to its capacity (or the whole table).
     while (SubmitMorselTask()) {
     }
@@ -153,13 +165,14 @@ Result<bool> TableScanOp::NextMorsel(RowBatch* batch) {
     buffer_ = std::move(*morsel);
     buffer_pos_ = 0;
     if (stats_ != nullptr) ++stats_->morsels_scanned;
+    GlobalEngineMetrics().scan_morsels->Increment();
     SubmitMorselTask();
   }
   return !batch->empty() || state.window.emitted() < state.num_morsels ||
          buffer_pos_ < buffer_.size();
 }
 
-Result<bool> TableScanOp::Next(RowBatch* batch) {
+Result<bool> TableScanOp::NextImpl(RowBatch* batch) {
   batch->Clear();
   if (morsels_ != nullptr) return NextMorsel(batch);
   return NextSequential(batch);
@@ -174,7 +187,7 @@ void TableScanOp::CancelMorsels() {
   }
 }
 
-void TableScanOp::Close() {
+void TableScanOp::CloseImpl() {
   CancelMorsels();
   buffer_.clear();
 }

@@ -10,6 +10,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "obs/trace.h"
 #include "parallel/reorder_window.h"
 #include "parallel/thread_pool.h"
 #include "plan/expr.h"
@@ -42,12 +43,15 @@ class TableScanOp final : public PhysicalOperator {
   /// `batch_size` sizes the morsels; `stats` (may be null) receives the
   /// morsel counters; `session_id` tags this scan's morsel tasks;
   /// `session_cancel` (may be null) is the session-level cancellation flag
-  /// the morsel window observes (QueryCursor::Cancel).
+  /// the morsel window observes (QueryCursor::Cancel); `trace` (may be
+  /// null) receives one "scan-morsel" instant event per morsel, emitted on
+  /// the worker thread that materialized it.
   TableScanOp(TablePtr table, std::string alias, ThreadPool* pool = nullptr,
               std::size_t batch_size = kDefaultBatchSize,
               ExecStats* stats = nullptr, std::uint64_t session_id = 0,
               std::shared_ptr<const std::atomic<bool>> session_cancel =
-                  nullptr);
+                  nullptr,
+              std::shared_ptr<TraceSink> trace = nullptr);
 
   /// Cancels any in-flight morsels: a query that dies in ANOTHER operator
   /// destroys this scan without Close() (DrainOperator's error path), and
@@ -58,9 +62,9 @@ class TableScanOp final : public PhysicalOperator {
   /// scan's output_columns(). Call before Open().
   void FusePredicate(ExprPtr predicate) { predicate_ = std::move(predicate); }
 
-  Status Open() override;
-  Result<bool> Next(RowBatch* batch) override;
-  void Close() override;
+  Status OpenImpl() override;
+  Result<bool> NextImpl(RowBatch* batch) override;
+  void CloseImpl() override;
 
  private:
   struct MorselScan;
@@ -82,6 +86,8 @@ class TableScanOp final : public PhysicalOperator {
   ExecStats* stats_;
   std::uint64_t session_id_;
   std::shared_ptr<const std::atomic<bool>> session_cancel_;
+  // shared_ptr: straggler morsel tasks may outlive this operator.
+  std::shared_ptr<TraceSink> trace_;
 
   // Sequential cursor.
   EntityId position_ = 0;

@@ -1,0 +1,72 @@
+#include "obs/operator_profile.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.h"
+
+namespace queryer {
+
+double OperatorProfile::self_seconds() const {
+  double child_seconds = 0;
+  for (const auto& child : children) child_seconds += child->total_seconds;
+  return std::max(0.0, total_seconds - child_seconds);
+}
+
+OperatorProfile* PlanProfile::NewNode(OperatorProfile* parent,
+                                      std::string label,
+                                      OperatorCategory category) {
+  auto node = std::make_unique<OperatorProfile>();
+  node->label = std::move(label);
+  node->category = category;
+  OperatorProfile* raw = node.get();
+  if (parent == nullptr) {
+    QUERYER_CHECK(root_ == nullptr);
+    root_ = std::move(node);
+  } else {
+    parent->children.push_back(std::move(node));
+  }
+  return raw;
+}
+
+namespace {
+
+std::string FormatSeconds(double seconds) {
+  char buf[32];
+  if (seconds >= 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3fms", seconds * 1e3);
+  }
+  return buf;
+}
+
+void AppendNode(const OperatorProfile& node, int indent, std::string* out) {
+  out->append(static_cast<std::size_t>(indent) * 2, ' ');
+  out->append(node.label);
+  out->append("  (rows=");
+  out->append(std::to_string(node.rows));
+  out->append(" batches=");
+  out->append(std::to_string(node.batches));
+  out->append(" self=");
+  out->append(FormatSeconds(node.self_seconds()));
+  if (node.open_seconds > 0) {
+    out->append(" open=");
+    out->append(FormatSeconds(node.open_seconds));
+  }
+  out->append(")\n");
+  for (const auto& child : node.children) {
+    AppendNode(*child, indent + 1, out);
+  }
+}
+
+}  // namespace
+
+std::string PlanProfile::ToString() const {
+  std::string out;
+  if (root_ != nullptr) AppendNode(*root_, 0, &out);
+  if (!out.empty() && out.back() == '\n') out.pop_back();
+  return out;
+}
+
+}  // namespace queryer

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace queryer {
 
@@ -57,8 +58,9 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     QUERYER_CHECK(!stopping_);
-    queue_.push(std::move(task));
+    queue_.push({std::move(task), std::chrono::steady_clock::now()});
   }
+  GlobalEngineMetrics().pool_queue_depth->Add(1);
   ready_.notify_one();
 }
 
@@ -69,6 +71,22 @@ std::size_t ThreadPool::HardwareConcurrency() {
 
 void Semaphore::Acquire() {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (wait_histogram_ != nullptr) {
+    // Time the wait even on the uncontended path (it observes ~0): the
+    // histogram's count then equals the admitted-session count, which is
+    // what makes its quantiles meaningful.
+    const auto start = std::chrono::steady_clock::now();
+    if (!unlimited_) {
+      available_cv_.wait(lock,
+                         [this] { return unlimited_ || available_ > 0; });
+      if (!unlimited_) --available_;
+    }
+    wait_histogram_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count());
+    return;
+  }
   if (unlimited_) return;
   available_cv_.wait(lock, [this] { return unlimited_ || available_ > 0; });
   if (!unlimited_) --available_;
@@ -94,7 +112,7 @@ void Semaphore::Reset(std::size_t count) {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -104,7 +122,13 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop();
     }
-    task();
+    const EngineMetrics& metrics = GlobalEngineMetrics();
+    metrics.pool_queue_depth->Add(-1);
+    metrics.pool_task_wait->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      task.enqueued)
+            .count());
+    task.fn();
   }
 }
 

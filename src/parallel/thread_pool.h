@@ -14,6 +14,7 @@
 #define QUERYER_PARALLEL_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -26,6 +27,8 @@
 #include "common/status.h"
 
 namespace queryer {
+
+class LatencyHistogram;  // obs/metrics.h — kept out of this header.
 
 /// \brief Fixed-size worker pool with a FIFO task queue.
 ///
@@ -76,11 +79,19 @@ class ThreadPool {
   ThreadPool() = default;
 
  private:
+  /// A queued task plus its enqueue time, so the worker that dequeues it
+  /// can report the queue wait to the process-wide metrics
+  /// (queryer_threadpool_task_wait_seconds / _queue_depth).
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
   std::atomic<std::size_t> num_threads_{0};
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;
@@ -125,6 +136,14 @@ class Semaphore {
   /// would otherwise over-count the new capacity.
   void Reset(std::size_t count);
 
+  /// When set, every Acquire records how long it waited for a slot
+  /// (including the zero-wait fast path, so the histogram's count is the
+  /// admitted-session count). The histogram must outlive the semaphore —
+  /// the engine points it at the process-wide metrics registry.
+  void set_wait_histogram(LatencyHistogram* histogram) {
+    wait_histogram_ = histogram;
+  }
+
   /// RAII slot: acquired on construction, released on destruction —
   /// unless Disarm() transferred ownership (QueryCursor takes its
   /// session's slot over this way).
@@ -152,6 +171,7 @@ class Semaphore {
   std::condition_variable available_cv_;
   std::size_t available_;
   bool unlimited_;
+  LatencyHistogram* wait_histogram_ = nullptr;
 };
 
 /// \brief Half-open index range [begin, end) of one ParallelFor chunk.

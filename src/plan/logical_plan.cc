@@ -80,7 +80,13 @@ PlanPtr LogicalPlan::GroupEntities(PlanPtr child) {
 
 std::string LogicalPlan::ToString(int indent) const {
   std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  std::string out = pad;
+  std::string out = pad + NodeLabel() + "\n";
+  for (const auto& child : children) out += child->ToString(indent + 1);
+  return out;
+}
+
+std::string LogicalPlan::NodeLabel() const {
+  std::string out;
   switch (kind) {
     case PlanKind::kScan:
       out += "TableScan(" + table_name +
@@ -121,8 +127,6 @@ std::string LogicalPlan::ToString(int indent) const {
       out += "GroupEntities";
       break;
   }
-  out += "\n";
-  for (const auto& child : children) out += child->ToString(indent + 1);
   return out;
 }
 

@@ -75,6 +75,11 @@ struct LogicalPlan {
                            std::string dirty_table, std::string dirty_alias);
   static PlanPtr GroupEntities(PlanPtr child);
 
+  /// One-line label of this node alone, e.g. "TableScan(p)" — the EXPLAIN
+  /// rendering uses it per line and EXPLAIN ANALYZE's profile tree reuses
+  /// it so the two outputs line up.
+  std::string NodeLabel() const;
+
   /// Indented EXPLAIN-style rendering of the subtree.
   std::string ToString(int indent = 0) const;
 };

@@ -13,7 +13,7 @@ bool IsReservedKeyword(const Token& token) {
   static constexpr std::string_view kReserved[] = {
       "select", "dedup", "from",    "where", "inner", "join", "on",
       "and",    "or",    "not",     "in",    "like",  "between", "as",
-      "mod",
+      "mod",    "explain", "analyze",
   };
   if (token.type != TokenType::kIdentifier) return false;
   for (std::string_view keyword : kReserved) {
@@ -28,6 +28,14 @@ class Parser {
 
   Result<SelectStatement> ParseStatement() {
     SelectStatement stmt;
+    if (Peek().IsKeyword("EXPLAIN")) {
+      stmt.explain = true;
+      Advance();
+      if (Peek().IsKeyword("ANALYZE")) {
+        stmt.analyze = true;
+        Advance();
+      }
+    }
     QUERYER_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     if (Peek().IsKeyword("DEDUP")) {
       stmt.dedup = true;
@@ -271,7 +279,9 @@ class Parser {
 }  // namespace
 
 std::string SelectStatement::ToString() const {
-  std::string out = "SELECT ";
+  std::string out;
+  if (explain) out += analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ";
+  out += "SELECT ";
   if (dedup) out += "DEDUP ";
   if (select_star) {
     out += "*";

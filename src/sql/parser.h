@@ -37,8 +37,14 @@ struct JoinSpec {
   ExprPtr right_key;  // Column ref into the joined table.
 };
 
-/// \brief Parsed SELECT statement.
+/// \brief Parsed SELECT statement, optionally prefixed with
+/// `EXPLAIN [ANALYZE]`. EXPLAIN requests the static plan; EXPLAIN ANALYZE
+/// executes the query and requests the plan annotated with per-operator
+/// runtime stats. The planner ignores both flags — they change how the
+/// engine presents the result, not the plan itself.
 struct SelectStatement {
+  bool explain = false;
+  bool analyze = false;  // Only meaningful when `explain` is set.
   bool dedup = false;
   bool select_star = false;
   std::vector<SelectItem> items;  // Empty iff select_star.

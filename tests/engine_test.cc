@@ -217,9 +217,11 @@ TEST_F(EngineTest, StatsBreakdownIsConsistent) {
   const ExecStats& stats = result->stats;
   EXPECT_GT(stats.total_seconds, 0.0);
   EXPECT_GE(stats.other_seconds(), 0.0);
+  EXPECT_GE(stats.relational_seconds(), 0.0);
   double sum = stats.blocking_seconds + stats.block_join_seconds +
                stats.meta_blocking_seconds() + stats.resolution_seconds +
-               stats.group_seconds + stats.other_seconds();
+               stats.group_seconds + stats.relational_seconds() +
+               stats.other_seconds();
   EXPECT_NEAR(sum, stats.total_seconds, 1e-6);
   EXPECT_FALSE(stats.ToString().empty());
 }
