@@ -65,8 +65,7 @@ void BM_ProfileSimilarity(benchmark::State& state) {
   AttributeWeights weights = AttributeWeights::Compute(*dsd.table);
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        ProfileSimilarity(dsd.table->row(0), dsd.table->row(1), config,
-                          &weights));
+        ProfileSimilarity(*dsd.table, 0, 1, config, &weights));
   }
 }
 BENCHMARK(BM_ProfileSimilarity);

@@ -44,7 +44,7 @@ OrderCost RunOrder(bool clean_v_first) {
   // QE_P = publications with venue = 'EDBT' (the query's filter).
   std::vector<EntityId> qe_p;
   for (EntityId e = 0; e < p.table->num_rows(); ++e) {
-    if (EqualsIgnoreCase(p.table->value(e, venue_idx), "EDBT")) {
+    if (EqualsIgnoreCase(p.table->ValueAt(e, venue_idx), "EDBT")) {
       qe_p.push_back(e);
     }
   }
@@ -61,11 +61,11 @@ OrderCost RunOrder(bool clean_v_first) {
 
     std::unordered_set<std::string> v_keys;
     for (EntityId e : v_dr) {
-      v_keys.insert(CanonicalJoinKey(v.table->value(e, title_idx)));
+      v_keys.insert(CanonicalJoinKey(v.table->ValueAt(e, title_idx)));
     }
     std::vector<EntityId> joining_p;
     for (EntityId e : qe_p) {
-      if (v_keys.count(CanonicalJoinKey(p.table->value(e, venue_idx))) > 0) {
+      if (v_keys.count(CanonicalJoinKey(p.table->ValueAt(e, venue_idx))) > 0) {
         joining_p.push_back(e);
       }
     }
@@ -81,11 +81,11 @@ OrderCost RunOrder(bool clean_v_first) {
 
     std::unordered_set<std::string> p_keys;
     for (EntityId e : p_dr) {
-      p_keys.insert(CanonicalJoinKey(p.table->value(e, venue_idx)));
+      p_keys.insert(CanonicalJoinKey(p.table->ValueAt(e, venue_idx)));
     }
     std::vector<EntityId> joining_v;
     for (EntityId e = 0; e < v.table->num_rows(); ++e) {
-      if (p_keys.count(CanonicalJoinKey(v.table->value(e, title_idx))) > 0) {
+      if (p_keys.count(CanonicalJoinKey(v.table->ValueAt(e, title_idx))) > 0) {
         joining_v.push_back(e);
       }
     }

@@ -52,8 +52,9 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
     }
-    for (const auto& row : result->rows) {
-      std::printf("%s\n", row.front().c_str());
+    for (std::size_t r = 0; r < result->num_rows(); ++r) {
+      const std::string_view line = result->ValueAt(r, 0);
+      std::printf("%.*s\n", static_cast<int>(line.size()), line.data());
     }
     std::printf("\n");
   }

@@ -74,6 +74,6 @@ int main() {
   std::printf("\nAES executed the query in %ss with %zu comparisons "
               "(%zu grouped rows).\n",
               queryer::FormatDouble(result->stats.total_seconds, 3).c_str(),
-              result->stats.comparisons_executed, result->rows.size());
+              result->stats.comparisons_executed, result->num_rows());
   return 0;
 }

@@ -8,6 +8,7 @@
 
 #include <cstdio>
 #include <string>
+#include <string_view>
 
 #include "datagen/scholarly.h"
 #include "engine/query_engine.h"
@@ -19,13 +20,16 @@ void PrintResult(const queryer::QueryResult& result) {
     std::printf("%-62s", column.c_str());
   }
   std::printf("\n");
-  for (const auto& row : result.rows) {
-    for (const std::string& value : row) {
-      std::printf("%-62s", value.empty() ? "(null)" : value.c_str());
+  // ValueAt/num_rows work for either result layout (row- or column-major).
+  for (std::size_t r = 0; r < result.num_rows(); ++r) {
+    for (std::size_t c = 0; c < result.columns.size(); ++c) {
+      const std::string_view value = result.ValueAt(r, c);
+      std::printf("%-62.*s", static_cast<int>(value.empty() ? 6 : value.size()),
+                  value.empty() ? "(null)" : value.data());
     }
     std::printf("\n");
   }
-  std::printf("(%zu rows, %zu comparisons executed)\n\n", result.rows.size(),
+  std::printf("(%zu rows, %zu comparisons executed)\n\n", result.num_rows(),
               result.stats.comparisons_executed);
 }
 

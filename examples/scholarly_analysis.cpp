@@ -48,7 +48,12 @@ int main(int argc, char** argv) {
 
   for (queryer::ExecutionMode mode :
        {queryer::ExecutionMode::kBatch, queryer::ExecutionMode::kAdvanced}) {
-    queryer::QueryEngine engine;
+    // Analysis workloads read answers a column at a time, so ask the engine
+    // for column-major results; ColumnIndex/ValueAt below don't care which
+    // layout the engine produced.
+    queryer::EngineOptions options;
+    options.result_layout = queryer::ResultLayout::kColumnMajor;
+    queryer::QueryEngine engine(options);
     if (!engine.RegisterTable(papers.table).ok() ||
         !engine.RegisterTable(venues.table).ok()) {
       std::fprintf(stderr, "table registration failed\n");
@@ -61,21 +66,24 @@ int main(int argc, char** argv) {
     auto spj_result = RunOrDie(&engine, spj);
     std::printf(
         "SPJ venue-rank query: %zu grouped rows, %zu comparisons, %ss\n",
-        spj_result->rows.size(), spj_result->stats.comparisons_executed,
+        spj_result->num_rows(), spj_result->stats.comparisons_executed,
         queryer::FormatDouble(spj_result->stats.total_seconds, 3).c_str());
 
     auto sp_result = RunOrDie(&engine, sp);
     std::printf(
         "SP recent-entity query: %zu grouped rows, %zu comparisons, %ss\n",
-        sp_result->rows.size(), sp_result->stats.comparisons_executed,
+        sp_result->num_rows(), sp_result->stats.comparisons_executed,
         queryer::FormatDouble(sp_result->stats.total_seconds, 3).c_str());
 
     std::printf("Sample grouped rows:\n");
-    std::size_t shown = 0;
-    for (const auto& row : spj_result->rows) {
-      if (shown++ >= 3) break;
-      std::printf("  %s | year=%s | rank=%s\n", row[0].c_str(), row[1].c_str(),
-                  row[2].c_str());
+    const std::size_t title = spj_result->ColumnIndex("oagp.title").value_or(0);
+    const std::size_t year = spj_result->ColumnIndex("oagp.year").value_or(1);
+    const std::size_t rank = spj_result->ColumnIndex("oagv.rank").value_or(2);
+    for (std::size_t r = 0; r < spj_result->num_rows() && r < 3; ++r) {
+      std::printf("  %s | year=%s | rank=%s\n",
+                  std::string(spj_result->ValueAt(r, title)).c_str(),
+                  std::string(spj_result->ValueAt(r, year)).c_str(),
+                  std::string(spj_result->ValueAt(r, rank)).c_str());
     }
   }
   std::printf(

@@ -22,10 +22,12 @@ bool IsExcluded(const BlockingOptions& options, std::size_t attribute) {
 std::vector<std::string> EntityBlockingKeys(const Table& table, EntityId entity,
                                             const BlockingOptions& options) {
   std::set<std::string> distinct;
-  const auto& row = table.row(entity);
-  for (std::size_t a = 0; a < row.size(); ++a) {
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
     if (IsExcluded(options, a)) continue;
-    for (auto& token : TokenizeAlnum(row[a], options.min_token_length)) {
+    // ValueAt views straight into the column dictionary — tokenization
+    // never touches an owned row copy.
+    for (auto& token :
+         TokenizeAlnum(table.ValueAt(entity, a), options.min_token_length)) {
       distinct.insert(std::move(token));
     }
   }

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace queryer {
 
@@ -144,11 +145,48 @@ std::string FormatDouble(double value, int precision) {
   return buffer;
 }
 
-std::optional<double> ParseNumber(const std::string& text) {
+std::optional<double> ParseNumber(std::string_view text) {
   if (text.empty()) return std::nullopt;
+  // Fast path: plain decimal integers (the common shape of id columns)
+  // convert without the locale-aware strtod machinery. Up to 15 digits a
+  // double represents the value exactly, so this matches strtod bit for
+  // bit; anything else (signs, dots, exponents, hex, whitespace, longer
+  // digit runs) falls through to the general parse.
+  if (text.size() <= 15) {
+    std::uint64_t integer = 0;
+    bool all_digits = true;
+    for (const char c : text) {
+      if (c < '0' || c > '9') {
+        all_digits = false;
+        break;
+      }
+      integer = integer * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    if (all_digits) return static_cast<double>(integer);
+  }
+  // strtod needs NUL termination. Every value the engine parses views into
+  // a buffer with a readable byte one past the end — std::string guarantees
+  // it and StringArena appends one — so when that byte is NUL the parse
+  // runs in place; otherwise (a substring, a foreign buffer) it copies out
+  // first.
+  char stack_buf[64];
+  std::string heap_buf;
+  const char* begin = text.data();
+  if (begin[text.size()] != '\0') {
+    if (text.size() < sizeof(stack_buf)) {
+      std::memcpy(stack_buf, text.data(), text.size());
+      stack_buf[text.size()] = '\0';
+      begin = stack_buf;
+    } else {
+      heap_buf.assign(text.data(), text.size());
+      begin = heap_buf.c_str();
+    }
+  }
   char* end = nullptr;
-  double value = std::strtod(text.c_str(), &end);
-  if (end != text.c_str() + text.size()) return std::nullopt;
+  double value = std::strtod(begin, &end);
+  // Embedded NUL bytes stop strtod early and fail this full-parse check,
+  // exactly as they did when parsing from std::string::c_str().
+  if (end != begin + text.size()) return std::nullopt;
   return value;
 }
 

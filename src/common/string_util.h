@@ -52,7 +52,7 @@ bool LikeMatch(std::string_view value, std::string_view pattern);
 std::string FormatDouble(double value, int precision);
 
 /// \brief Parses `text` as a full double; nullopt if any trailing garbage.
-std::optional<double> ParseNumber(const std::string& text);
+std::optional<double> ParseNumber(std::string_view text);
 
 }  // namespace queryer
 

@@ -56,17 +56,16 @@ GeneratedDataset AssembleDirtyTable(std::string table_name, queryer::Schema sche
 
   rng->Shuffle(&rows);
 
-  auto table = std::make_shared<queryer::Table>(std::move(table_name),
-                                                std::move(schema));
-  table->Reserve(rows.size());
+  queryer::TableBuilder builder(std::move(table_name), std::move(schema));
+  builder.Reserve(rows.size());
   std::vector<std::uint32_t> cluster_of_entity;
   cluster_of_entity.reserve(rows.size());
   for (std::size_t i = 0; i < rows.size(); ++i) {
     rows[i].values[0] = std::to_string(i);  // Final sequential id.
     cluster_of_entity.push_back(rows[i].cluster);
-    QUERYER_CHECK(table->AppendRow(std::move(rows[i].values)).ok());
+    QUERYER_CHECK(builder.AddRow(rows[i].values).ok());
   }
-  return {std::move(table), GroundTruth(std::move(cluster_of_entity))};
+  return {builder.Build(), GroundTruth(std::move(cluster_of_entity))};
 }
 
 }  // namespace queryer::datagen

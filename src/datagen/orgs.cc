@@ -64,7 +64,7 @@ std::vector<std::string> OrganisationNamePool(const GeneratedDataset& orgs) {
     // One name per true cluster: its lowest-id member (deterministic; the
     // variant chosen is immaterial, any of them joins with the table).
     if (orgs.ground_truth.ClusterMembers(e).front() != e) continue;
-    pool.push_back(table.value(e, *name_idx));
+    pool.emplace_back(table.ValueAt(e, *name_idx));
   }
   return pool;
 }

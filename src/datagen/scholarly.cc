@@ -209,10 +209,11 @@ GeneratedDataset DatasetFromRows(
     std::string name, std::vector<std::string> attributes,
     std::vector<std::vector<std::string>> rows,
     std::vector<std::uint32_t> clusters) {
-  auto table = std::make_shared<queryer::Table>(
-      std::move(name), queryer::Schema(std::move(attributes)));
-  for (auto& row : rows) QUERYER_CHECK(table->AppendRow(std::move(row)).ok());
-  return {std::move(table), GroundTruth(std::move(clusters))};
+  queryer::TableBuilder builder(std::move(name),
+                                queryer::Schema(std::move(attributes)));
+  builder.Reserve(rows.size());
+  for (const auto& row : rows) QUERYER_CHECK(builder.AddRow(row).ok());
+  return {builder.Build(), GroundTruth(std::move(clusters))};
 }
 
 }  // namespace

@@ -5,12 +5,15 @@
 #ifndef QUERYER_ENGINE_ENGINE_OPTIONS_H_
 #define QUERYER_ENGINE_ENGINE_OPTIONS_H_
 
+#include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "blocking/token_blocking.h"
+#include "common/string_util.h"
 #include "exec/exec_stats.h"
 #include "exec/row_batch.h"
 #include "matching/profile_matcher.h"
@@ -33,6 +36,16 @@ enum class ExecutionMode {
 };
 
 std::string_view ExecutionModeToString(ExecutionMode mode);
+
+/// \brief Physical layout of a materialized QueryResult.
+enum class ResultLayout {
+  /// `rows[i]` holds row i — one value vector per row (the classic shape).
+  kRowMajor,
+  /// `column_data[j]` holds column j, one value per row in emission order.
+  /// Cheaper to materialize (per-column vectors grow without per-row
+  /// allocations) and the natural shape for export to columnar consumers.
+  kColumnMajor,
+};
 
 /// \brief Engine-wide configuration. Blocking/meta-blocking/matching apply
 /// to tables registered afterwards.
@@ -83,14 +96,51 @@ struct EngineOptions {
   /// shared across sessions; events carry the session id in their args.
   /// Captured at Prepare time like the rest of the options.
   std::shared_ptr<TraceSink> trace_sink;
+  /// Physical layout of QueryResult answers materialized by Execute().
+  /// Streaming cursors are unaffected (they deliver RowBatches). Both
+  /// layouts hold the same answer; only the storage shape differs.
+  ResultLayout result_layout = ResultLayout::kRowMajor;
 };
 
 /// \brief A materialized query answer plus its execution statistics.
+///
+/// Exactly one of `rows` / `column_data` is populated, per `layout`.
+/// Position-independent consumers should use the accessors — ColumnIndex()
+/// to find a column by name (case-insensitive, like the engine's schema
+/// lookup) and ValueAt() to read a cell regardless of layout.
 struct QueryResult {
   std::vector<std::string> columns;
+  /// Which of `rows` / `column_data` holds the answer.
+  ResultLayout layout = ResultLayout::kRowMajor;
+  /// Row-major storage: rows[i][j] is row i, column j.
   std::vector<std::vector<std::string>> rows;
+  /// Column-major storage: column_data[j][i] is row i, column j.
+  std::vector<std::vector<std::string>> column_data;
   ExecStats stats;
   std::string plan_text;
+
+  /// Position of the named output column (case-insensitive), or nullopt.
+  std::optional<std::size_t> ColumnIndex(std::string_view name) const {
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+      if (EqualsIgnoreCase(columns[i], name)) return i;
+    }
+    return std::nullopt;
+  }
+
+  /// Number of answer rows, independent of layout.
+  std::size_t num_rows() const {
+    return layout == ResultLayout::kColumnMajor
+               ? (column_data.empty() ? 0 : column_data.front().size())
+               : rows.size();
+  }
+
+  /// Cell (row, col), independent of layout. No bounds checking beyond the
+  /// underlying vectors'.
+  std::string_view ValueAt(std::size_t row, std::size_t col) const {
+    return layout == ResultLayout::kColumnMajor
+               ? std::string_view(column_data[col][row])
+               : std::string_view(rows[row][col]);
+  }
 };
 
 }  // namespace queryer

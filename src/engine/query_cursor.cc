@@ -228,7 +228,7 @@ Result<std::vector<std::vector<std::string>>> QueryCursor::Fetch(
       if (!has) break;
       continue;  // The refilled batch may legally be empty.
     }
-    rows.push_back(std::move(fetch_batch_->row(fetch_pos_++).values));
+    rows.push_back(fetch_batch_->TakeValues(fetch_pos_++));
   }
   return rows;
 }

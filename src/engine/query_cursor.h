@@ -14,7 +14,8 @@
 //     auto has = (*cursor)->Next(&batch);
 //     if (!has.ok()) { /* kCancelled / kDeadlineExceeded / error */ }
 //     if (!*has) break;                               // End of stream.
-//     for (std::size_t i = 0; i < batch.size(); ++i) use(batch.row(i));
+//     for (std::size_t i = 0; i < batch.size(); ++i)
+//       use(batch.value(i, 0));  // Or batch.TakeValues(i) to own the row.
 //   }
 //   (*cursor)->Close();                               // Or just destroy it.
 //

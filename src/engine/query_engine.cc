@@ -242,13 +242,21 @@ Result<CursorPtr> QueryEngine::ExecuteStream(const std::string& sql) {
 
 namespace {
 
-// The EXPLAIN presentation: one plan line per result row, PostgreSQL-style.
-std::vector<std::vector<std::string>> PlanTextAsRows(const std::string& text) {
-  std::vector<std::vector<std::string>> rows;
-  for (std::string& line : Split(text, '\n')) {
-    rows.push_back({std::move(line)});
+// The EXPLAIN presentation: one plan line per result row, PostgreSQL-style,
+// shaped to the configured result layout so consumers keep one code path.
+void FillPlanTextResult(QueryResult* result, const std::string& text,
+                        ResultLayout layout) {
+  result->columns = {"QUERY PLAN"};
+  result->layout = layout;
+  result->rows.clear();
+  result->column_data.clear();
+  if (layout == ResultLayout::kColumnMajor) {
+    result->column_data.push_back(Split(text, '\n'));
+    return;
   }
-  return rows;
+  for (std::string& line : Split(text, '\n')) {
+    result->rows.push_back({std::move(line)});
+  }
 }
 
 }  // namespace
@@ -262,9 +270,8 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
     // admission slot, no session, no ER work).
     QUERYER_ASSIGN_OR_RETURN(std::string text, StaticPlanText(prepared));
     QueryResult result;
-    result.columns = {"QUERY PLAN"};
+    FillPlanTextResult(&result, text, options_.result_layout);
     result.plan_text = text;
-    result.rows = PlanTextAsRows(text);
     result.stats.total_seconds = total.ElapsedSeconds();
     return result;
   }
@@ -277,31 +284,77 @@ Result<QueryResult> QueryEngine::Execute(const std::string& sql) {
   // Open, and the result must report the plan that actually executed.
   result.plan_text = cursor->plan_text();
 
-  // Materialize from the cursor: each drained batch reserves the result
-  // vector ahead by its row count (vector growth stays geometric — the
-  // larger of the two wins), and every row's value strings are MOVED out
-  // of the stream, never copied. EXPLAIN ANALYZE takes the same drain
-  // loop — the full execution is the point — but discards the answer.
+  // Materialize from the cursor. This is the late-materialization boundary:
+  // reference batches (scan/DEDUP output) turn into owned strings only
+  // here. Row-major answers take each row's values in one move (owned
+  // batches move, reference batches materialize); column-major answers
+  // append straight into per-column vectors — no per-row vector<string>
+  // allocation at all. Each drained batch reserves ahead by its row count
+  // (vector growth stays geometric — the larger of the two wins). EXPLAIN
+  // ANALYZE takes the same drain loop — the full execution is the point —
+  // but discards the answer.
   const bool analyze = prepared.analyze();
+  const ResultLayout layout = options_.result_layout;
+  result.layout = layout;
+  if (layout == ResultLayout::kColumnMajor) {
+    result.column_data.resize(result.columns.size());
+  }
   RowBatch batch(cursor->batch_size());
+  std::vector<EntityId> ref_ids;  // Scratch for the reference-batch gather.
   while (true) {
     QUERYER_ASSIGN_OR_RETURN(bool has, cursor->Next(&batch));
     if (!has) break;
     const std::size_t n = batch.size();
     if (n == 0 || analyze) continue;
-    if (result.rows.capacity() - result.rows.size() < n) {
-      result.rows.reserve(
-          std::max(result.rows.size() + n, 2 * result.rows.capacity()));
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      result.rows.push_back(std::move(batch.row(i).values));
+    if (layout == ResultLayout::kColumnMajor) {
+      for (std::size_t col = 0; col < result.column_data.size(); ++col) {
+        std::vector<std::string>& out = result.column_data[col];
+        if (out.capacity() - out.size() < n) {
+          out.reserve(std::max(out.size() + n, 2 * out.capacity()));
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          out.emplace_back(batch.value(i, col));
+        }
+      }
+    } else if (batch.reference_mode()) {
+      // Column-at-a-time gather: size the new rows once, then fill one
+      // column across the whole batch — each column's dictionary (codes +
+      // arena) stays cache-resident instead of being re-touched row by row.
+      const Table& table = *batch.reference_table();
+      const std::size_t width = table.num_attributes();
+      const std::size_t base = result.rows.size();
+      if (result.rows.capacity() - base < n) {
+        result.rows.reserve(std::max(base + n, 2 * result.rows.capacity()));
+      }
+      result.rows.resize(base + n);
+      for (std::size_t i = 0; i < n; ++i) {
+        result.rows[base + i].resize(width);
+      }
+      ref_ids.clear();
+      for (std::size_t i = 0; i < n; ++i) {
+        ref_ids.push_back(batch.entity_id(i));
+      }
+      for (std::size_t col = 0; col < width; ++col) {
+        const ColumnView cv = table.column(col);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::string_view v = cv.value(ref_ids[i]);
+          result.rows[base + i][col].assign(v.data(), v.size());
+        }
+      }
+    } else {
+      if (result.rows.capacity() - result.rows.size() < n) {
+        result.rows.reserve(
+            std::max(result.rows.size() + n, 2 * result.rows.capacity()));
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        result.rows.push_back(batch.TakeValues(i));
+      }
     }
   }
   cursor->Close();
   if (analyze) {
     // After Close: the profile tree is final (Close times folded in).
-    result.columns = {"QUERY PLAN"};
-    result.rows = PlanTextAsRows(cursor->AnnotatedPlan());
+    FillPlanTextResult(&result, cursor->AnnotatedPlan(), layout);
   }
   // Moved, not copied: collected_comparisons can be huge under
   // collect_comparisons, and the closed cursor is about to die.

@@ -92,7 +92,7 @@ Status DedupJoinOp::BuildOutput() {
     dirty_rows.reserve(resolved.size());
     for (std::size_t i = 0; i < resolved.size(); ++i) {
       Row row;
-      row.values = table.row(resolved[i]);
+      table.MaterializeRow(resolved[i], &row.values);
       row.entity_id = resolved[i];
       row.group_key = group_keys[i];
       dirty_rows.push_back(std::move(row));

@@ -24,17 +24,27 @@ DeduplicateOp::DeduplicateOp(OperatorPtr child,
 }
 
 Status DeduplicateOp::OpenImpl() {
-  QUERYER_ASSIGN_OR_RETURN(std::vector<Row> input,
-                           DrainOperator(child_.get(), batch_size_));
+  // Drain the child for entity ids only — the child is a scan (or fused
+  // filter+scan) emitting reference batches, so no row is materialized to
+  // determine DR_E membership.
+  QUERYER_RETURN_NOT_OK(child_->Open());
   std::vector<EntityId> query_entities;
-  query_entities.reserve(input.size());
-  for (const Row& row : input) {
-    if (row.entity_id == kInvalidEntityId) {
-      return Status::ExecutionError(
-          "Deduplicate input rows must come from a base table");
+  {
+    RowBatch batch(batch_size_ == 0 ? 1 : batch_size_);
+    while (true) {
+      QUERYER_ASSIGN_OR_RETURN(bool has, child_->Next(&batch));
+      if (!has) break;
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        const EntityId e = batch.entity_id(i);
+        if (e == kInvalidEntityId) {
+          return Status::ExecutionError(
+              "Deduplicate input rows must come from a base table");
+        }
+        query_entities.push_back(e);
+      }
     }
-    query_entities.push_back(row.entity_id);
   }
+  child_->Close();
   // Resolve fills the group keys under the same Link Index snapshot that
   // determined the membership: a concurrent session publishing links while
   // this operator streams must not change the groups mid-answer.
@@ -47,13 +57,13 @@ Status DeduplicateOp::OpenImpl() {
 
 Result<bool> DeduplicateOp::NextImpl(RowBatch* batch) {
   batch->Clear();
-  const Table& table = runtime_->table();
+  // Emit references into the base table: resolved representatives flow
+  // downstream (to GroupEntities or the emit boundary) without copying a
+  // single string here.
+  batch->BeginReference(&runtime_->table());
   while (position_ < result_entities_.size() && !batch->full()) {
-    EntityId e = result_entities_[position_];
-    Row* row = batch->AppendRow();
-    row->values = table.row(e);  // Copy-assign into reused string storage.
-    row->entity_id = e;
-    row->group_key = group_keys_[position_];
+    batch->AppendReference(result_entities_[position_],
+                           group_keys_[position_]);
     ++position_;
   }
   return !batch->empty();

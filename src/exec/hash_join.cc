@@ -7,7 +7,7 @@
 
 namespace queryer {
 
-std::string CanonicalJoinKey(const std::string& value) {
+std::string CanonicalJoinKey(std::string_view value) {
   std::optional<double> number = ParseNumber(value);
   if (number.has_value()) {
     // Canonical numeric form so "7", "7.0" and " 7" join.
@@ -19,7 +19,7 @@ std::string CanonicalJoinKey(const std::string& value) {
   return ToLower(value);
 }
 
-std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row) {
+std::string JoinKeyOf(const Expr& key_expr, const RowRef& row) {
   return CanonicalJoinKey(key_expr.EvalValue(row).text);
 }
 
@@ -33,6 +33,21 @@ void ConcatInto(const Row& left, const Row& right, Row* out) {
   out->values.resize(ln + rn);
   for (std::size_t i = 0; i < ln; ++i) out->values[i] = left.values[i];
   for (std::size_t i = 0; i < rn; ++i) out->values[ln + i] = right.values[i];
+}
+
+// Same, with the left side read out of a batch (owned or reference mode):
+// a reference-mode probe row materializes here, only on a match — the
+// join's late-materialization point.
+void ConcatInto(const RowBatch& left_batch, std::size_t i, const Row& right,
+                Row* out) {
+  const std::size_t ln = left_batch.width(i);
+  const std::size_t rn = right.values.size();
+  out->values.resize(ln + rn);
+  for (std::size_t c = 0; c < ln; ++c) {
+    const std::string_view v = left_batch.value(i, c);
+    out->values[c].assign(v.data(), v.size());
+  }
+  for (std::size_t c = 0; c < rn; ++c) out->values[ln + c] = right.values[c];
 }
 
 }  // namespace
@@ -175,7 +190,10 @@ Status HashJoinOp::DispatchProbeMorsels() {
         break;
       }
       for (std::size_t i = 0; i < probe_->size(); ++i) {
-        morsel.push_back(std::move(probe_->row(i)));
+        // Owned rows move; reference rows (a scan feeding the probe)
+        // materialize here so the task can probe without the batch.
+        morsel.emplace_back();
+        probe_->MoveRowInto(i, &morsel.back());
       }
     }
     if (morsel.empty()) break;
@@ -226,10 +244,9 @@ Result<bool> HashJoinOp::NextSequential(RowBatch* batch) {
   while (!batch->full()) {
     if (current_matches_ != nullptr) {
       if (match_index_ < current_matches_->size()) {
-        const Row& left = probe_->row(probe_pos_);
         const Row& right = (*current_matches_)[match_index_++];
         Row* out = batch->AppendRow();
-        ConcatInto(left, right, out);
+        ConcatInto(*probe_, probe_pos_, right, out);
         // A plain join output is its own group; dedup plans use DedupJoinOp
         // which assigns real group keys.
         out->group_key = output_counter_++;
@@ -249,7 +266,7 @@ Result<bool> HashJoinOp::NextSequential(RowBatch* batch) {
       probe_pos_ = 0;
       continue;  // The new batch may itself be empty.
     }
-    std::string key = JoinKeyOf(*left_key_, probe_->row(probe_pos_).values);
+    std::string key = JoinKeyOf(*left_key_, probe_->RowRefAt(probe_pos_));
     auto it = key.empty() ? build_side_->end() : build_side_->find(key);
     if (it == build_side_->end()) {
       ++probe_pos_;

@@ -22,10 +22,10 @@ namespace queryer {
 /// \brief Join-key canonicalization under the engine's value semantics:
 /// numeric values normalized, strings lower-cased (joins are
 /// case-insensitive, consistent with predicate evaluation).
-std::string CanonicalJoinKey(const std::string& value);
+std::string CanonicalJoinKey(std::string_view value);
 
 /// \brief Evaluates a key expression on a row and canonicalizes it.
-std::string JoinKeyOf(const Expr& key_expr, const std::vector<std::string>& row);
+std::string JoinKeyOf(const Expr& key_expr, const RowRef& row);
 
 /// \brief Inner equi hash join. Key expressions must be bound against the
 /// respective child's columns. Output: left columns ++ right columns.

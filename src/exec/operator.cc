@@ -11,7 +11,9 @@ Result<std::vector<Row>> DrainOperator(PhysicalOperator* op,
     QUERYER_ASSIGN_OR_RETURN(bool has, op->Next(&batch));
     if (!has) break;
     for (std::size_t i = 0; i < batch.size(); ++i) {
-      rows.push_back(std::move(batch.row(i)));
+      // Moves owned rows; materializes reference rows from their table.
+      rows.emplace_back();
+      batch.MoveRowInto(i, &rows.back());
     }
   }
   op->Close();

@@ -23,14 +23,14 @@ Result<bool> ProjectOp::NextImpl(RowBatch* batch) {
   if (!has) return false;
   // Same capacity on both batches: every selected input row fits.
   for (std::size_t i = 0; i < input_->size(); ++i) {
-    const Row& in = input_->row(i);
+    const RowRef in = input_->RowRefAt(i);
     Row* out = batch->AppendRow();
     out->values.resize(exprs_.size());
     for (std::size_t e = 0; e < exprs_.size(); ++e) {
-      out->values[e] = exprs_[e]->EvalValue(in.values).text;
+      out->values[e] = exprs_[e]->EvalValue(in).text;
     }
-    out->group_key = in.group_key;
-    out->entity_id = in.entity_id;
+    out->group_key = input_->group_key(i);
+    out->entity_id = input_->entity_id(i);
   }
   return true;
 }

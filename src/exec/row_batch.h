@@ -1,24 +1,38 @@
-// The unit of flow of the batch execution engine: a reusable block of Rows
-// plus a selection vector.
+// The unit of flow of the batch execution engine: a reusable block of rows
+// plus a selection vector, in one of two storage modes.
 //
 // Batch-at-a-time execution (MonetDB/X100-style vectorization) replaces the
 // row-at-a-time Volcano protocol: one virtual Next(RowBatch*) call moves up
 // to `capacity` tuples, so the per-tuple interpretation overhead (virtual
-// dispatch, Result<bool> unwrapping, Row copies) is amortized over the whole
-// batch. The selection vector lets Filter/GroupFilter mark survivors instead
-// of copying them: downstream operators iterate the selected rows only,
-// while the underlying Row storage — including every std::string's heap
-// buffer — is reused batch after batch, which removes the per-tuple
-// allocation churn of the row pipeline.
+// dispatch, Result<bool> unwrapping) is amortized over the whole batch. The
+// selection vector lets Filter/GroupFilter mark survivors instead of
+// copying them.
+//
+// Storage modes:
+//  - OWNED: rows are materialized `Row`s (vector<string>). Operators that
+//    construct new tuples (joins, projections, group fusion) fill these;
+//    Row slots — including every string's heap buffer — are reused batch
+//    after batch.
+//  - REFERENCE: rows are (EntityId, group_key) pairs viewing into one
+//    columnar Table. Scans and DEDUP emit these: no string is touched
+//    until a consumer actually reads a value, and the final emit boundary
+//    (QueryResult / cursor Fetch) materializes each value exactly once
+//    straight out of the table's dictionaries — late materialization.
+// Consumers that only read use the mode-agnostic accessors (value(),
+// group_key(), entity_id(), RowRefAt(), MoveRowInto()); row() remains the
+// owned-mode producer/consumer surface.
 
 #ifndef QUERYER_EXEC_ROW_BATCH_H_
 #define QUERYER_EXEC_ROW_BATCH_H_
 
 #include <cstdint>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "exec/row.h"
+#include "storage/table.h"
 
 namespace queryer {
 
@@ -28,11 +42,12 @@ inline constexpr std::size_t kDefaultBatchSize = 1024;
 
 /// \brief A batch of rows with a selection vector.
 ///
-/// Producers append into reused Row slots via AppendRow(); consumers see
-/// only the selected rows through size()/row(i). A filter shrinks the
-/// selection (Keep/TruncateSelection) without touching the Row storage.
-/// Clear() resets the batch for refilling but keeps every Row's allocated
-/// storage alive, so steady-state batches allocate nothing.
+/// Producers append into reused Row slots via AppendRow(), or — after
+/// BeginReference(table) — append (entity, group_key) references via
+/// AppendReference(). A filter shrinks the selection
+/// (Keep/TruncateSelection) without touching the row storage. Clear()
+/// resets the batch for refilling but keeps owned Row storage alive, so
+/// steady-state batches allocate nothing.
 class RowBatch {
  public:
   explicit RowBatch(std::size_t capacity = kDefaultBatchSize)
@@ -47,16 +62,24 @@ class RowBatch {
   std::size_t size() const { return selection_.size(); }
   bool empty() const { return selection_.empty(); }
 
-  /// The i-th selected row.
-  Row& row(std::size_t i) { return rows_[selection_[i]]; }
-  const Row& row(std::size_t i) const { return rows_[selection_[i]]; }
+  // ---- Owned mode ------------------------------------------------------
+
+  /// The i-th selected row. Owned mode only.
+  Row& row(std::size_t i) {
+    QUERYER_DCHECK(table_ == nullptr);
+    return rows_[selection_[i]];
+  }
+  const Row& row(std::size_t i) const {
+    QUERYER_DCHECK(table_ == nullptr);
+    return rows_[selection_[i]];
+  }
 
   /// Next free Row slot, selected and ready to be filled. The slot's
   /// previous contents (vector/string capacity) are intact for reuse; the
   /// producer overwrites values/group_key/entity_id. Must not be called on
-  /// a full batch.
+  /// a full batch or a reference-mode batch.
   Row* AppendRow() {
-    QUERYER_DCHECK(filled_ < capacity_);
+    QUERYER_DCHECK(filled_ < capacity_ && table_ == nullptr);
     if (filled_ == rows_.size()) rows_.emplace_back();
     Row* slot = &rows_[filled_];
     selection_.push_back(static_cast<std::uint32_t>(filled_));
@@ -64,23 +87,122 @@ class RowBatch {
     return slot;
   }
 
+  // ---- Reference mode --------------------------------------------------
+
+  /// Switches an empty batch into reference mode over `table`, which must
+  /// outlive every read of this batch (operators hold their TableRuntime —
+  /// and thus the table — for the cursor's lifetime).
+  void BeginReference(const Table* table) {
+    QUERYER_DCHECK(filled_ == 0 && selection_.empty());
+    table_ = table;
+  }
+
+  /// Appends a reference to `table`'s row `id`, selected. Reference mode.
+  void AppendReference(EntityId id, std::uint64_t group_key) {
+    QUERYER_DCHECK(filled_ < capacity_ && table_ != nullptr);
+    if (filled_ == ref_ids_.size()) {
+      ref_ids_.push_back(id);
+      ref_groups_.push_back(group_key);
+    } else {
+      ref_ids_[filled_] = id;
+      ref_groups_[filled_] = group_key;
+    }
+    selection_.push_back(static_cast<std::uint32_t>(filled_));
+    ++filled_;
+  }
+
+  bool reference_mode() const { return table_ != nullptr; }
+  const Table* reference_table() const { return table_; }
+
+  // ---- Mode-agnostic read access ---------------------------------------
+
+  /// Arity of the i-th selected row.
+  std::size_t width(std::size_t i) const {
+    if (table_ != nullptr) return table_->num_attributes();
+    return rows_[selection_[i]].values.size();
+  }
+
+  /// One value of the i-th selected row, without materializing. The view
+  /// borrows from the batch (owned) or the table (reference); it is
+  /// invalidated by Clear().
+  std::string_view value(std::size_t i, std::size_t column) const {
+    const std::uint32_t slot = selection_[i];
+    if (table_ != nullptr) return table_->ValueAt(ref_ids_[slot], column);
+    return rows_[slot].values[column];
+  }
+
+  std::uint64_t group_key(std::size_t i) const {
+    const std::uint32_t slot = selection_[i];
+    return table_ != nullptr ? ref_groups_[slot] : rows_[slot].group_key;
+  }
+
+  /// Base-table entity of the i-th selected row, or kInvalidEntityId for
+  /// constructed tuples (join/projection outputs).
+  EntityId entity_id(std::size_t i) const {
+    const std::uint32_t slot = selection_[i];
+    return table_ != nullptr ? ref_ids_[slot] : rows_[slot].entity_id;
+  }
+
+  /// Expression-evaluation view of the i-th selected row.
+  RowRef RowRefAt(std::size_t i) const {
+    const std::uint32_t slot = selection_[i];
+    if (table_ != nullptr) return RowRef(*table_, ref_ids_[slot]);
+    return RowRef(rows_[slot].values);
+  }
+
+  /// Materializes the i-th selected row into `out`: moves the Row in owned
+  /// mode, copies values out of the table's dictionaries in reference mode
+  /// (reusing `out`'s string capacity). The batch slot is dead afterwards
+  /// in owned mode; callers Clear() before refilling either way.
+  void MoveRowInto(std::size_t i, Row* out) {
+    const std::uint32_t slot = selection_[i];
+    if (table_ != nullptr) {
+      table_->MaterializeRow(ref_ids_[slot], &out->values);
+      out->group_key = ref_groups_[slot];
+      out->entity_id = ref_ids_[slot];
+      return;
+    }
+    *out = std::move(rows_[slot]);
+  }
+
+  /// Materializes the i-th selected row's values as an owned vector: moved
+  /// out in owned mode, copied from the table in reference mode. The final
+  /// emit boundary (QueryResult rows, cursor Fetch) uses this.
+  std::vector<std::string> TakeValues(std::size_t i) {
+    const std::uint32_t slot = selection_[i];
+    if (table_ != nullptr) {
+      std::vector<std::string> values;
+      table_->MaterializeRow(ref_ids_[slot], &values);
+      return values;
+    }
+    return std::move(rows_[slot].values);
+  }
+
+  // ---- Selection / reuse ----------------------------------------------
+
   /// Filter support: keep the i-th selected row (i ascending across calls),
   /// compacting the selection in place. Call TruncateSelection(n) with the
   /// number of kept rows afterwards.
   void Keep(std::size_t out, std::size_t i) { selection_[out] = selection_[i]; }
   void TruncateSelection(std::size_t n) { selection_.resize(n); }
 
-  /// Empties the batch for refilling; Row storage (and each Row's string
-  /// buffers) stays allocated for reuse.
+  /// Empties the batch for refilling and drops reference mode; owned Row
+  /// storage (and each Row's string buffers) stays allocated for reuse.
   void Clear() {
     filled_ = 0;
     selection_.clear();
+    table_ = nullptr;
   }
 
  private:
   std::size_t capacity_;
-  std::size_t filled_ = 0;  // Row slots in use; selection_ indexes these.
+  std::size_t filled_ = 0;  // Slots in use; selection_ indexes these.
+  // Owned-mode storage.
   std::vector<Row> rows_;
+  // Reference-mode storage (parallel vectors, indexed like rows_).
+  const Table* table_ = nullptr;
+  std::vector<EntityId> ref_ids_;
+  std::vector<std::uint64_t> ref_groups_;
   std::vector<std::uint32_t> selection_;
 };
 

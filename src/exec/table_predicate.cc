@@ -1,0 +1,36 @@
+#include "exec/table_predicate.h"
+
+namespace queryer {
+
+TablePredicate::TablePredicate(const Expr* expr, const Table* table)
+    : expr_(expr), table_(table) {
+  if (expr_ == nullptr) return;
+  std::vector<const Expr*> columns;
+  expr_->CollectColumns(&columns);
+  if (columns.empty()) return;  // Constant predicate: per-row eval is cheap.
+  const std::size_t attribute = columns[0]->bound_index();
+  for (const Expr* column : columns) {
+    if (column->bound_index() != attribute) return;  // Multi-column.
+  }
+  if (attribute >= table_->num_attributes()) return;
+  const ColumnView column = table_->column(attribute);
+  const Dictionary& dictionary = column.dictionary();
+  codes_ = &column.codes();
+  dictionary_ = &dictionary;
+  attribute_ = attribute;
+  // The truth table trades O(distinct) up-front evaluations for one-byte
+  // per-row lookups — a win only when values repeat. Near-unique columns
+  // (ids, titles) would pay the build and the extra pass for nothing; they
+  // keep per-row evaluation over the hoisted column instead.
+  if (2 * dictionary.size() > table_->num_rows()) return;
+  auto truth = std::make_shared<std::vector<std::uint8_t>>(dictionary.size());
+  for (DictCode code = 0; code < dictionary.size(); ++code) {
+    (*truth)[code] = expr_->EvalBoolFast(
+                         RowRef::SingleColumn(attribute, dictionary.value(code)))
+                         ? 1
+                         : 0;
+  }
+  truth_ = std::move(truth);
+}
+
+}  // namespace queryer

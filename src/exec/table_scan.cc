@@ -12,21 +12,24 @@ namespace queryer {
 /// against this state and the last reference frees it.
 struct TableScanOp::MorselScan {
   TablePtr table;
-  std::shared_ptr<const Expr> predicate;
+  // Keeps the Expr behind `predicate` alive for straggler tasks.
+  std::shared_ptr<const Expr> predicate_expr;
+  TablePredicate predicate;
   std::size_t morsel_rows = 0;
   std::size_t num_morsels = 0;
   std::uint64_t session_id = 0;
   std::shared_ptr<TraceSink> trace;  // May be null; held for stragglers.
 
   /// In-order emission + bounded in-flight morsels (backpressure).
-  ReorderWindow<std::vector<Row>> window;
+  ReorderWindow<std::vector<EntityId>> window;
 
   explicit MorselScan(std::size_t window_size) : window(window_size) {}
 
-  /// Pool task body: materializes morsel `m` and deposits it. A cancelled
-  /// scan deposits an empty result so the window's accounting stays whole.
+  /// Pool task body: evaluates the predicate over morsel `m` and deposits
+  /// the surviving entity ids — no strings are touched. A cancelled scan
+  /// deposits an empty result so the window's accounting stays whole.
   void RunMorsel(std::size_t m) {
-    std::vector<Row> out;
+    std::vector<EntityId> out;
     if (!window.cancelled()) {
       try {
         const std::size_t begin = m * morsel_rows;
@@ -34,16 +37,8 @@ struct TableScanOp::MorselScan {
             std::min(begin + morsel_rows, table->num_rows());
         out.reserve(end - begin);
         for (std::size_t pos = begin; pos < end; ++pos) {
-          const std::vector<std::string>& values =
-              table->row(static_cast<EntityId>(pos));
-          if (predicate != nullptr && !predicate->EvalBoolFast(values)) {
-            continue;
-          }
-          Row row;
-          row.values = values;
-          row.entity_id = static_cast<EntityId>(pos);
-          row.group_key = pos;
-          out.push_back(std::move(row));
+          const EntityId id = static_cast<EntityId>(pos);
+          if (predicate.Matches(id)) out.push_back(id);
         }
       } catch (const std::exception& e) {
         window.Fail(m, e.what());
@@ -92,6 +87,9 @@ Status TableScanOp::OpenImpl() {
   buffer_pos_ = 0;
   submitted_ = 0;
   morsels_.reset();
+  table_predicate_ = predicate_ != nullptr
+                         ? TablePredicate(predicate_.get(), table_.get())
+                         : TablePredicate();
   if (UseMorsels()) {
     // Window size: enough in-flight morsels to keep every worker fed, few
     // enough to bound the reorder buffer. Each consumed morsel funds one
@@ -101,7 +99,8 @@ Status TableScanOp::OpenImpl() {
     // morsels that are already queued on the pool.
     morsels_->window.LinkSessionCancel(session_cancel_);
     morsels_->table = table_;
-    morsels_->predicate = predicate_;
+    morsels_->predicate_expr = predicate_;
+    morsels_->predicate = table_predicate_;
     morsels_->morsel_rows = MorselRowsFor(batch_size_);
     morsels_->num_morsels =
         (table_->num_rows() + morsels_->morsel_rows - 1) /
@@ -128,13 +127,10 @@ bool TableScanOp::SubmitMorselTask() {
 
 Result<bool> TableScanOp::NextSequential(RowBatch* batch) {
   const std::size_t n = table_->num_rows();
+  batch->BeginReference(table_.get());
   while (position_ < n && !batch->full()) {
-    const std::vector<std::string>& values = table_->row(position_);
-    if (predicate_ == nullptr || predicate_->EvalBoolFast(values)) {
-      Row* row = batch->AppendRow();
-      row->values = values;
-      row->entity_id = position_;
-      row->group_key = position_;
+    if (table_predicate_.Matches(position_)) {
+      batch->AppendReference(position_, position_);
     }
     ++position_;
   }
@@ -143,17 +139,17 @@ Result<bool> TableScanOp::NextSequential(RowBatch* batch) {
 
 Result<bool> TableScanOp::NextMorsel(RowBatch* batch) {
   MorselScan& state = *morsels_;
+  batch->BeginReference(table_.get());
   while (!batch->full()) {
     if (buffer_pos_ < buffer_.size()) {
-      // Rows leave the morsel buffer by move: the buffer dies with the
-      // morsel, so there is nothing to preserve.
       while (buffer_pos_ < buffer_.size() && !batch->full()) {
-        *batch->AppendRow() = std::move(buffer_[buffer_pos_++]);
+        const EntityId id = buffer_[buffer_pos_++];
+        batch->AppendReference(id, id);
       }
       continue;
     }
     if (state.window.emitted() >= state.num_morsels) break;
-    Result<std::vector<Row>> morsel = state.window.AwaitNext();
+    Result<std::vector<EntityId>> morsel = state.window.AwaitNext();
     if (!morsel.ok()) {
       // Abandon the scan: window-queued tasks must not keep materializing
       // morsels for a dead query on the shared pool (AwaitNext already

@@ -10,6 +10,7 @@
 
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
+#include "exec/table_predicate.h"
 #include "obs/trace.h"
 #include "parallel/reorder_window.h"
 #include "parallel/thread_pool.h"
@@ -22,10 +23,19 @@ namespace queryer {
 /// predicate. Each emitted row carries its EntityId and a singleton group
 /// key (its own id), so an unresolved row is its own duplicate group.
 ///
-/// The fused predicate (a Filter lowered into its Scan) is evaluated
-/// against the table's stored rows BEFORE anything is copied, so filtered
-/// out tuples cost one predicate evaluation and zero materialization — the
-/// selection-vector idea applied at the source.
+/// The scan emits REFERENCE batches: (entity, group_key) pairs viewing into
+/// the columnar table, not materialized rows. No string is copied — or even
+/// read — by the scan itself; consumers pull values lazily through the
+/// table's dictionaries and the final emit boundary materializes survivors
+/// exactly once (late materialization).
+///
+/// The fused predicate (a Filter lowered into its Scan) runs through
+/// TablePredicate: single-column predicates are evaluated once per distinct
+/// dictionary value into a truth table, so each stored row costs one code
+/// load and one byte lookup; multi-column predicates evaluate over
+/// string_views straight out of the dictionaries. Either way, rejected
+/// tuples cost zero materialization — the selection-vector idea applied at
+/// the source.
 ///
 /// With a multi-worker pool the scan is a morsel-driven parallel source:
 /// the table is cut into morsels (max(batch capacity, kMinMorselRows) rows)
@@ -45,7 +55,7 @@ class TableScanOp final : public PhysicalOperator {
   /// `session_cancel` (may be null) is the session-level cancellation flag
   /// the morsel window observes (QueryCursor::Cancel); `trace` (may be
   /// null) receives one "scan-morsel" instant event per morsel, emitted on
-  /// the worker thread that materialized it.
+  /// the worker thread that evaluated it.
   TableScanOp(TablePtr table, std::string alias, ThreadPool* pool = nullptr,
               std::size_t batch_size = kDefaultBatchSize,
               ExecStats* stats = nullptr, std::uint64_t session_id = 0,
@@ -89,14 +99,17 @@ class TableScanOp final : public PhysicalOperator {
   // shared_ptr: straggler morsel tasks may outlive this operator.
   std::shared_ptr<TraceSink> trace_;
 
+  // Compiled form of predicate_ against table_ (built at Open).
+  TablePredicate table_predicate_;
+
   // Sequential cursor.
   EntityId position_ = 0;
 
   // Morsel mode state (created at Open).
   std::shared_ptr<MorselScan> morsels_;
-  std::vector<Row> buffer_;      // Rows of the morsel being emitted.
+  std::vector<EntityId> buffer_;  // Survivors of the morsel being emitted.
   std::size_t buffer_pos_ = 0;
-  std::size_t submitted_ = 0;    // Tasks handed to the pool so far.
+  std::size_t submitted_ = 0;     // Tasks handed to the pool so far.
 };
 
 }  // namespace queryer

@@ -18,7 +18,7 @@ ComparisonExecStats ExecuteComparisonsSequential(
     }
     ++stats.executed;
     double similarity =
-        ProfileSimilarity(table.row(a), table.row(b), config, weights);
+        ProfileSimilarity(table, a, b, config, weights);
     if (similarity >= config.threshold) {
       link_index->AddLink(a, b);
       ++stats.matches_found;
@@ -71,7 +71,7 @@ StagedComparisons EvaluateComparisons(const Table& table,
         // Pass 2, lock-free: evaluate the survivors and buffer the matches.
         for (const auto& [a, b] : result.pending) {
           double similarity =
-              ProfileSimilarity(table.row(a), table.row(b), config, weights);
+              ProfileSimilarity(table, a, b, config, weights);
           if (similarity >= config.threshold) result.matched.emplace_back(a, b);
         }
         return Status::OK();

@@ -29,7 +29,7 @@ bool TokensMatch(const std::string& a, const std::string& b,
 
 // Distinct lower-cased tokens of a value (min length 1; abbreviations are
 // single characters and must survive).
-std::vector<std::string> ValueTokens(const std::string& value) {
+std::vector<std::string> ValueTokens(std::string_view value) {
   std::vector<std::string> tokens = TokenizeAlnum(value, 1);
   std::sort(tokens.begin(), tokens.end());
   tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
@@ -38,7 +38,7 @@ std::vector<std::string> ValueTokens(const std::string& value) {
 
 }  // namespace
 
-double ValueSimilarity(const std::string& a, const std::string& b,
+double ValueSimilarity(std::string_view a, std::string_view b,
                        const MatchingConfig& config) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;
@@ -77,13 +77,21 @@ AttributeWeights AttributeWeights::Compute(const Table& table) {
   AttributeWeights result;
   result.weights_.resize(table.num_attributes(), 0.0);
   for (std::size_t attr = 0; attr < table.num_attributes(); ++attr) {
+    const ColumnView column = table.column(attr);
+    const Dictionary& dictionary = column.dictionary();
+    // Every dictionary entry occurs in at least one row, so the distinct
+    // set over rows equals the distinct set over dictionary values —
+    // O(distinct) lower-cased copies instead of O(rows).
     std::set<std::string> distinct;
-    std::size_t non_empty = 0;
-    for (EntityId e = 0; e < table.num_rows(); ++e) {
-      const std::string& value = table.value(e, attr);
-      if (value.empty()) continue;
-      ++non_empty;
-      distinct.insert(ToLower(value));
+    for (DictCode code = 0; code < dictionary.size(); ++code) {
+      const std::string_view value = dictionary.value(code);
+      if (!value.empty()) distinct.insert(ToLower(value));
+    }
+    std::size_t non_empty = table.num_rows();
+    if (std::optional<DictCode> empty_code = dictionary.Find("")) {
+      for (const DictCode code : column.codes()) {
+        if (code == *empty_code) --non_empty;
+      }
     }
     if (non_empty > 0) {
       result.weights_[attr] = static_cast<double>(distinct.size()) /
@@ -93,25 +101,38 @@ AttributeWeights AttributeWeights::Compute(const Table& table) {
   return result;
 }
 
-double ProfileSimilarity(const std::vector<std::string>& a,
-                         const std::vector<std::string>& b,
-                         const MatchingConfig& config,
-                         const AttributeWeights* weights) {
+namespace {
+
+// Shared body of both ProfileSimilarity overloads. `value_at(which, i)`
+// returns attribute i of profile a (which=0) or b (which=1) as a
+// string_view; `known_equal(i)` may return true when both profiles'
+// attribute i values are byte-identical (the columnar overload's
+// dictionary-code shortcut) — false means "unknown", never "unequal".
+template <typename ValueAtFn, typename KnownEqualFn>
+double ProfileSimilarityImpl(std::size_t attributes, const ValueAtFn& value_at,
+                             const KnownEqualFn& known_equal,
+                             const MatchingConfig& config,
+                             const AttributeWeights* weights) {
   auto weight_of = [&](std::size_t attribute) {
     return weights == nullptr ? 1.0 : weights->weight(attribute);
   };
 
   // Signal 1: aligned attribute similarity, distinctiveness-weighted.
-  const std::size_t attributes = std::min(a.size(), b.size());
   double aligned_total = 0;
   double aligned_weight = 0;
   double total_weight = 0;
   for (std::size_t i = 0; i < attributes; ++i) {
     if (IsExcluded(config, i)) continue;
     total_weight += weight_of(i);
-    if (a[i].empty() || b[i].empty()) continue;  // No evidence either way.
+    const std::string_view va = value_at(0, i);
+    const std::string_view vb = value_at(1, i);
+    if (va.empty() || vb.empty()) continue;  // No evidence either way.
     double w = weight_of(i);
-    aligned_total += w * ValueSimilarity(ToLower(a[i]), ToLower(b[i]), config);
+    // Identical values score 1 by construction; the code shortcut skips
+    // the tokenization. ValueSimilarity is case-insensitive internally, so
+    // raw views compare exactly as the lower-cased copies used to.
+    aligned_total +=
+        w * (known_equal(i) ? 1.0 : ValueSimilarity(va, vb, config));
     aligned_weight += w;
   }
   double aligned = aligned_weight == 0 ? 0.0 : aligned_total / aligned_weight;
@@ -129,12 +150,12 @@ double ProfileSimilarity(const std::vector<std::string>& a,
   // Each token carries the distinctiveness weight of the attribute it came
   // from (the max across occurrences), so code-list tokens contribute
   // little even through this channel.
-  auto gather = [&](const std::vector<std::string>& row) {
+  auto gather = [&](int which) {
     std::vector<std::pair<std::string, double>> tokens;
     for (std::size_t i = 0; i < attributes; ++i) {
       if (IsExcluded(config, i)) continue;
       double w = weight_of(i);
-      for (auto& token : TokenizeAlnum(row[i], 1)) {
+      for (auto& token : TokenizeAlnum(value_at(which, i), 1)) {
         tokens.emplace_back(std::move(token), w);
       }
     }
@@ -153,8 +174,8 @@ double ProfileSimilarity(const std::vector<std::string>& a,
     tokens.resize(out);
     return tokens;
   };
-  std::vector<std::pair<std::string, double>> tokens_a = gather(a);
-  std::vector<std::pair<std::string, double>> tokens_b = gather(b);
+  std::vector<std::pair<std::string, double>> tokens_a = gather(0);
+  std::vector<std::pair<std::string, double>> tokens_b = gather(1);
   double cosine = 0;
   if (!tokens_a.empty() && !tokens_b.empty()) {
     double dot = 0;
@@ -187,6 +208,38 @@ double ProfileSimilarity(const std::vector<std::string>& a,
           : cosine;
 
   return std::max(aligned, cosine_scaled);
+}
+
+}  // namespace
+
+double ProfileSimilarity(const Table& table, EntityId a, EntityId b,
+                         const MatchingConfig& config,
+                         const AttributeWeights* weights) {
+  return ProfileSimilarityImpl(
+      table.num_attributes(),
+      [&](int which, std::size_t i) {
+        return table.ValueAt(which == 0 ? a : b, i);
+      },
+      [&](std::size_t i) { return table.CodeAt(a, i) == table.CodeAt(b, i); },
+      config, weights);
+}
+
+double ProfileSimilarity(const std::vector<std::string>& a,
+                         const std::vector<std::string>& b,
+                         const MatchingConfig& config,
+                         const AttributeWeights* weights) {
+  return ProfileSimilarityImpl(
+      std::min(a.size(), b.size()),
+      [&](int which, std::size_t i) {
+        return std::string_view(which == 0 ? a[i] : b[i]);
+      },
+      [](std::size_t) { return false; }, config, weights);
+}
+
+bool ProfilesMatch(const Table& table, EntityId a, EntityId b,
+                   const MatchingConfig& config,
+                   const AttributeWeights* weights) {
+  return ProfileSimilarity(table, a, b, config, weights) >= config.threshold;
 }
 
 bool ProfilesMatch(const std::vector<std::string>& a,

@@ -33,6 +33,7 @@
 #define QUERYER_MATCHING_PROFILE_MATCHER_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "matching/similarity.h"
@@ -78,18 +79,33 @@ class AttributeWeights {
 };
 
 /// \brief Fuzzy token-set similarity of two attribute values (see above).
-/// Returns 1 when both are empty, 0 when exactly one is.
-double ValueSimilarity(const std::string& a, const std::string& b,
+/// Returns 1 when both are empty, 0 when exactly one is. Comparison is
+/// case-insensitive by construction (tokens are lower-cased, numeric
+/// parsing ignores case), so callers pass raw values — typically
+/// string_views straight out of a table's column dictionaries.
+double ValueSimilarity(std::string_view a, std::string_view b,
                        const MatchingConfig& config);
 
-/// \brief Schema-agnostic profile similarity of two entities (see above).
-/// `weights` may be null (uniform attribute weights).
+/// \brief Schema-agnostic profile similarity of two entities of one table
+/// (see above). Reads attribute values as string_views out of the columnar
+/// storage; attributes whose dictionary codes are equal short-circuit to
+/// similarity 1 without touching the strings. `weights` may be null
+/// (uniform attribute weights).
+double ProfileSimilarity(const Table& table, EntityId a, EntityId b,
+                         const MatchingConfig& config,
+                         const AttributeWeights* weights = nullptr);
+
+/// \brief The same similarity over two ad-hoc value vectors (profiles not
+/// backed by a table).
 double ProfileSimilarity(const std::vector<std::string>& a,
                          const std::vector<std::string>& b,
                          const MatchingConfig& config,
                          const AttributeWeights* weights = nullptr);
 
 /// \brief Convenience predicate: ProfileSimilarity >= config.threshold.
+bool ProfilesMatch(const Table& table, EntityId a, EntityId b,
+                   const MatchingConfig& config,
+                   const AttributeWeights* weights = nullptr);
 bool ProfilesMatch(const std::vector<std::string>& a,
                    const std::vector<std::string>& b,
                    const MatchingConfig& config,

@@ -209,12 +209,13 @@ bool Expr::IsBound() const {
   return true;
 }
 
-Expr::Value Expr::EvalValue(const std::vector<std::string>& row) const {
+Expr::Value Expr::EvalValue(const RowRef& row) const {
   switch (kind_) {
     case ExprKind::kColumn: {
-      QUERYER_DCHECK(bound_index_ != kUnbound && bound_index_ < row.size());
+      QUERYER_DCHECK(bound_index_ != kUnbound);
       Value v;
-      v.text = row[bound_index_];
+      const std::string_view text = row.Get(bound_index_);
+      v.text.assign(text.data(), text.size());
       v.number = ParseNumber(v.text);
       return v;
     }
@@ -239,7 +240,7 @@ Expr::Value Expr::EvalValue(const std::vector<std::string>& row) const {
   }
 }
 
-bool Expr::EvalBool(const std::vector<std::string>& row) const {
+bool Expr::EvalBool(const RowRef& row) const {
   switch (kind_) {
     case ExprKind::kCompare: {
       Value lhs = children_[0]->EvalValue(row);
@@ -291,7 +292,7 @@ namespace {
 // Case-insensitive three-way compare without the lowercased copies
 // CompareValues makes; byte-wise identical to
 // ToLower(a).compare(ToLower(b)) clamped to {-1, 0, 1}.
-int CompareTextCI(const std::string& a, const std::string& b) {
+int CompareTextCI(std::string_view a, std::string_view b) {
   const std::size_t n = a.size() < b.size() ? a.size() : b.size();
   for (std::size_t i = 0; i < n; ++i) {
     unsigned char ca =
@@ -320,11 +321,10 @@ bool ApplyCompare(CompareOp op, int cmp) {
 // Value (no string copies). Mirrors EvalValue's numeric semantics exactly:
 // a column is numeric iff its text parses fully, MOD is numeric iff both
 // operands are and the divisor is nonzero.
-bool TryEvalNumber(const Expr& e, const std::vector<std::string>& row,
-                   double* out) {
+bool TryEvalNumber(const Expr& e, const RowRef& row, double* out) {
   switch (e.kind()) {
     case ExprKind::kColumn: {
-      std::optional<double> v = ParseNumber(row[e.bound_index()]);
+      std::optional<double> v = ParseNumber(row.Get(e.bound_index()));
       if (!v.has_value()) return false;
       *out = *v;
       return true;
@@ -358,15 +358,21 @@ bool IsLeafOperand(const Expr& e) {
 // Raw text of a column/literal operand (no copy). MOD is excluded: its
 // text form needs formatting, so mixed MOD-vs-string comparisons fall back
 // to the generic path.
-const std::string* RawText(const Expr& e, const std::vector<std::string>& row) {
-  if (e.kind() == ExprKind::kColumn) return &row[e.bound_index()];
-  if (e.kind() == ExprKind::kLiteral) return &e.literal().text;
-  return nullptr;
+bool RawText(const Expr& e, const RowRef& row, std::string_view* out) {
+  if (e.kind() == ExprKind::kColumn) {
+    *out = row.Get(e.bound_index());
+    return true;
+  }
+  if (e.kind() == ExprKind::kLiteral) {
+    *out = e.literal().text;
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
 
-bool Expr::EvalBoolFast(const std::vector<std::string>& row) const {
+bool Expr::EvalBoolFast(const RowRef& row) const {
   // The comparison fast path: both operands leaf-shaped, so the row is
   // decided without constructing Values. Falls back to EvalBool when the
   // operand mix (e.g. MOD against a non-numeric string) needs the generic
@@ -379,10 +385,9 @@ bool Expr::EvalBoolFast(const std::vector<std::string>& row) const {
     if (TryEvalNumber(lhs, row, &ln) && TryEvalNumber(rhs, row, &rn)) {
       return ApplyCompare(compare_op_, ln < rn ? -1 : (ln > rn ? 1 : 0));
     }
-    const std::string* lt = RawText(lhs, row);
-    const std::string* rt = RawText(rhs, row);
-    if (lt != nullptr && rt != nullptr) {
-      return ApplyCompare(compare_op_, CompareTextCI(*lt, *rt));
+    std::string_view lt, rt;
+    if (RawText(lhs, row, &lt) && RawText(rhs, row, &rt)) {
+      return ApplyCompare(compare_op_, CompareTextCI(lt, rt));
     }
   }
   return EvalBool(row);
@@ -392,7 +397,7 @@ std::size_t Expr::FilterBatch(RowBatch* batch) const {
   const std::size_t n = batch->size();
   std::size_t out = 0;
   for (std::size_t i = 0; i < n; ++i) {
-    if (EvalBoolFast(batch->row(i).values)) batch->Keep(out++, i);
+    if (EvalBoolFast(batch->RowRefAt(i))) batch->Keep(out++, i);
   }
   batch->TruncateSelection(out);
   return out;

@@ -16,9 +16,11 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/table.h"
 
 namespace queryer {
 
@@ -90,18 +92,21 @@ class Expr {
   /// True if every column reference in the tree is bound.
   bool IsBound() const;
 
-  /// Evaluates a value expression (kColumn/kLiteral/kMod) on a row.
-  Value EvalValue(const std::vector<std::string>& row) const;
+  /// Evaluates a value expression (kColumn/kLiteral/kMod) on a row. RowRef
+  /// converts implicitly from a materialized row's value vector and also
+  /// wraps a columnar (Table, EntityId) pair — evaluation never copies the
+  /// underlying strings either way.
+  Value EvalValue(const RowRef& row) const;
 
   /// Evaluates a predicate on a row. Must be bound first.
-  bool EvalBool(const std::vector<std::string>& row) const;
+  bool EvalBool(const RowRef& row) const;
 
   /// \brief EvalBool with the hot-loop fast path: comparisons of
   /// column/literal/MOD operands are decided allocation-free (no Value
   /// copies, no lowercased temporaries), everything else falls back to
   /// EvalBool. Same result for every input; callers evaluating a predicate
   /// per row in bulk (fused scans, FilterBatch) use this.
-  bool EvalBoolFast(const std::vector<std::string>& row) const;
+  bool EvalBoolFast(const RowRef& row) const;
 
   /// \brief Evaluates this predicate over a whole batch via EvalBoolFast,
   /// compacting the batch's selection vector to the surviving rows.

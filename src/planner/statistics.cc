@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <optional>
 #include <set>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include "blocking/block_join.h"
 #include "common/string_util.h"
 #include "exec/hash_join.h"
+#include "exec/table_predicate.h"
 #include "metablocking/block_purging.h"
 
 namespace queryer {
@@ -195,9 +197,13 @@ Result<std::vector<EntityId>> StatisticsCache::EstimateSelectedEntities(
     columns.push_back(alias + "." + name);
   }
   QUERYER_RETURN_NOT_OK(bound->Bind(columns));
+  // Single-column predicates compile to a per-dictionary-code truth table
+  // (same machinery as the scan's fused filter); everything else evaluates
+  // against a zero-copy table reference per row.
+  TablePredicate compiled(bound.get(), &table);
   std::vector<EntityId> selected;
   for (EntityId e = 0; e < table.num_rows(); ++e) {
-    if (bound->EvalBool(table.row(e))) selected.push_back(e);
+    if (compiled.Matches(e)) selected.push_back(e);
   }
   return selected;
 }
@@ -282,18 +288,27 @@ double StatisticsCache::JoinFraction(TableRuntime* left,
     return 0.0;
   }
 
+  // Canonicalize once per distinct dictionary value, then count per-row
+  // membership by code — every dictionary entry occurs in at least one row,
+  // so the key sets match the old per-row loops exactly.
+  const ColumnView right_col = right->table().column(*right_idx);
+  const Dictionary& right_dict = right_col.dictionary();
   std::unordered_set<std::string> right_keys;
-  for (EntityId e = 0; e < right->table().num_rows(); ++e) {
-    const std::string& value = right->table().value(e, *right_idx);
+  right_keys.reserve(right_dict.size());
+  for (DictCode c = 0; c < right_dict.size(); ++c) {
+    const std::string_view value = right_dict.value(c);
     if (!value.empty()) right_keys.insert(CanonicalJoinKey(value));
   }
-  std::size_t joining = 0;
-  for (EntityId e = 0; e < left->table().num_rows(); ++e) {
-    const std::string& value = left->table().value(e, *left_idx);
-    if (!value.empty() && right_keys.count(CanonicalJoinKey(value)) > 0) {
-      ++joining;
-    }
+  const ColumnView left_col = left->table().column(*left_idx);
+  const Dictionary& left_dict = left_col.dictionary();
+  std::vector<std::uint8_t> code_joins(left_dict.size(), 0);
+  for (DictCode c = 0; c < left_dict.size(); ++c) {
+    const std::string_view value = left_dict.value(c);
+    code_joins[c] =
+        !value.empty() && right_keys.count(CanonicalJoinKey(value)) > 0;
   }
+  std::size_t joining = 0;
+  for (const DictCode code : left_col.codes()) joining += code_joins[code];
   double fraction = static_cast<double>(joining) /
                     static_cast<double>(left->table().num_rows());
   join_fraction_[cache_key] = fraction;

@@ -53,12 +53,12 @@ Result<std::vector<std::string>> ParseRecord(std::string_view text,
   return fields;
 }
 
-std::string EscapeField(const std::string& field, char delimiter) {
+std::string EscapeField(std::string_view field, char delimiter) {
   bool needs_quotes = field.find(delimiter) != std::string::npos ||
                       field.find('"') != std::string::npos ||
                       field.find('\n') != std::string::npos ||
                       field.find('\r') != std::string::npos;
-  if (!needs_quotes) return field;
+  if (!needs_quotes) return std::string(field);
   std::string out = "\"";
   for (char c : field) {
     if (c == '"') out += "\"\"";
@@ -79,27 +79,33 @@ Result<TablePtr> ReadCsvString(std::string_view text, std::string table_name,
     QUERYER_ASSIGN_OR_RETURN(header, ParseRecord(text, &pos, options.delimiter));
   }
 
-  std::vector<std::vector<std::string>> rows;
-  while (pos < text.size()) {
-    QUERYER_ASSIGN_OR_RETURN(std::vector<std::string> record,
-                             ParseRecord(text, &pos, options.delimiter));
-    // Skip blank trailing lines.
-    if (record.size() == 1 && record[0].empty()) continue;
-    rows.push_back(std::move(record));
-  }
-
+  // Records stream straight into the TableBuilder (one dictionary-encode
+  // pass, no row-major staging buffer). A headerless file needs its first
+  // record parsed before the schema arity is known.
+  std::vector<std::string> first_record;
+  bool has_first = false;
   if (!options.has_header) {
-    std::size_t arity = rows.empty() ? 1 : rows[0].size();
+    std::size_t arity = 1;
+    if (pos < text.size()) {
+      QUERYER_ASSIGN_OR_RETURN(first_record,
+                               ParseRecord(text, &pos, options.delimiter));
+      has_first = !(first_record.size() == 1 && first_record[0].empty());
+      if (has_first) arity = first_record.size();
+    }
     for (std::size_t i = 0; i < arity; ++i) header.push_back("c" + std::to_string(i));
   }
 
   QUERYER_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(header)));
-  auto table = std::make_shared<Table>(std::move(table_name), std::move(schema));
-  table->Reserve(rows.size());
-  for (auto& row : rows) {
-    QUERYER_RETURN_NOT_OK(table->AppendRow(std::move(row)));
+  TableBuilder builder(std::move(table_name), std::move(schema));
+  if (has_first) QUERYER_RETURN_NOT_OK(builder.AddRow(first_record));
+  std::vector<std::string> record;
+  while (pos < text.size()) {
+    QUERYER_ASSIGN_OR_RETURN(record, ParseRecord(text, &pos, options.delimiter));
+    // Skip blank trailing lines.
+    if (record.size() == 1 && record[0].empty()) continue;
+    QUERYER_RETURN_NOT_OK(builder.AddRow(record));
   }
-  return table;
+  return builder.Build();
 }
 
 Result<TablePtr> ReadCsvFile(const std::string& path, std::string table_name,
@@ -119,10 +125,10 @@ std::string WriteCsvString(const Table& table, const CsvOptions& options) {
     out += EscapeField(schema.name(i), options.delimiter);
   }
   out += '\n';
-  for (const auto& row : table.rows()) {
-    for (std::size_t i = 0; i < row.size(); ++i) {
+  for (EntityId id = 0; id < table.num_rows(); ++id) {
+    for (std::size_t i = 0; i < table.num_attributes(); ++i) {
       if (i > 0) out += options.delimiter;
-      out += EscapeField(row[i], options.delimiter);
+      out += EscapeField(table.ValueAt(id, i), options.delimiter);
     }
     out += '\n';
   }

@@ -1,0 +1,21 @@
+#include "storage/dictionary.h"
+
+namespace queryer {
+
+DictCode Dictionary::GetOrAdd(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  std::string_view interned = arena_.Add(s);
+  const DictCode code = static_cast<DictCode>(views_.size());
+  views_.push_back(interned);
+  index_.emplace(interned, code);
+  return code;
+}
+
+std::optional<DictCode> Dictionary::Find(std::string_view s) const {
+  auto it = index_.find(s);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace queryer

@@ -1,0 +1,61 @@
+// Per-column string dictionary: distinct values -> dense uint32 codes.
+//
+// Codes are assigned in first-appearance order during the table load, so a
+// table built twice from the same input gets byte-identical code vectors —
+// part of the engine's determinism contract. Lookup structures view into a
+// StringArena, which guarantees address stability, so the string_views
+// handed out by value() remain valid for the table's lifetime.
+
+#ifndef QUERYER_STORAGE_DICTIONARY_H_
+#define QUERYER_STORAGE_DICTIONARY_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/string_arena.h"
+
+namespace queryer {
+
+/// Dictionary code of one distinct string within one column.
+using DictCode = std::uint32_t;
+
+/// \brief Distinct-value dictionary for one column.
+class Dictionary {
+ public:
+  Dictionary() = default;
+  Dictionary(const Dictionary&) = delete;
+  Dictionary& operator=(const Dictionary&) = delete;
+  Dictionary(Dictionary&&) = default;
+  Dictionary& operator=(Dictionary&&) = default;
+
+  /// Returns the code for `s`, interning a copy on first sight.
+  /// Codes are dense: 0, 1, 2, ... in first-appearance order.
+  DictCode GetOrAdd(std::string_view s);
+
+  /// Returns the code for `s` if it was ever interned. Exact (byte-wise)
+  /// match — callers that need the engine's case-insensitive semantics
+  /// must scan codes (see TablePredicate's truth table).
+  std::optional<DictCode> Find(std::string_view s) const;
+
+  /// The interned string for a code. Valid for the dictionary's lifetime.
+  std::string_view value(DictCode code) const { return views_[code]; }
+
+  /// Number of distinct values.
+  std::size_t size() const { return views_.size(); }
+
+  /// String bytes held by the backing arena.
+  std::size_t bytes() const { return arena_.bytes(); }
+
+ private:
+  StringArena arena_;
+  std::vector<std::string_view> views_;  // code -> interned string
+  // Keys view into arena_ (stable addresses), so no owned-string copies.
+  std::unordered_map<std::string_view, DictCode> index_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_DICTIONARY_H_

@@ -1,0 +1,81 @@
+// Append-only string storage with stable addresses.
+//
+// The per-column Dictionary copies every distinct attribute value into one
+// of these arenas and hands out string_views into it. Blocks are never
+// reallocated or freed until the arena dies, so a view stays valid for the
+// lifetime of the owning Table no matter how many strings are added later —
+// that stability is what lets ColumnView / Table::ValueAt return
+// string_view instead of owned strings.
+
+#ifndef QUERYER_STORAGE_STRING_ARENA_H_
+#define QUERYER_STORAGE_STRING_ARENA_H_
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace queryer {
+
+/// \brief Chunked append-only byte storage for dictionary strings.
+class StringArena {
+ public:
+  StringArena() = default;
+
+  // Views into the arena must survive arena moves (blocks are heap
+  // allocations, so moving the vector of unique_ptrs keeps them alive),
+  // but copying would silently invalidate nothing and double memory —
+  // forbid it.
+  StringArena(const StringArena&) = delete;
+  StringArena& operator=(const StringArena&) = delete;
+  StringArena(StringArena&&) = default;
+  StringArena& operator=(StringArena&&) = default;
+
+  /// Copies `s` (which may contain NUL bytes) into the arena and returns a
+  /// view of the copy. The view stays valid until the arena is destroyed.
+  /// Every stored string is followed by a NUL byte (not part of the view),
+  /// matching std::string's layout guarantee — so ParseNumber and other
+  /// C-string consumers can read arena values in place.
+  std::string_view Add(std::string_view s) {
+    if (s.empty()) return std::string_view(kEmpty, 0);
+    if (s.size() + 1 > kBlockSize) {
+      // Oversize strings get a private block so regular blocks stay small.
+      blocks_.emplace_back(new char[s.size() + 1]);
+      char* dst = blocks_.back().get();
+      std::memcpy(dst, s.data(), s.size());
+      dst[s.size()] = '\0';
+      bytes_ += s.size();
+      return std::string_view(dst, s.size());
+    }
+    if (used_ + s.size() + 1 > kBlockSize || current_ == nullptr) {
+      blocks_.emplace_back(new char[kBlockSize]);
+      current_ = blocks_.back().get();
+      used_ = 0;
+    }
+    char* dst = current_ + used_;
+    std::memcpy(dst, s.data(), s.size());
+    dst[s.size()] = '\0';
+    used_ += s.size() + 1;
+    bytes_ += s.size();
+    return std::string_view(dst, s.size());
+  }
+
+  /// Total string bytes stored (excluding block slack).
+  std::size_t bytes() const { return bytes_; }
+
+ private:
+  static constexpr std::size_t kBlockSize = 64 * 1024;
+  // A non-null data pointer for the empty string, so callers can hash and
+  // compare empty views without tripping UB checks on nullptr arithmetic.
+  static constexpr const char* kEmpty = "";
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  char* current_ = nullptr;
+  std::size_t used_ = 0;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_STORAGE_STRING_ARENA_H_

@@ -2,13 +2,34 @@
 
 namespace queryer {
 
-Status Table::AppendRow(std::vector<std::string> values) {
-  if (values.size() != schema_.num_attributes()) {
-    return Status::InvalidArgument(
-        "row arity " + std::to_string(values.size()) + " does not match schema arity " +
-        std::to_string(schema_.num_attributes()) + " of table " + name_);
+void Table::MaterializeRow(EntityId id,
+                           std::vector<std::string>* out) const {
+  const std::size_t n = columns_.size();
+  out->resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    const Column& c = columns_[a];
+    const std::string_view v = c.dictionary.value(c.codes[id]);
+    (*out)[a].assign(v.data(), v.size());
   }
-  rows_.push_back(std::move(values));
+}
+
+void TableBuilder::Reserve(std::size_t rows) {
+  for (auto& column : table_->columns_) column.codes.reserve(rows);
+}
+
+Status TableBuilder::AddRow(const std::vector<std::string>& values) {
+  Table& t = *table_;
+  if (values.size() != t.schema_.num_attributes()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(values.size()) +
+        " does not match schema arity " +
+        std::to_string(t.schema_.num_attributes()) + " of table " + t.name_);
+  }
+  for (std::size_t a = 0; a < values.size(); ++a) {
+    Table::Column& c = t.columns_[a];
+    c.codes.push_back(c.dictionary.GetOrAdd(values[a]));
+  }
+  ++t.num_rows_;
   return Status::OK();
 }
 

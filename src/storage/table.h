@@ -1,7 +1,13 @@
-// In-memory entity collection: a named table of string records.
+// In-memory entity collection: a named, columnar table of string records.
 //
 // An entity is one row; its EntityId is its row position, which all blocking
 // and matching indices use as the record identifier (the paper's e_id).
+//
+// Storage layout: one column per attribute, each column a dense vector of
+// uint32 dictionary codes plus a per-column Dictionary interning the
+// distinct strings into a stable arena. Reads hand out string_views into
+// the arena — valid for the table's lifetime, no copies. Tables are
+// immutable once built; loads go through TableBuilder.
 
 #ifndef QUERYER_STORAGE_TABLE_H_
 #define QUERYER_STORAGE_TABLE_H_
@@ -9,9 +15,11 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
+#include "storage/dictionary.h"
 #include "storage/schema.h"
 
 namespace queryer {
@@ -19,35 +27,156 @@ namespace queryer {
 /// Row position within a table; the canonical entity identifier.
 using EntityId = std::uint32_t;
 
-/// \brief A dirty (or clean) entity collection.
-class Table {
+/// \brief Read view of one column: dictionary codes plus their dictionary.
+///
+/// The view borrows from the Table; it is cheap to copy and valid for the
+/// table's lifetime.
+class ColumnView {
  public:
-  Table(std::string name, Schema schema)
-      : name_(std::move(name)), schema_(std::move(schema)) {}
-
-  const std::string& name() const { return name_; }
-  const Schema& schema() const { return schema_; }
-  std::size_t num_rows() const { return rows_.size(); }
-  std::size_t num_attributes() const { return schema_.num_attributes(); }
-
-  /// Appends a row; fails if the arity does not match the schema.
-  Status AppendRow(std::vector<std::string> values);
-
-  const std::vector<std::string>& row(EntityId id) const { return rows_[id]; }
-  const std::string& value(EntityId id, std::size_t attribute) const {
-    return rows_[id][attribute];
+  std::size_t size() const { return codes_->size(); }
+  DictCode code(EntityId id) const { return (*codes_)[id]; }
+  std::string_view value(EntityId id) const {
+    return dictionary_->value((*codes_)[id]);
   }
-  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
-
-  void Reserve(std::size_t n) { rows_.reserve(n); }
+  const std::vector<DictCode>& codes() const { return *codes_; }
+  const Dictionary& dictionary() const { return *dictionary_; }
 
  private:
+  friend class Table;
+  ColumnView(const std::vector<DictCode>* codes, const Dictionary* dictionary)
+      : codes_(codes), dictionary_(dictionary) {}
+
+  const std::vector<DictCode>* codes_;
+  const Dictionary* dictionary_;
+};
+
+/// \brief A dirty (or clean) entity collection. Columnar and immutable;
+/// build one with TableBuilder.
+class Table {
+ public:
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  std::size_t num_rows() const { return num_rows_; }
+  std::size_t num_attributes() const { return schema_.num_attributes(); }
+
+  /// The value of one attribute of one entity, viewing into the column
+  /// dictionary's arena. Valid for the table's lifetime.
+  std::string_view ValueAt(EntityId id, std::size_t attribute) const {
+    const Column& c = columns_[attribute];
+    return c.dictionary.value(c.codes[id]);
+  }
+
+  /// The dictionary code of one attribute of one entity. Equal codes imply
+  /// byte-equal strings; unequal codes imply nothing under the engine's
+  /// case-insensitive / numeric comparison semantics.
+  DictCode CodeAt(EntityId id, std::size_t attribute) const {
+    return columns_[attribute].codes[id];
+  }
+
+  ColumnView column(std::size_t attribute) const {
+    const Column& c = columns_[attribute];
+    return ColumnView(&c.codes, &c.dictionary);
+  }
+
+  const Dictionary& dictionary(std::size_t attribute) const {
+    return columns_[attribute].dictionary;
+  }
+
+  /// Copies one full row into `out` (resized to the table arity), reusing
+  /// the strings' existing capacity — the late-materialization boundary.
+  void MaterializeRow(EntityId id, std::vector<std::string>* out) const;
+
+ private:
+  friend class TableBuilder;
+
+  struct Column {
+    std::vector<DictCode> codes;
+    Dictionary dictionary;
+  };
+
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)),
+        schema_(std::move(schema)),
+        columns_(schema_.num_attributes()) {}
+
   std::string name_;
   Schema schema_;
-  std::vector<std::vector<std::string>> rows_;
+  std::vector<Column> columns_;
+  std::size_t num_rows_ = 0;
 };
 
 using TablePtr = std::shared_ptr<Table>;
+
+/// \brief Append-only loader for Table. AddRow encodes each value through
+/// the per-column dictionaries; Build() hands the finished table out and
+/// leaves the builder empty.
+class TableBuilder {
+ public:
+  TableBuilder(std::string name, Schema schema)
+      : table_(new Table(std::move(name), std::move(schema))) {}
+
+  void Reserve(std::size_t rows);
+
+  /// Appends a row; fails if the arity does not match the schema.
+  Status AddRow(const std::vector<std::string>& values);
+
+  std::size_t num_rows() const { return table_->num_rows(); }
+
+  /// Finalizes and returns the table. The builder must not be used after.
+  TablePtr Build() { return std::move(table_); }
+
+ private:
+  TablePtr table_;
+};
+
+/// \brief Uniform read access to one tuple for expression evaluation,
+/// whether the tuple lives as owned strings (a materialized Row), as a row
+/// of a columnar Table, or as a single column value (TablePredicate's
+/// per-dictionary-code truth table).
+class RowRef {
+ public:
+  /// Implicit: a materialized row's owned values.
+  RowRef(const std::vector<std::string>& values)  // NOLINT(runtime/explicit)
+      : kind_(Kind::kOwned), owned_(&values) {}
+
+  RowRef(const Table& table, EntityId id)
+      : kind_(Kind::kTable), table_(&table), id_(id) {}
+
+  /// A virtual tuple whose only populated column is `column` with value
+  /// `value`; reading any other column is undefined. Used to evaluate a
+  /// single-column predicate once per distinct dictionary value.
+  static RowRef SingleColumn(std::size_t column, std::string_view value) {
+    RowRef ref;
+    ref.kind_ = Kind::kSingle;
+    ref.single_column_ = column;
+    ref.single_value_ = value;
+    return ref;
+  }
+
+  std::string_view Get(std::size_t column) const {
+    switch (kind_) {
+      case Kind::kOwned:
+        return (*owned_)[column];
+      case Kind::kTable:
+        return table_->ValueAt(id_, column);
+      case Kind::kSingle:
+      default:
+        return single_value_;
+    }
+  }
+
+ private:
+  enum class Kind : std::uint8_t { kOwned, kTable, kSingle };
+
+  RowRef() = default;
+
+  Kind kind_ = Kind::kSingle;
+  const std::vector<std::string>* owned_ = nullptr;
+  const Table* table_ = nullptr;
+  EntityId id_ = 0;
+  std::size_t single_column_ = 0;
+  std::string_view single_value_;
+};
 
 }  // namespace queryer
 

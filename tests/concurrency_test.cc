@@ -43,20 +43,19 @@ std::vector<std::vector<std::string>> Sorted(
 // clusters — answers are independent of resolution order.
 TablePtr MakeCliqueTable(std::size_t num_groups, std::size_t dups_per_group,
                          const std::string& name = "cliq") {
-  auto table = std::make_shared<Table>(
-      name, Schema({"id", "name", "city"}));
+  TableBuilder builder(name, Schema({"id", "name", "city"}));
   std::size_t row = 0;
   for (std::size_t g = 0; g < num_groups; ++g) {
     std::string group = std::to_string(g);
     for (std::size_t d = 0; d < dups_per_group; ++d) {
-      EXPECT_TRUE(table
-                      ->AppendRow({"r" + std::to_string(row++),
-                                   "alpha" + group + " beta" + group,
-                                   "city" + group})
+      EXPECT_TRUE(builder
+                      .AddRow({"r" + std::to_string(row++),
+                               "alpha" + group + " beta" + group,
+                               "city" + group})
                       .ok());
     }
   }
-  return table;
+  return builder.Build();
 }
 
 EngineOptions CliqueOptions(std::size_t max_concurrent,
@@ -393,14 +392,14 @@ TEST(ConcurrentSessionsTest, OverlappingPredicatesMatchSerial) {
 
 TEST(ConcurrentSessionsTest, DedupJoinSessionsMatchSerial) {
   TablePtr cliq = MakeCliqueTable(16, 3);
-  auto regions = std::make_shared<Table>(
-      "regions", Schema({"city", "region"}));
+  TableBuilder regions_builder("regions", Schema({"city", "region"}));
   for (std::size_t g = 0; g < 16; ++g) {
-    ASSERT_TRUE(regions
-                    ->AppendRow({"city" + std::to_string(g),
-                                 g % 2 == 0 ? "east" : "west"})
+    ASSERT_TRUE(regions_builder
+                    .AddRow({"city" + std::to_string(g),
+                             g % 2 == 0 ? "east" : "west"})
                     .ok());
   }
+  TablePtr regions = regions_builder.Build();
   std::vector<std::string> queries = {
       "SELECT DEDUP cliq.name, regions.region FROM cliq INNER JOIN regions "
       "ON cliq.city = regions.city WHERE regions.region = 'east'",

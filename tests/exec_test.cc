@@ -307,7 +307,7 @@ TEST_F(ExecTest, EmptySelectionYieldsEmptyResult) {
 
 TEST_F(ExecTest, HashJoinEmptyBuildSide) {
   OperatorPtr left = ScanP();
-  auto empty = std::make_shared<Table>("e", Schema({"k"}));
+  auto empty = TableBuilder("e", Schema({"k"})).Build();
   OperatorPtr right = std::make_unique<TableScanOp>(empty, "e");
   ExprPtr lk = Expr::Column("p", "venue");
   ExprPtr rk = Expr::Column("e", "k");

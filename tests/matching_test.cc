@@ -155,8 +155,7 @@ TEST(ProfileSimilarityTest, CrossAttributeContentViaCosine) {
   // description; the aligned signal misses it, the cosine signal does not.
   datagen::GeneratedDataset v = datagen::MakeMotivatingVenues();
   AttributeWeights weights = AttributeWeights::Compute(*v.table);
-  double sim = ProfileSimilarity(v.table->row(0), v.table->row(3),
-                                 TestConfig(), &weights);
+  double sim = ProfileSimilarity(*v.table, 0, 3, TestConfig(), &weights);
   EXPECT_GE(sim, 0.65);
 }
 
@@ -172,7 +171,7 @@ TEST(ProfileSimilarityTest, SeparatesMotivatingExample) {
     AttributeWeights weights = AttributeWeights::Compute(t);
     for (EntityId a = 0; a < t.num_rows(); ++a) {
       for (EntityId b = a + 1; b < t.num_rows(); ++b) {
-        double sim = ProfileSimilarity(t.row(a), t.row(b), config, &weights);
+        double sim = ProfileSimilarity(t, a, b, config, &weights);
         if (dataset.ground_truth.AreDuplicates(a, b)) {
           EXPECT_GE(sim, config.threshold)
               << t.name() << " rows " << a << "," << b;
@@ -186,12 +185,13 @@ TEST(ProfileSimilarityTest, SeparatesMotivatingExample) {
 }
 
 TEST(AttributeWeightsTest, DistinctivenessRatios) {
-  Table table("t", Schema({"id", "name", "country"}));
-  ASSERT_TRUE(table.AppendRow({"0", "alpha", "greece"}).ok());
-  ASSERT_TRUE(table.AppendRow({"1", "beta", "greece"}).ok());
-  ASSERT_TRUE(table.AppendRow({"2", "gamma", "italy"}).ok());
-  ASSERT_TRUE(table.AppendRow({"3", "delta", ""}).ok());
-  AttributeWeights weights = AttributeWeights::Compute(table);
+  TableBuilder builder("t", Schema({"id", "name", "country"}));
+  ASSERT_TRUE(builder.AddRow({"0", "alpha", "greece"}).ok());
+  ASSERT_TRUE(builder.AddRow({"1", "beta", "greece"}).ok());
+  ASSERT_TRUE(builder.AddRow({"2", "gamma", "italy"}).ok());
+  ASSERT_TRUE(builder.AddRow({"3", "delta", ""}).ok());
+  TablePtr table = builder.Build();
+  AttributeWeights weights = AttributeWeights::Compute(*table);
   EXPECT_DOUBLE_EQ(weights.weight(0), 1.0);        // All distinct.
   EXPECT_DOUBLE_EQ(weights.weight(1), 1.0);        // All distinct.
   EXPECT_DOUBLE_EQ(weights.weight(2), 2.0 / 3.0);  // 2 distinct / 3 non-empty.
@@ -202,20 +202,20 @@ TEST(AttributeWeightsTest, DistinctivenessRatios) {
 TEST(AttributeWeightsTest, WeakAttributeAgreementIsNotEnough) {
   // Two organisations sharing only a code-list country must not match,
   // even though the country attribute agrees exactly.
-  Table table("orgs", Schema({"id", "name", "country"}));
+  TableBuilder builder("orgs", Schema({"id", "name", "country"}));
   for (int i = 0; i < 40; ++i) {
     // Clearly distinct names (string distance between them is large).
     std::string name(6, static_cast<char>('a' + i % 26));
     name += " institute";
-    ASSERT_TRUE(table
-                    .AppendRow({std::to_string(i), name,
-                                i % 2 == 0 ? "greece" : "italy"})
+    ASSERT_TRUE(builder
+                    .AddRow({std::to_string(i), name,
+                             i % 2 == 0 ? "greece" : "italy"})
                     .ok());
   }
-  AttributeWeights weights = AttributeWeights::Compute(table);
+  TablePtr table = builder.Build();
+  AttributeWeights weights = AttributeWeights::Compute(*table);
   MatchingConfig config = TestConfig();
-  double sim =
-      ProfileSimilarity(table.row(0), table.row(2), config, &weights);
+  double sim = ProfileSimilarity(*table, 0, 2, config, &weights);
   EXPECT_LT(sim, config.threshold);
 }
 

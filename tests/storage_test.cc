@@ -34,13 +34,14 @@ TEST(SchemaTest, Equals) {
   EXPECT_FALSE(a.Equals(c));
 }
 
-TEST(TableTest, AppendChecksArity) {
-  Table table("t", Schema({"a", "b"}));
-  EXPECT_TRUE(table.AppendRow({"1", "2"}).ok());
-  EXPECT_FALSE(table.AppendRow({"1"}).ok());
-  EXPECT_FALSE(table.AppendRow({"1", "2", "3"}).ok());
-  EXPECT_EQ(table.num_rows(), 1u);
-  EXPECT_EQ(table.value(0, 1), "2");
+TEST(TableTest, BuilderChecksArity) {
+  TableBuilder builder("t", Schema({"a", "b"}));
+  EXPECT_TRUE(builder.AddRow({"1", "2"}).ok());
+  EXPECT_FALSE(builder.AddRow({"1"}).ok());
+  EXPECT_FALSE(builder.AddRow({"1", "2", "3"}).ok());
+  TablePtr table = builder.Build();
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(table->ValueAt(0, 1), "2");
 }
 
 TEST(CsvTest, ParsesHeaderAndRows) {
@@ -49,28 +50,28 @@ TEST(CsvTest, ParsesHeaderAndRows) {
   TablePtr table = *result;
   EXPECT_EQ(table->num_rows(), 2u);
   EXPECT_EQ(table->schema().name(1), "title");
-  EXPECT_EQ(table->value(1, 1), "Blocking");
+  EXPECT_EQ(table->ValueAt(1, 1), "Blocking");
 }
 
 TEST(CsvTest, QuotedFields) {
   auto result = ReadCsvString(
       "id,title\n1,\"Resolution, collective\"\n2,\"say \"\"hi\"\"\"\n", "t");
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ((*result)->value(0, 1), "Resolution, collective");
-  EXPECT_EQ((*result)->value(1, 1), "say \"hi\"");
+  EXPECT_EQ((*result)->ValueAt(0, 1), "Resolution, collective");
+  EXPECT_EQ((*result)->ValueAt(1, 1), "say \"hi\"");
 }
 
 TEST(CsvTest, EmbeddedNewlineInQuotes) {
   auto result = ReadCsvString("a,b\n\"line1\nline2\",x\n", "t");
   ASSERT_TRUE(result.ok());
-  EXPECT_EQ((*result)->value(0, 0), "line1\nline2");
+  EXPECT_EQ((*result)->ValueAt(0, 0), "line1\nline2");
 }
 
 TEST(CsvTest, CrLfAndTrailingBlankLines) {
   auto result = ReadCsvString("a,b\r\n1,2\r\n\r\n", "t");
   ASSERT_TRUE(result.ok());
   EXPECT_EQ((*result)->num_rows(), 1u);
-  EXPECT_EQ((*result)->value(0, 1), "2");
+  EXPECT_EQ((*result)->ValueAt(0, 1), "2");
 }
 
 TEST(CsvTest, NoHeaderGeneratesColumnNames) {
@@ -89,31 +90,38 @@ TEST(CsvTest, Errors) {
 }
 
 TEST(CsvTest, RoundTrip) {
-  Table table("t", Schema({"a", "b"}));
-  ASSERT_TRUE(table.AppendRow({"plain", "with, comma"}).ok());
-  ASSERT_TRUE(table.AppendRow({"quote\"inside", ""}).ok());
-  std::string csv = WriteCsvString(table);
+  TableBuilder builder("t", Schema({"a", "b"}));
+  ASSERT_TRUE(builder.AddRow({"plain", "with, comma"}).ok());
+  ASSERT_TRUE(builder.AddRow({"quote\"inside", ""}).ok());
+  TablePtr table = builder.Build();
+  std::string csv = WriteCsvString(*table);
   auto parsed = ReadCsvString(csv, "t2");
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ((*parsed)->rows(), table.rows());
+  ASSERT_EQ((*parsed)->num_rows(), table->num_rows());
+  for (EntityId e = 0; e < table->num_rows(); ++e) {
+    for (std::size_t a = 0; a < table->num_attributes(); ++a) {
+      EXPECT_EQ((*parsed)->ValueAt(e, a), table->ValueAt(e, a));
+    }
+  }
 }
 
 TEST(CsvTest, FileRoundTrip) {
-  Table table("t", Schema({"x"}));
-  ASSERT_TRUE(table.AppendRow({"value"}).ok());
+  TableBuilder builder("t", Schema({"x"}));
+  ASSERT_TRUE(builder.AddRow({"value"}).ok());
+  TablePtr table = builder.Build();
   std::string path =
       (std::filesystem::temp_directory_path() / "queryer_csv_test.csv").string();
-  ASSERT_TRUE(WriteCsvFile(table, path).ok());
+  ASSERT_TRUE(WriteCsvFile(*table, path).ok());
   auto parsed = ReadCsvFile(path, "t");
   ASSERT_TRUE(parsed.ok());
-  EXPECT_EQ((*parsed)->value(0, 0), "value");
+  EXPECT_EQ((*parsed)->ValueAt(0, 0), "value");
   std::remove(path.c_str());
   EXPECT_FALSE(ReadCsvFile(path, "t").ok());  // Now missing.
 }
 
 TEST(CatalogTest, RegisterAndLookup) {
   Catalog catalog;
-  auto table = std::make_shared<Table>("Pubs", Schema({"id"}));
+  TablePtr table = TableBuilder("Pubs", Schema({"id"})).Build();
   ASSERT_TRUE(catalog.Register(table).ok());
   EXPECT_TRUE(catalog.Contains("pubs"));
   auto fetched = catalog.Get("PUBS");
@@ -124,10 +132,10 @@ TEST(CatalogTest, RegisterAndLookup) {
 
 TEST(CatalogTest, DuplicateRejectedReplaceAllowed) {
   Catalog catalog;
-  ASSERT_TRUE(catalog.Register(std::make_shared<Table>("t", Schema({"a"}))).ok());
-  EXPECT_EQ(catalog.Register(std::make_shared<Table>("T", Schema({"a"}))).code(),
+  ASSERT_TRUE(catalog.Register(TableBuilder("t", Schema({"a"})).Build()).ok());
+  EXPECT_EQ(catalog.Register(TableBuilder("T", Schema({"a"})).Build()).code(),
             StatusCode::kAlreadyExists);
-  catalog.RegisterOrReplace(std::make_shared<Table>("T", Schema({"b"})));
+  catalog.RegisterOrReplace(TableBuilder("T", Schema({"b"})).Build());
   auto fetched = catalog.Get("t");
   ASSERT_TRUE(fetched.ok());
   EXPECT_EQ((*fetched)->schema().name(0), "b");
