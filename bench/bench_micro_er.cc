@@ -154,8 +154,8 @@ void BM_ComparisonExecution(benchmark::State& state) {
   for (auto _ : state) {
     LinkIndex li(dsd.table->num_rows());
     ComparisonExecStats stats =
-        ExecuteComparisons(*dsd.table, refined.comparisons, config, &li,
-                           &weights, BenchPool());
+        *ExecuteComparisons(*dsd.table, refined.comparisons, config, &li,
+                            &weights, BenchPool());
     benchmark::DoNotOptimize(stats);
   }
   state.SetItemsProcessed(state.iterations() *

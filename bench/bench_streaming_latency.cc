@@ -18,9 +18,12 @@
 // Exits 1 if the streamed row count ever disagrees with Execute's answer.
 // Honors --threads=N / --batch-size=N (see docs/BENCHMARKS.md).
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -196,6 +199,66 @@ int main(int argc, char** argv) {
               {"abandon_seconds",
                queryer::FormatDouble(best.abandon_seconds, 5)},
               {"abandon_rows", std::to_string(kAbandonRows)}});
+  }
+
+  // Cancel pre-emption: how fast Cancel() issued from another thread tears
+  // down a session that is deep inside a cold-LI ER resolution, vs paying
+  // for the whole resolution (the dedup TTFB above). The consumer drives
+  // the first Next into Open-time resolution; the main thread cancels
+  // kCancelAfterMs in, and the poll interval of the comparison loops is
+  // what bounds the reaction time reported here.
+  {
+    constexpr int kCancelAfterMs = 30;
+    const std::string sql =
+        "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 20";
+    double best_react = -1;
+    const char* outcome = "cancelled";
+    for (int rep = 0; rep < kReps; ++rep) {
+      auto engine = make_engine();  // Fresh: resolution must be in flight.
+      auto cursor = engine->ExecuteStream(sql);
+      if (!cursor.ok()) {
+        std::fprintf(stderr, "ExecuteStream failed: %s\n",
+                     cursor.status().ToString().c_str());
+        return 1;
+      }
+      queryer::Status end_status;
+      std::thread consumer([&] {
+        queryer::RowBatch batch((*cursor)->batch_size());
+        while (true) {
+          auto has = (*cursor)->Next(&batch);
+          if (!has.ok()) {
+            end_status = has.status();
+            break;
+          }
+          if (!*has) break;
+        }
+      });
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(kCancelAfterMs));
+      queryer::Stopwatch watch;
+      (*cursor)->Cancel();
+      consumer.join();
+      const double react = watch.ElapsedSeconds();
+      (*cursor)->Close();
+      if (best_react < 0 || react < best_react) best_react = react;
+      // On a machine fast enough to finish resolution inside
+      // kCancelAfterMs the session just ends — report that honestly.
+      if (end_status.ok()) outcome = "completed";
+    }
+    std::printf("%-10s %10s %12s %12s %12s %12s  (cancel at %dms -> %s)\n",
+                "cancel", "-", "-", "-", "-",
+                queryer::FormatDouble(best_react, 4).c_str(), kCancelAfterMs,
+                outcome);
+    CsvLine("streaming_latency",
+            {"cancel_dedup", outcome,
+             std::to_string(kCancelAfterMs),
+             queryer::FormatDouble(best_react, 5)});
+    JsonLine("streaming_latency",
+             {{"query", "cancel_dedup"},
+              {"outcome", outcome},
+              {"cancel_after_ms", std::to_string(kCancelAfterMs)},
+              {"cancel_to_termination_seconds",
+               queryer::FormatDouble(best_react, 5)}});
   }
   return mismatch ? 1 : 0;
 }

@@ -56,7 +56,7 @@ OrderCost RunOrder(bool clean_v_first) {
     Deduplicator v_dedup(&v_rt, &stats);
     std::vector<EntityId> all_v;
     for (EntityId e = 0; e < v.table->num_rows(); ++e) all_v.push_back(e);
-    std::vector<EntityId> v_dr = v_dedup.Resolve(all_v);
+    std::vector<EntityId> v_dr = *v_dedup.Resolve(all_v);
     cost.clean_first = stats.comparisons_executed;
 
     std::unordered_set<std::string> v_keys;
@@ -71,12 +71,12 @@ OrderCost RunOrder(bool clean_v_first) {
     }
     ExecStats p_stats;
     Deduplicator p_dedup(&p_rt, &p_stats);
-    p_dedup.Resolve(joining_p);
+    (void)p_dedup.Resolve(joining_p);
     cost.dirty_side = p_stats.comparisons_executed;
   } else {
     // Fig. 7: clean the P selection first, then the joining V side.
     Deduplicator p_dedup(&p_rt, &stats);
-    std::vector<EntityId> p_dr = p_dedup.Resolve(qe_p);
+    std::vector<EntityId> p_dr = *p_dedup.Resolve(qe_p);
     cost.clean_first = stats.comparisons_executed;
 
     std::unordered_set<std::string> p_keys;
@@ -91,7 +91,7 @@ OrderCost RunOrder(bool clean_v_first) {
     }
     ExecStats v_stats;
     Deduplicator v_dedup(&v_rt, &v_stats);
-    v_dedup.Resolve(joining_v);
+    (void)v_dedup.Resolve(joining_v);
     cost.dirty_side = v_stats.comparisons_executed;
   }
   return cost;

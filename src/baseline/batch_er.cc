@@ -4,7 +4,8 @@
 
 namespace queryer {
 
-BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
+Result<BatchErStats> BatchDeduplicate(TableRuntime* runtime,
+                                      ExecStats* stats) {
   BatchErStats result;
   Stopwatch total;
 
@@ -30,10 +31,12 @@ BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats) {
   double meta_seconds = watch.ElapsedSeconds();
 
   watch.Restart();
-  ComparisonExecStats exec = ExecuteComparisons(
-      runtime->table(), refined.comparisons, runtime->matching_config(),
-      &runtime->link_index(), &runtime->attribute_weights(),
-      runtime->thread_pool());
+  QUERYER_ASSIGN_OR_RETURN(
+      ComparisonExecStats exec,
+      ExecuteComparisons(runtime->table(), refined.comparisons,
+                         runtime->matching_config(), &runtime->link_index(),
+                         &runtime->attribute_weights(),
+                         runtime->thread_pool()));
   double resolution_seconds = watch.ElapsedSeconds();
 
   runtime->link_index().MarkAllResolved();

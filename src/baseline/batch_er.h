@@ -9,6 +9,7 @@
 #ifndef QUERYER_BASELINE_BATCH_ER_H_
 #define QUERYER_BASELINE_BATCH_ER_H_
 
+#include "common/status.h"
 #include "exec/exec_stats.h"
 #include "exec/table_runtime.h"
 
@@ -25,8 +26,11 @@ struct BatchErStats {
 /// and marking all entities resolved. Stage timings and counters are also
 /// accumulated into `stats` when provided. Idempotent: a second call finds
 /// every pair already linked or already compared and re-executes the
-/// comparisons that found no match.
-BatchErStats BatchDeduplicate(TableRuntime* runtime, ExecStats* stats = nullptr);
+/// comparisons that found no match. Fails only when comparison execution
+/// does (in practice: injected failures) — and then marks nothing
+/// resolved, so the next call retries the whole pass.
+Result<BatchErStats> BatchDeduplicate(TableRuntime* runtime,
+                                      ExecStats* stats = nullptr);
 
 }  // namespace queryer
 

@@ -1,0 +1,276 @@
+#include "common/failpoint.h"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.h"
+
+namespace queryer {
+namespace {
+
+// "er.comparison_chunk" -> "queryer_failpoint_triggered_total_er_comparison_chunk".
+std::string TriggeredCounterName(const std::string& site) {
+  std::string name = "queryer_failpoint_triggered_total_";
+  for (char c : site) {
+    const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9');
+    name += word ? c : '_';
+  }
+  return name;
+}
+
+// Parses the spec argument list "p=0.5,seed=42,every=3,once" into `spec`.
+// `mode_arg` receives the leading bare number for delay(<ms>).
+Status ParseArgs(const std::string& site, const std::string& args,
+                 Failpoint::Spec* spec, double* mode_arg, bool* has_mode_arg);
+
+}  // namespace
+
+Failpoint::Failpoint(std::string name)
+    : name_(std::move(name)),
+      triggered_(
+          MetricsRegistry::Global().GetCounter(TriggeredCounterName(name_))) {}
+
+void Failpoint::Arm(const Spec& spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spec_ = spec;
+  evaluations_ = 0;
+  rng_.seed(spec.seed);
+  armed_.store(true, std::memory_order_release);
+}
+
+void Failpoint::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_release);
+}
+
+bool Failpoint::ShouldTrigger() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!armed_.load(std::memory_order_relaxed)) return false;  // Raced Disarm.
+  ++evaluations_;
+  if (spec_.every > 1 && evaluations_ % spec_.every != 0) return false;
+  if (spec_.probability < 1.0) {
+    std::uniform_real_distribution<double> dist(0.0, 1.0);
+    if (dist(rng_) >= spec_.probability) return false;
+  }
+  if (spec_.once) armed_.store(false, std::memory_order_release);
+  return true;
+}
+
+Status Failpoint::Triggered() {
+  triggered_->Increment();
+  Spec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec = spec_;
+  }
+  switch (spec.mode) {
+    case Mode::kDelay:
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          spec.delay_ms));
+      return Status::OK();
+    case Mode::kError:
+    case Mode::kThrow:
+      return Status::Internal("injected failure at failpoint '" + name_ + "'");
+  }
+  return Status::OK();
+}
+
+Status Failpoint::Fire() {
+  if (!ShouldTrigger()) return Status::OK();
+  Mode mode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode = spec_.mode;
+  }
+  if (mode == Mode::kThrow) {
+    triggered_->Increment();
+    throw FailpointError("injected failure at failpoint '" + name_ + "'");
+  }
+  return Triggered();
+}
+
+void Failpoint::FireOrThrow() {
+  if (!ShouldTrigger()) return;
+  Status st = Triggered();
+  if (!st.ok()) throw FailpointError(st.message());
+}
+
+void Failpoint::FireInert() {
+  if (!ShouldTrigger()) return;
+  Mode mode;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    mode = spec_.mode;
+  }
+  if (mode == Mode::kDelay) {
+    (void)Triggered();
+  } else {
+    // Count the trigger (the schedule "hit" this site) but inject nothing.
+    triggered_->Increment();
+  }
+}
+
+namespace {
+
+Status ParseArgs(const std::string& site, const std::string& args,
+                 Failpoint::Spec* spec, double* mode_arg, bool* has_mode_arg) {
+  std::size_t pos = 0;
+  while (pos < args.size()) {
+    std::size_t comma = args.find(',', pos);
+    if (comma == std::string::npos) comma = args.size();
+    std::string item = args.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    std::size_t eq = item.find('=');
+    const std::string key = item.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string() : item.substr(eq + 1);
+    try {
+      if (key == "once" && eq == std::string::npos) {
+        spec->once = true;
+      } else if (key == "p") {
+        spec->probability = std::stod(value);
+        if (spec->probability < 0.0 || spec->probability > 1.0) {
+          return Status::InvalidArgument("failpoint '" + site +
+                                         "': p must be in [0,1], got " + value);
+        }
+      } else if (key == "seed") {
+        spec->seed = std::stoull(value);
+      } else if (key == "every") {
+        spec->every = std::stoull(value);
+      } else if (eq == std::string::npos && !item.empty() &&
+                 (std::isdigit(static_cast<unsigned char>(item[0])) ||
+                  item[0] == '.')) {
+        // Bare number: the mode's own argument (delay milliseconds).
+        *mode_arg = std::stod(item);
+        *has_mode_arg = true;
+      } else {
+        return Status::InvalidArgument("failpoint '" + site +
+                                       "': unknown spec argument '" + item +
+                                       "'");
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("failpoint '" + site +
+                                     "': malformed spec argument '" + item +
+                                     "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Failpoints::Failpoints() {
+  if (const char* env = std::getenv("QUERYER_FAILPOINTS")) ArmFromEnv(env);
+}
+
+Failpoints& Failpoints::Global() {
+  // Leaked like the metrics registry: worker threads may evaluate sites
+  // during static destruction.
+  static Failpoints* global = new Failpoints();
+  return *global;
+}
+
+Failpoint* Failpoints::Get(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = sites_[site];
+  if (!slot) slot.reset(new Failpoint(site));
+  return slot.get();
+}
+
+Status Failpoints::Arm(const std::string& site, const std::string& spec) {
+  // "mode" or "mode(args)".
+  std::string mode_str = spec;
+  std::string args;
+  std::size_t paren = spec.find('(');
+  if (paren != std::string::npos) {
+    if (spec.back() != ')') {
+      return Status::InvalidArgument("failpoint '" + site +
+                                     "': unbalanced parens in spec '" + spec +
+                                     "'");
+    }
+    mode_str = spec.substr(0, paren);
+    args = spec.substr(paren + 1, spec.size() - paren - 2);
+  }
+
+  Failpoint::Spec parsed;
+  if (mode_str == "error") {
+    parsed.mode = Failpoint::Mode::kError;
+  } else if (mode_str == "throw") {
+    parsed.mode = Failpoint::Mode::kThrow;
+  } else if (mode_str == "delay") {
+    parsed.mode = Failpoint::Mode::kDelay;
+  } else {
+    return Status::InvalidArgument("failpoint '" + site +
+                                   "': unknown mode '" + mode_str +
+                                   "' (want error|throw|delay)");
+  }
+
+  double mode_arg = 0;
+  bool has_mode_arg = false;
+  QUERYER_RETURN_NOT_OK(ParseArgs(site, args, &parsed, &mode_arg,
+                                  &has_mode_arg));
+  if (parsed.mode == Failpoint::Mode::kDelay) {
+    if (!has_mode_arg) {
+      return Status::InvalidArgument("failpoint '" + site +
+                                     "': delay needs milliseconds, e.g. "
+                                     "delay(10)");
+    }
+    parsed.delay_ms = mode_arg;
+  } else if (has_mode_arg) {
+    return Status::InvalidArgument("failpoint '" + site + "': mode '" +
+                                   mode_str + "' takes no bare argument");
+  }
+
+  Get(site)->Arm(parsed);
+  return Status::OK();
+}
+
+void Failpoints::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  if (it != sites_.end()) it->second->Disarm();
+}
+
+void Failpoints::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, fp] : sites_) fp->Disarm();
+}
+
+std::vector<std::string> Failpoints::ArmedSites() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> armed;
+  for (auto& [name, fp] : sites_) {
+    if (fp->armed()) armed.push_back(name);
+  }
+  return armed;  // std::map iteration: already sorted.
+}
+
+void Failpoints::ArmFromEnv(const char* env) {
+  const std::string all(env);
+  std::size_t pos = 0;
+  while (pos < all.size()) {
+    std::size_t semi = all.find(';', pos);
+    if (semi == std::string::npos) semi = all.size();
+    const std::string entry = all.substr(pos, semi - pos);
+    pos = semi + 1;
+    if (entry.empty()) continue;
+    std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      std::fprintf(stderr,
+                   "QUERYER_FAILPOINTS: skipping entry without '=': %s\n",
+                   entry.c_str());
+      continue;
+    }
+    Status st = Arm(entry.substr(0, eq), entry.substr(eq + 1));
+    if (!st.ok()) {
+      std::fprintf(stderr, "QUERYER_FAILPOINTS: %s\n", st.ToString().c_str());
+    }
+  }
+}
+
+}  // namespace queryer

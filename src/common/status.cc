@@ -33,6 +33,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Cancelled";
     case StatusCode::kDeadlineExceeded:
       return "Deadline exceeded";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }
@@ -55,6 +57,14 @@ Status& Status::operator=(const Status& other) {
 const std::string& Status::message() const {
   static const std::string kEmpty;
   return state_ ? state_->message : kEmpty;
+}
+
+Status Status::WithContext(std::string_view context) const {
+  if (ok()) return Status::OK();
+  std::string message(context);
+  message += ": ";
+  message += state_->message;
+  return Status(state_->code, std::move(message));
 }
 
 std::string Status::ToString() const {

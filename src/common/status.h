@@ -33,6 +33,9 @@ enum class StatusCode {
   /// A query session ran past its deadline
   /// (EngineOptions::default_query_deadline).
   kDeadlineExceeded,
+  /// The engine refused to admit a session: every admission slot stayed
+  /// busy past EngineOptions::admission_timeout (load shedding).
+  kResourceExhausted,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -87,6 +90,9 @@ class Status {
   static Status DeadlineExceeded(std::string message) {
     return Status(StatusCode::kDeadlineExceeded, std::move(message));
   }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -101,9 +107,18 @@ class Status {
   bool IsDeadlineExceeded() const {
     return code() == StatusCode::kDeadlineExceeded;
   }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code>: <message>".
   std::string ToString() const;
+
+  /// Returns a copy with `context` prefixed onto the message
+  /// ("context: message"), keeping the code. No-op on OK. Lets a failure
+  /// crossing a subsystem boundary name where it happened — e.g. the
+  /// failpoint site and session id of an injected fault.
+  Status WithContext(std::string_view context) const;
 
  private:
   struct State {

@@ -77,6 +77,13 @@ struct EngineOptions {
   /// Index's reader/writer protocol and the per-table resolution
   /// coordinator (entity claims + comparison-dedup table). 0 = unlimited.
   std::size_t max_concurrent_queries = 1;
+  /// Bounded admission: how long (seconds) an arriving session may wait
+  /// for an admission slot before the engine sheds it with
+  /// Status::kResourceExhausted instead of queueing forever. 0 (default)
+  /// = wait indefinitely, the pre-existing behavior. A shed session never
+  /// held a slot, ran no prologue and claimed nothing; it is counted in
+  /// queryer_sessions_shed_total.
+  double admission_timeout = 0;
   /// RowBatch capacity of the batch execution pipeline: how many rows flow
   /// through one Next(RowBatch*) call. Also the morsel granularity of
   /// parallel table scans. Query answers are identical for every value;

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace queryer {
@@ -14,7 +15,7 @@ QueryCursor::QueryCursor(Semaphore* admission,
                          std::unique_ptr<PlanProfile> profile,
                          std::shared_ptr<TraceSink> trace, OperatorPtr root,
                          std::string plan_text, std::size_t batch_size,
-                         double deadline_seconds,
+                         std::uint64_t session_id, double deadline_seconds,
                          std::chrono::steady_clock::time_point opened_at)
     : admission_(admission),
       runtimes_(std::move(runtimes)),
@@ -25,6 +26,7 @@ QueryCursor::QueryCursor(Semaphore* admission,
       trace_(std::move(trace)),
       plan_text_(std::move(plan_text)),
       batch_size_(batch_size == 0 ? 1 : batch_size),
+      session_id_(session_id),
       opened_at_(opened_at),
       root_(std::move(root)) {
   columns_ = root_->output_columns();
@@ -121,11 +123,24 @@ void QueryCursor::FinishObservation(const Status& status) {
 }
 
 void QueryCursor::Terminate(Status status) {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  TerminateLocked(std::move(status));
+}
+
+void QueryCursor::TerminateLocked(Status status) {
+  if (!status.ok()) {
+    // Terminal errors name their session — with concurrent sessions (and
+    // injected chaos failures), the message alone says which query died.
+    status = status.WithContext("session " + std::to_string(session_id_));
+  }
   if (root_ != nullptr) {
     // Close cascades down the tree; TableScanOp / HashJoinOp cancel their
     // in-flight morsels through the ReorderWindow cancellation path, so
-    // window-queued tasks stop materializing for this dead session.
-    root_->Close();
+    // window-queued tasks stop materializing for this dead session. A tree
+    // that never opened (lazy open not reached, or EnsureOpen failed) is
+    // torn down by destructors alone — the DrainOperator contract: no
+    // Close after a failed (or skipped) Open.
+    if (tree_opened_) root_->Close();
     root_.reset();
   }
   if (!finished_) {
@@ -144,15 +159,25 @@ void QueryCursor::Terminate(Status status) {
 }
 
 void QueryCursor::Close() {
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (closed_) return;
   closed_ = true;
+  // Read the flag BEFORE raising it: a Cancel() that arrived before this
+  // Close makes the session count as cancelled — but only when the stream
+  // had not already finished (a Cancel after the last batch never turns
+  // success into an error).
+  const bool was_cancelled = cancel_->load(std::memory_order_acquire);
   if (status_.ok() && !finished_) {
     // Abandoned mid-stream: make sure straggler morsels see the session
     // die even if the client never called Cancel.
     cancel_->store(true, std::memory_order_release);
   }
   if (status_.ok()) {
-    Terminate(Status::OK());
+    if (!finished_ && was_cancelled) {
+      TerminateLocked(Status::Cancelled("query session cancelled"));
+    } else {
+      TerminateLocked(Status::OK());
+    }
   }
   fetch_batch_.reset();
 }
@@ -173,16 +198,53 @@ Status QueryCursor::CheckRunnable() {
   return Status::OK();
 }
 
+Status QueryCursor::EnsureOpen() {
+  // Open is where a DEDUP plan's whole resolution transaction runs; the
+  // span makes that cost visible in the session trace, exactly as when
+  // the engine opened the tree eagerly.
+  TraceSpan open_span(trace_.get(), "open", "session");
+  try {
+    QUERYER_FAILPOINT("cursor.open");
+    QUERYER_RETURN_NOT_OK(root_->Open());
+  } catch (const std::exception& e) {
+    return Status::Internal(e.what());
+  } catch (...) {
+    return Status::Internal("non-std exception during operator tree Open");
+  }
+  tree_opened_ = true;
+  return Status::OK();
+}
+
 Result<bool> QueryCursor::Next(RowBatch* batch) {
   // A finished stream stays finished: a Cancel() or deadline that fires
   // after the last batch was delivered must not turn success into error.
   if (finished_) return false;
   QUERYER_RETURN_NOT_OK(CheckRunnable());
+  if (!tree_opened_) {
+    // Lazy open: the heavy lifting (resolution, join build, ...) happens
+    // inside the first Next, so its failure — injected or real — takes
+    // the same terminate-and-stick path as a mid-stream error, and a
+    // session cancelled before its first Next never starts it at all.
+    Status opened = EnsureOpen();
+    if (!opened.ok()) {
+      Terminate(std::move(opened));
+      return status_;
+    }
+  }
   if (!emit_started_ && trace_ != nullptr) {
     emit_started_ = true;
     first_next_ = std::chrono::steady_clock::now();
   }
-  Result<bool> has = root_->Next(batch);
+  Result<bool> has = [&]() -> Result<bool> {
+    try {
+      QUERYER_FAILPOINT("cursor.next");
+      return root_->Next(batch);
+    } catch (const std::exception& e) {
+      return Status::Internal(e.what());
+    } catch (...) {
+      return Status::Internal("non-std exception from operator Next");
+    }
+  }();
   if (!has.ok()) {
     Terminate(has.status());
     return status_;

@@ -20,27 +20,35 @@
 //   (*cursor)->Close();                               // Or just destroy it.
 //
 // Lifetime: a cursor must not outlive its QueryEngine (it points into the
-// engine's admission semaphore and catalog). Close() — or destruction,
-// including mid-stream abandonment — closes the operator tree, which
-// cancels in-flight scan/probe morsels through the ReorderWindow
-// cancellation path, and releases the admission slot so another session
-// can be admitted. Per-table ResolutionCoordinator claims never outlive
-// the operator tree's Open (the resolution transaction releases or
-// abandons them before Open returns), so an abandoned cursor leaves no
-// claim behind either.
+// engine's admission semaphore and catalog). The operator tree arrives
+// UN-opened and is opened lazily inside the first Next() — which is where
+// a DEDUP plan's whole resolution transaction runs, so open-time failures,
+// cancellation and deadline pre-emption all surface through Next's one
+// status channel. Close() — or destruction, including mid-stream
+// abandonment — closes the operator tree, which cancels in-flight
+// scan/probe morsels through the ReorderWindow cancellation path, and
+// releases the admission slot so another session can be admitted. Per-
+// table ResolutionCoordinator claims never outlive the tree's Open (the
+// resolution transaction releases or abandons them before Open returns),
+// so an abandoned cursor leaves no claim behind either.
 //
 // Cancellation is cooperative: Cancel() (safe from any thread) raises the
 // session flag; morsel workers observe it through their linked reorder
-// windows and stop materializing, and the next batch boundary surfaces
-// Status::Cancelled. A deadline (EngineOptions::default_query_deadline)
-// is checked at the same boundaries and surfaces DeadlineExceeded.
+// windows, the ER comparison loops poll it mid-resolution, and the next
+// batch boundary surfaces Status::Cancelled. A deadline
+// (EngineOptions::default_query_deadline) is checked at the same points
+// and surfaces DeadlineExceeded. The terminal epilogue (tree close, slot
+// release, outcome accounting) is mutex-guarded and runs exactly once no
+// matter how Cancel/Close/errors interleave.
 
 #ifndef QUERYER_ENGINE_QUERY_CURSOR_H_
 #define QUERYER_ENGINE_QUERY_CURSOR_H_
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -126,11 +134,13 @@ class QueryCursor {
   friend class PreparedQuery;
   friend class QueryEngine;
 
-  /// Built by QueryEngine around an already-opened operator tree.
-  /// `runtimes` pins the involved tables' ER state; `pool` pins the shared
-  /// worker pool for straggler morsel tasks. `opened_at` is when the
-  /// session was admitted (before the tree's Open ran), so the deadline
-  /// and total_seconds cover the ER prologue and Open-time resolution.
+  /// Built by QueryEngine around an UN-opened operator tree (opened lazily
+  /// at the first Next). `runtimes` pins the involved tables' ER state;
+  /// `pool` pins the shared worker pool for straggler morsel tasks.
+  /// `session_id` is the Executor's session tag, stamped into terminal
+  /// error messages so failures name the session they came from.
+  /// `opened_at` is when the session was admitted, so the deadline and
+  /// total_seconds cover the ER prologue and Open-time resolution.
   QueryCursor(Semaphore* admission,
               std::vector<std::shared_ptr<TableRuntime>> runtimes,
               std::shared_ptr<ThreadPool> pool,
@@ -139,15 +149,26 @@ class QueryCursor {
               std::unique_ptr<PlanProfile> profile,
               std::shared_ptr<TraceSink> trace, OperatorPtr root,
               std::string plan_text, std::size_t batch_size,
-              double deadline_seconds,
+              std::uint64_t session_id, double deadline_seconds,
               std::chrono::steady_clock::time_point opened_at);
 
   /// The batch-boundary admission check: OK, or the sticky terminal
   /// status after cancellation / deadline expiry.
   Status CheckRunnable();
+  /// Lazily opens the operator tree (first Next only). The `cursor.open`
+  /// failpoint fires here; operator exceptions become Status::Internal.
+  /// On failure the tree is torn down WITHOUT Close (same contract as
+  /// DrainOperator: destructors cancel whatever the partial Open
+  /// dispatched).
+  Status EnsureOpen();
   /// Transitions into a terminal state: closes the tree, releases the
-  /// slot, records total_seconds, and makes `status` sticky.
+  /// slot, records total_seconds, and makes `status` sticky (prefixed
+  /// with the session id when it is an error). Thread-safe and
+  /// exactly-once: the lifecycle mutex serializes it against a concurrent
+  /// Close, and the released/ folded flags make slot release and outcome
+  /// accounting idempotent.
   void Terminate(Status status);
+  void TerminateLocked(Status status);
   void ReleaseAdmission();
   /// The once-per-session epilogue, run by the first Terminate: folds the
   /// profile's relational self-times into stats_, emits the per-operator
@@ -169,11 +190,17 @@ class QueryCursor {
   std::vector<std::string> columns_;
   std::string plan_text_;
   std::size_t batch_size_;
+  std::uint64_t session_id_ = 0;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
   std::chrono::steady_clock::time_point opened_at_;
 
+  /// Serializes the terminal epilogue (Terminate/Close) so a Close racing
+  /// a cancellation-triggered Terminate releases the slot and counts the
+  /// outcome exactly once.
+  std::mutex lifecycle_mu_;
   Status status_;        // Sticky terminal error (OK while streaming).
+  bool tree_opened_ = false;  // Set by EnsureOpen at the first Next.
   bool finished_ = false;  // Stream ended cleanly.
   bool closed_ = false;
   bool folded_ = false;  // FinishObservation already ran.

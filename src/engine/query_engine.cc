@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "baseline/batch_er.h"
+#include "common/cancel_context.h"
+#include "common/failpoint.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -150,11 +152,28 @@ Result<PreparedQuery> QueryEngine::Prepare(const std::string& sql) {
 Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
   const EngineOptions& options = prepared.options_;
   // Admission: at most max_concurrent_queries sessions past this point.
-  // The RAII slot covers every failure path (including exceptions) of the
-  // fallible prologue below; on success it is disarmed and the slot is
-  // held for the whole cursor lifetime, released by QueryCursor::Close
-  // (or its destructor).
-  Semaphore::Slot slot(admission_.get());
+  // With admission_timeout set, an arriving session waits boundedly and is
+  // shed with kResourceExhausted when the engine stays saturated — it held
+  // nothing and ran nothing. The RAII slot covers every failure path
+  // (including exceptions) of the fallible prologue below; on success it
+  // is disarmed and the slot is held for the whole cursor lifetime,
+  // released by QueryCursor::Close (or its destructor).
+  if (options.admission_timeout > 0) {
+    if (!admission_->TryAcquireFor(options.admission_timeout)) {
+      GlobalEngineMetrics().sessions_shed->Increment();
+      return Status::ResourceExhausted(
+          "no admission slot freed within " +
+          std::to_string(options.admission_timeout) +
+          "s (max_concurrent_queries = " +
+          std::to_string(options.max_concurrent_queries) + ")");
+    }
+  } else {
+    admission_->Acquire();
+  }
+  Semaphore::Slot slot(admission_.get(), Semaphore::Slot::Adopt{});
+  // After the acquire, so an injected admission failure exercises the RAII
+  // release (a leaked slot here would wedge the engine at saturation).
+  QUERYER_FAILPOINT("engine.admission");
   const auto opened_at = std::chrono::steady_clock::now();
   GlobalEngineMetrics().queries_opened->Increment();
 
@@ -170,7 +189,8 @@ Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
         std::lock_guard<std::mutex> batch_lock(runtime->batch_er_mutex());
         if (runtime->link_index().num_resolved() <
             runtime->table().num_rows()) {
-          BatchDeduplicate(runtime.get(), stats.get());
+          QUERYER_RETURN_NOT_OK(
+              BatchDeduplicate(runtime.get(), stats.get()).status());
         }
       }
     } else if (!options.use_link_index) {
@@ -204,33 +224,44 @@ Result<CursorPtr> QueryEngine::OpenPrepared(const PreparedQuery& prepared) {
   // The session-level cancellation flag: QueryCursor::Cancel raises it,
   // every morsel-driven operator's reorder window observes it.
   auto cancel = std::make_shared<std::atomic<bool>>(false);
+  // The same flag plus the session deadline, packaged for the ER operators'
+  // cooperative polling: the Deduplicator's comparison loops check it so
+  // Cancel() and the deadline pre-empt a long resolution, not just the
+  // batch boundaries. The deadline mirrors the cursor's (both measure from
+  // admission).
+  auto cancel_ctx = std::make_shared<CancelContext>();
+  cancel_ctx->cancel = cancel;
+  if (options.default_query_deadline > 0) {
+    cancel_ctx->has_deadline = true;
+    cancel_ctx->deadline =
+        opened_at +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(options.default_query_deadline));
+  }
   // Every session carries a profile tree (EXPLAIN ANALYZE and the
   // scan/filter/join/project stats breakdown read from it); the overhead
   // is one steady_clock read pair per operator call.
   auto profile = std::make_unique<PlanProfile>();
   Executor executor(&catalog_, &runtimes_, stats.get(), pool_.get(),
                     options.max_concurrent_queries != 1, options.batch_size,
-                    cancel, profile.get(), options.trace_sink);
+                    cancel, profile.get(), options.trace_sink,
+                    std::move(cancel_ctx));
   Result<OperatorPtr> root = executor.Lower(*plan);
   if (!root.ok()) return root.status();
-  {
-    // Open is where the materializing operators do their heavy lifting —
-    // for a DEDUP plan, the resolution transaction (claim / evaluate /
-    // publish / release) runs and completes HERE, which is why an
-    // abandoned cursor never holds ResolutionCoordinator claims.
-    TraceSpan open_span(options.trace_sink.get(), "open", "session");
-    Status opened = (*root)->Open();
-    if (!opened.ok()) {
-      // No Close after a failed Open (same contract as DrainOperator): the
-      // operator destructors cancel whatever the partial Open dispatched.
-      return opened;
-    }
-  }
+  // The tree is handed over UN-opened: the cursor opens it lazily at the
+  // first Next. Open is where the materializing operators do their heavy
+  // lifting — for a DEDUP plan, the resolution transaction (claim /
+  // evaluate / publish / release) runs and completes inside that first
+  // Next — so open-time failures, cancellation and deadline pre-emption
+  // all surface through the cursor's one status channel, and a cursor
+  // cancelled before its first Next never starts resolution at all.
+  // Per-table ResolutionCoordinator claims still never outlive the tree's
+  // Open, so an abandoned cursor leaves no claim behind.
   CursorPtr cursor(new QueryCursor(
       admission_.get(), prepared.involved_, pool_, std::move(cancel),
       std::move(stats), std::move(profile), options.trace_sink,
       root.MoveValueUnsafe(), std::move(plan_text), options.batch_size,
-      options.default_query_deadline, opened_at));
+      executor.session_id(), options.default_query_deadline, opened_at));
   slot.Disarm();  // The cursor owns the slot now.
   return cursor;
 }

@@ -145,6 +145,16 @@ class QueryEngine {
   void set_collect_comparisons(bool collect) {
     options_.collect_comparisons = collect;
   }
+  /// Per-session deadline (seconds; 0 = none) for queries prepared from
+  /// now on. Same between-queries-only contract as the other setters.
+  void set_default_query_deadline(double seconds) {
+    options_.default_query_deadline = seconds;
+  }
+  /// Bounded-admission timeout (seconds; 0 = wait indefinitely) for
+  /// queries prepared from now on; see EngineOptions::admission_timeout.
+  void set_admission_timeout(double seconds) {
+    options_.admission_timeout = seconds;
+  }
 
  private:
   friend class PreparedQuery;

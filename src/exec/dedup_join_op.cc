@@ -14,7 +14,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
                          std::shared_ptr<TableRuntime> dirty_runtime,
                          ExecStats* stats, ThreadPool* pool,
                          bool concurrent_sessions, std::size_t batch_size,
-                         std::shared_ptr<TraceSink> trace)
+                         std::shared_ptr<TraceSink> trace,
+                         std::shared_ptr<const CancelContext> cancel)
     : left_(std::move(left)),
       right_(std::move(right)),
       left_key_(std::move(left_key)),
@@ -25,7 +26,8 @@ DedupJoinOp::DedupJoinOp(OperatorPtr left, OperatorPtr right, ExprPtr left_key,
       pool_(pool),
       concurrent_sessions_(concurrent_sessions),
       batch_size_(batch_size),
-      trace_(std::move(trace)) {
+      trace_(std::move(trace)),
+      cancel_(std::move(cancel)) {
   QUERYER_CHECK(left_key_->IsBound());
   QUERYER_CHECK(right_key_->IsBound());
   if (dirty_side_ != DirtySide::kNone) {
@@ -83,10 +85,11 @@ Status DedupJoinOp::BuildOutput() {
     // that determined the membership, so concurrent publishes cannot shear
     // the groups mid-materialization.
     Deduplicator deduplicator(dirty_runtime_.get(), stats_, pool_,
-                              concurrent_sessions_, trace_.get());
+                              concurrent_sessions_, trace_.get(),
+                              cancel_.get());
     std::vector<EntityId> group_keys;
-    std::vector<EntityId> resolved =
-        deduplicator.Resolve(query_entities, &group_keys);
+    QUERYER_ASSIGN_OR_RETURN(std::vector<EntityId> resolved,
+                             deduplicator.Resolve(query_entities, &group_keys));
     const Table& table = dirty_runtime_->table();
     dirty_rows.clear();
     dirty_rows.reserve(resolved.size());

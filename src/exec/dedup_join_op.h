@@ -42,7 +42,8 @@ class DedupJoinOp final : public PhysicalOperator {
               std::shared_ptr<TableRuntime> dirty_runtime, ExecStats* stats,
               ThreadPool* pool = nullptr, bool concurrent_sessions = false,
               std::size_t batch_size = kDefaultBatchSize,
-              std::shared_ptr<TraceSink> trace = nullptr);
+              std::shared_ptr<TraceSink> trace = nullptr,
+              std::shared_ptr<const CancelContext> cancel = nullptr);
 
   Status OpenImpl() override;
   Result<bool> NextImpl(RowBatch* batch) override;
@@ -62,6 +63,7 @@ class DedupJoinOp final : public PhysicalOperator {
   bool concurrent_sessions_;
   std::size_t batch_size_;
   std::shared_ptr<TraceSink> trace_;
+  std::shared_ptr<const CancelContext> cancel_;
 
   std::vector<Row> output_;
   std::size_t position_ = 0;

@@ -8,14 +8,16 @@ DeduplicateOp::DeduplicateOp(OperatorPtr child,
                              std::shared_ptr<TableRuntime> runtime,
                              ExecStats* stats, ThreadPool* pool,
                              bool concurrent_sessions, std::size_t batch_size,
-                             std::shared_ptr<TraceSink> trace)
+                             std::shared_ptr<TraceSink> trace,
+                             std::shared_ptr<const CancelContext> cancel)
     : child_(std::move(child)),
       runtime_(std::move(runtime)),
       stats_(stats),
       pool_(pool),
       concurrent_sessions_(concurrent_sessions),
       batch_size_(batch_size),
-      trace_(std::move(trace)) {
+      trace_(std::move(trace)),
+      cancel_(std::move(cancel)) {
   // DR_E rows come from the base table, so the child must expose all of its
   // columns (same arity).
   QUERYER_CHECK(child_->output_columns().size() ==
@@ -49,8 +51,10 @@ Status DeduplicateOp::OpenImpl() {
   // determined the membership: a concurrent session publishing links while
   // this operator streams must not change the groups mid-answer.
   Deduplicator deduplicator(runtime_.get(), stats_, pool_,
-                            concurrent_sessions_, trace_.get());
-  result_entities_ = deduplicator.Resolve(query_entities, &group_keys_);
+                            concurrent_sessions_, trace_.get(),
+                            cancel_.get());
+  QUERYER_ASSIGN_OR_RETURN(result_entities_,
+                           deduplicator.Resolve(query_entities, &group_keys_));
   position_ = 0;
   return Status::OK();
 }

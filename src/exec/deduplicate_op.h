@@ -24,12 +24,14 @@ class DeduplicateOp final : public PhysicalOperator {
   /// `concurrent_sessions` selects the Deduplicator's transaction protocol
   /// for engines that admit concurrent Execute calls; `batch_size` sizes
   /// the batches draining the child; `trace` (may be null) receives the
-  /// ER-stage spans.
+  /// ER-stage spans; `cancel` (may be null) lets the session's Cancel() /
+  /// deadline pre-empt the Open-time resolution.
   DeduplicateOp(OperatorPtr child, std::shared_ptr<TableRuntime> runtime,
                 ExecStats* stats, ThreadPool* pool = nullptr,
                 bool concurrent_sessions = false,
                 std::size_t batch_size = kDefaultBatchSize,
-                std::shared_ptr<TraceSink> trace = nullptr);
+                std::shared_ptr<TraceSink> trace = nullptr,
+                std::shared_ptr<const CancelContext> cancel = nullptr);
 
   Status OpenImpl() override;
   Result<bool> NextImpl(RowBatch* batch) override;
@@ -43,6 +45,7 @@ class DeduplicateOp final : public PhysicalOperator {
   bool concurrent_sessions_;
   std::size_t batch_size_;
   std::shared_ptr<TraceSink> trace_;
+  std::shared_ptr<const CancelContext> cancel_;
 
   // DR_E materialized at Open time: entity ids plus their cluster keys,
   // captured under one Link Index snapshot so concurrent publishes between

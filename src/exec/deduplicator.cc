@@ -70,14 +70,22 @@ std::vector<Comparison> Deduplicator::BuildComparisons(
   return comparisons;
 }
 
-std::vector<EntityId> Deduplicator::Resolve(
+Result<std::vector<EntityId>> Deduplicator::Resolve(
     const std::vector<EntityId>& query_entities,
     std::vector<EntityId>* group_keys) {
-  return concurrent_sessions_ ? ResolveConcurrent(query_entities, group_keys)
-                              : ResolveSerial(query_entities, group_keys);
+  Result<std::vector<EntityId>> result =
+      concurrent_sessions_ ? ResolveConcurrent(query_entities, group_keys)
+                           : ResolveSerial(query_entities, group_keys);
+  if (!result.ok()) {
+    const Status status = result.status();
+    if (status.IsCancelled() || status.IsDeadlineExceeded()) {
+      GlobalEngineMetrics().cancelled_in_resolution->Increment();
+    }
+  }
+  return result;
 }
 
-std::vector<EntityId> Deduplicator::ResolveSerial(
+Result<std::vector<EntityId>> Deduplicator::ResolveSerial(
     const std::vector<EntityId>& query_entities,
     std::vector<EntityId>* group_keys) {
   LinkIndex& li = runtime_->link_index();
@@ -105,9 +113,11 @@ std::vector<EntityId> Deduplicator::ResolveSerial(
     // (iv) Comparison-Execution; amends the Link Index with new links.
     Stopwatch watch;
     TraceSpan span(trace_, "resolution", "er");
-    ComparisonExecStats exec_stats = ExecuteComparisons(
-        runtime_->table(), comparisons, runtime_->matching_config(), &li,
-        &runtime_->attribute_weights(), pool_);
+    QUERYER_ASSIGN_OR_RETURN(
+        ComparisonExecStats exec_stats,
+        ExecuteComparisons(runtime_->table(), comparisons,
+                           runtime_->matching_config(), &li,
+                           &runtime_->attribute_weights(), pool_, cancel_));
     stats_->resolution_seconds += watch.ElapsedSeconds();
     stats_->comparisons_executed += exec_stats.executed;
     stats_->comparisons_skipped_linked += exec_stats.skipped_linked;
@@ -137,76 +147,98 @@ std::vector<EntityId> Deduplicator::ResolveSerial(
   return result;
 }
 
-void Deduplicator::EvaluateAndPublishOwned(
+Status Deduplicator::EvaluateAndPublishOwned(
     const std::vector<Comparison>& owned) {
   LinkIndex& li = runtime_->link_index();
   ResolutionCoordinator& coordinator = runtime_->coordinator();
+  // Failures arrive two ways: error Statuses from the evaluation (cancel
+  // poll, injected chunk errors) and exceptions (injected publish throws,
+  // bad_alloc). Both take the abandon path below.
+  Status status;
   try {
     Stopwatch watch;
     TraceSpan span(trace_, "resolution", "er");
-    StagedComparisons staged = EvaluateComparisons(
+    Result<StagedComparisons> staged_result = EvaluateComparisons(
         runtime_->table(), owned, runtime_->matching_config(), li,
-        &runtime_->attribute_weights(), pool_);
-    const std::uint64_t published = li.PublishLinks(staged.matched);
-    stats_->comparisons_executed += staged.executed;
-    stats_->comparisons_skipped_linked += staged.skipped_linked;
-    stats_->matches_found += published;
-    stats_->resolution_seconds += watch.ElapsedSeconds();
-    const EngineMetrics& metrics = GlobalEngineMetrics();
-    metrics.comparisons_executed->Increment(staged.executed);
-    metrics.comparisons_skipped_linked->Increment(staged.skipped_linked);
-    metrics.matches_found->Increment(published);
-    span.set_args("\"comparisons\":" + std::to_string(staged.executed) +
-                  ",\"matches\":" + std::to_string(published));
-    coordinator.ReleaseComparisons(owned);
+        &runtime_->attribute_weights(), pool_, cancel_);
+    if (staged_result.ok()) {
+      StagedComparisons staged = staged_result.MoveValueUnsafe();
+      const std::uint64_t published = li.PublishLinks(staged.matched);
+      stats_->comparisons_executed += staged.executed;
+      stats_->comparisons_skipped_linked += staged.skipped_linked;
+      stats_->matches_found += published;
+      stats_->resolution_seconds += watch.ElapsedSeconds();
+      const EngineMetrics& metrics = GlobalEngineMetrics();
+      metrics.comparisons_executed->Increment(staged.executed);
+      metrics.comparisons_skipped_linked->Increment(staged.skipped_linked);
+      metrics.matches_found->Increment(published);
+      span.set_args("\"comparisons\":" + std::to_string(staged.executed) +
+                    ",\"matches\":" + std::to_string(published));
+      coordinator.ReleaseComparisons(owned);
+      return Status::OK();
+    }
+    status = staged_result.status();
+  } catch (const std::exception& e) {
+    status = Status::Internal(e.what());
   } catch (...) {
-    // Could not publish: park the pairs for a waiter to adopt — a normal
-    // release would let that waiter mark its entities resolved on the
-    // strength of comparisons nobody ran.
-    coordinator.AbandonComparisons(owned);
-    throw;
+    status = Status::Internal("non-std exception during comparison publish");
   }
+  // Could not publish: park the pairs for a waiter to adopt — a normal
+  // release would let that waiter mark its entities resolved on the
+  // strength of comparisons nobody ran.
+  coordinator.AbandonComparisons(owned);
+  return status;
 }
 
-void Deduplicator::ResolveClaimed(const std::vector<EntityId>& claimed) {
+Status Deduplicator::ResolveClaimed(const std::vector<EntityId>& claimed) {
   LinkIndex& li = runtime_->link_index();
   ResolutionCoordinator& coordinator = runtime_->coordinator();
+  Status status;
   try {
-    std::vector<Comparison> comparisons = BuildComparisons(claimed);
+    status = [&]() -> Status {
+      std::vector<Comparison> comparisons = BuildComparisons(claimed);
 
-    // (iv) staged: claim the pairs, evaluate them read-only, publish the
-    // matches in one exclusive section, then release the pair claims.
-    ResolutionCoordinator::ComparisonClaim pairs =
-        coordinator.ClaimComparisons(comparisons);
-    stats_->comparisons_skipped_inflight += pairs.foreign.size();
-    EvaluateAndPublishOwned(pairs.owned);
+      // (iv) staged: claim the pairs, evaluate them read-only, publish the
+      // matches in one exclusive section, then release the pair claims.
+      ResolutionCoordinator::ComparisonClaim pairs =
+          coordinator.ClaimComparisons(comparisons);
+      stats_->comparisons_skipped_inflight += pairs.foreign.size();
+      QUERYER_RETURN_NOT_OK(EvaluateAndPublishOwned(pairs.owned));
 
-    // An entity's link-set is complete only once every in-flight
-    // comparison that could still link it has been published. Ours just
-    // were; the foreign ones are awaited. Pairs whose owner failed before
-    // publishing come back adopted and are evaluated right here, so a
-    // resolved mark never rests on a comparison that silently vanished.
-    std::vector<Comparison> orphans = coordinator.AwaitComparisons(pairs.foreign);
-    if (!orphans.empty()) {
-      stats_->comparisons_skipped_inflight -= orphans.size();
-      EvaluateAndPublishOwned(orphans);
-    }
-    // Monotonic counter: count only the pairs that stayed skipped (adopted
-    // orphans were executed after all).
-    GlobalEngineMetrics().comparisons_skipped_inflight->Increment(
-        pairs.foreign.size() - orphans.size());
-    li.MarkResolvedBatch(claimed);
-    coordinator.ReleaseEntities(claimed);
+      // An entity's link-set is complete only once every in-flight
+      // comparison that could still link it has been published. Ours just
+      // were; the foreign ones are awaited. Pairs whose owner failed before
+      // publishing come back adopted and are evaluated right here, so a
+      // resolved mark never rests on a comparison that silently vanished.
+      std::vector<Comparison> orphans =
+          coordinator.AwaitComparisons(pairs.foreign);
+      if (!orphans.empty()) {
+        stats_->comparisons_skipped_inflight -= orphans.size();
+        QUERYER_RETURN_NOT_OK(EvaluateAndPublishOwned(orphans));
+      }
+      // Monotonic counter: count only the pairs that stayed skipped (adopted
+      // orphans were executed after all).
+      GlobalEngineMetrics().comparisons_skipped_inflight->Increment(
+          pairs.foreign.size() - orphans.size());
+      li.MarkResolvedBatch(claimed);
+      coordinator.ReleaseEntities(claimed);
+      return Status::OK();
+    }();
+  } catch (const std::exception& e) {
+    status = Status::Internal(e.what());
   } catch (...) {
+    status = Status::Internal("non-std exception during claimed resolution");
+  }
+  if (!status.ok()) {
     // Failure path: free the entity claims WITHOUT resolved marks. The
     // entities stay unresolved, so the next session that waits on them
     // re-claims and resolves them itself.
     coordinator.ReleaseEntities(claimed);
-    throw;
   }
+  return status;
 }
 
-std::vector<EntityId> Deduplicator::ResolveConcurrent(
+Result<std::vector<EntityId>> Deduplicator::ResolveConcurrent(
     const std::vector<EntityId>& query_entities,
     std::vector<EntityId>* group_keys) {
   LinkIndex& li = runtime_->link_index();
@@ -233,7 +265,12 @@ std::vector<EntityId> Deduplicator::ResolveConcurrent(
   // finishes every pending entity or adopts from a failed session, so the
   // loop terminates with all query entities resolved (or throws).
   while (!claim.claimed.empty() || !claim.foreign.empty()) {
-    if (!claim.claimed.empty()) ResolveClaimed(claim.claimed);
+    // Poll between iterations too: an adopt-and-retry loop must not outlive
+    // its session's cancellation.
+    if (cancel_ != nullptr) QUERYER_RETURN_NOT_OK(cancel_->Check());
+    if (!claim.claimed.empty()) {
+      QUERYER_RETURN_NOT_OK(ResolveClaimed(claim.claimed));
+    }
     if (claim.foreign.empty()) break;
     coordinator.AwaitEntities(claim.foreign);
     claim = coordinator.ClaimEntities(claim.foreign, li);

@@ -26,6 +26,8 @@
 
 #include <vector>
 
+#include "common/cancel_context.h"
+#include "common/status.h"
 #include "exec/exec_stats.h"
 #include "exec/table_runtime.h"
 #include "obs/trace.h"
@@ -40,14 +42,19 @@ class Deduplicator {
   /// selects the transaction protocol above. `trace` (may be null) receives
   /// one span per ER stage; the Deduplicator is used synchronously from one
   /// operator call, so a raw pointer suffices (no straggler tasks hold it).
+  /// `cancel` (may be null) is the session's cancellation context, polled
+  /// inside comparison execution and between claim-loop iterations so
+  /// Cancel() / deadlines pre-empt a long resolution.
   Deduplicator(TableRuntime* runtime, ExecStats* stats,
                ThreadPool* pool = nullptr, bool concurrent_sessions = false,
-               TraceSink* trace = nullptr)
+               TraceSink* trace = nullptr,
+               const CancelContext* cancel = nullptr)
       : runtime_(runtime),
         stats_(stats),
         pool_(pool),
         concurrent_sessions_(concurrent_sessions),
-        trace_(trace) {}
+        trace_(trace),
+        cancel_(cancel) {}
 
   /// \brief Resolves `query_entities` against the whole table.
   ///
@@ -61,23 +68,31 @@ class Deduplicator {
   /// that determined the membership — an operator must never mix the
   /// returned entity set with representatives read later, or a concurrent
   /// publish between the two reads shears the answer.
-  std::vector<EntityId> Resolve(const std::vector<EntityId>& query_entities,
-                                std::vector<EntityId>* group_keys = nullptr);
+  ///
+  /// Failure (Cancelled / DeadlineExceeded from the cancel context, or an
+  /// injected/internal error) leaves the runtime consistent: every entity
+  /// and comparison claim this call took is released or abandoned before
+  /// the error returns, and no partial links from a failed evaluation were
+  /// published.
+  Result<std::vector<EntityId>> Resolve(
+      const std::vector<EntityId>& query_entities,
+      std::vector<EntityId>* group_keys = nullptr);
 
  private:
-  std::vector<EntityId> ResolveSerial(
+  Result<std::vector<EntityId>> ResolveSerial(
       const std::vector<EntityId>& query_entities,
       std::vector<EntityId>* group_keys);
-  std::vector<EntityId> ResolveConcurrent(
+  Result<std::vector<EntityId>> ResolveConcurrent(
       const std::vector<EntityId>& query_entities,
       std::vector<EntityId>* group_keys);
   /// Runs the pipeline over this session's claimed entities and publishes
-  /// the outcome (the body of one resolution transaction). On failure the
-  /// claims are abandoned for concurrent waiters to adopt.
-  void ResolveClaimed(const std::vector<EntityId>& claimed);
+  /// the outcome (the body of one resolution transaction). On failure —
+  /// error Status or exception — the entity claims are released WITHOUT
+  /// resolved marks, so a waiter adopts and re-resolves them.
+  Status ResolveClaimed(const std::vector<EntityId>& claimed);
   /// Staged evaluation + publish + release of comparison pairs this
   /// session owns; abandons them (for waiter adoption) on failure.
-  void EvaluateAndPublishOwned(const std::vector<Comparison>& owned);
+  Status EvaluateAndPublishOwned(const std::vector<Comparison>& owned);
 
   /// Query Blocking -> Block-Join -> Meta-Blocking over `unresolved`,
   /// recording the per-stage timings. Read-only on the runtime.
@@ -89,6 +104,7 @@ class Deduplicator {
   ThreadPool* pool_;
   bool concurrent_sessions_;
   TraceSink* trace_;
+  const CancelContext* cancel_;
 };
 
 }  // namespace queryer

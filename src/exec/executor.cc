@@ -57,7 +57,8 @@ Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
                    ExecStats* stats, ThreadPool* pool,
                    bool concurrent_sessions, std::size_t batch_size,
                    std::shared_ptr<const std::atomic<bool>> session_cancel,
-                   PlanProfile* profile, std::shared_ptr<TraceSink> trace)
+                   PlanProfile* profile, std::shared_ptr<TraceSink> trace,
+                   std::shared_ptr<const CancelContext> cancel)
     : catalog_(catalog),
       runtimes_(runtimes),
       stats_(stats),
@@ -67,6 +68,7 @@ Executor::Executor(const Catalog* catalog, RuntimeRegistry* runtimes,
       session_cancel_(std::move(session_cancel)),
       profile_(profile),
       trace_(std::move(trace)),
+      cancel_(std::move(cancel)),
       session_id_(NextSessionId()) {}
 
 OperatorProfile* Executor::MakeNode(const LogicalPlan& plan,
@@ -178,7 +180,7 @@ Result<OperatorPtr> Executor::LowerNode(const LogicalPlan& plan,
                                FindRuntime(*runtimes_, plan.table_name));
       OperatorPtr op(new DeduplicateOp(std::move(child), std::move(runtime),
                                        stats_, pool_, concurrent_sessions_,
-                                       batch_size_, trace_));
+                                       batch_size_, trace_, cancel_));
       op->set_profile(node);
       return op;
     }
@@ -201,7 +203,7 @@ Result<OperatorPtr> Executor::LowerNode(const LogicalPlan& plan,
       OperatorPtr op(new DedupJoinOp(
           std::move(left), std::move(right), std::move(left_key),
           std::move(right_key), plan.dirty_side, std::move(runtime), stats_,
-          pool_, concurrent_sessions_, batch_size_, trace_));
+          pool_, concurrent_sessions_, batch_size_, trace_, cancel_));
       op->set_profile(node);
       return op;
     }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cancel_context.h"
 #include "exec/exec_stats.h"
 #include "exec/operator.h"
 #include "exec/table_runtime.h"
@@ -47,13 +48,16 @@ class Executor {
   /// OperatorProfile node per lowered operator, mirroring the plan tree —
   /// the substrate of EXPLAIN ANALYZE. `trace` (may be null) is this
   /// session's trace sink, plumbed into the operators that emit spans and
-  /// morsel events.
+  /// morsel events. `cancel` (may be null) is the session's CancelContext
+  /// — cancel flag + deadline — handed to the ER operators, whose
+  /// comparison loops poll it so Cancel() / deadlines pre-empt resolution.
   Executor(const Catalog* catalog, RuntimeRegistry* runtimes, ExecStats* stats,
            ThreadPool* pool = nullptr, bool concurrent_sessions = false,
            std::size_t batch_size = kDefaultBatchSize,
            std::shared_ptr<const std::atomic<bool>> session_cancel = nullptr,
            PlanProfile* profile = nullptr,
-           std::shared_ptr<TraceSink> trace = nullptr);
+           std::shared_ptr<TraceSink> trace = nullptr,
+           std::shared_ptr<const CancelContext> cancel = nullptr);
 
   /// Builds the physical operator tree (binding all expressions). The tree
   /// may outlive the Executor — operators capture the catalog tables, the
@@ -64,6 +68,11 @@ class Executor {
   /// implementation (DrainOperator serves operators draining their own
   /// children).
   Result<OperatorPtr> Lower(const LogicalPlan& plan);
+
+  /// The session id tagging this executor's morsel tasks and trace events;
+  /// the engine stamps it into the cursor so failure messages name the
+  /// session they came from.
+  std::uint64_t session_id() const { return session_id_; }
 
  private:
   /// Recursive lowering; `parent` is the profile node of the operator
@@ -86,6 +95,7 @@ class Executor {
   std::shared_ptr<const std::atomic<bool>> session_cancel_;
   PlanProfile* profile_;
   std::shared_ptr<TraceSink> trace_;
+  std::shared_ptr<const CancelContext> cancel_;
   /// Tags this executor's morsel tasks so concurrent sessions sharing the
   /// process-wide pool are distinguishable (fair FIFO interleaving is per
   /// morsel; the tag identifies the session a morsel belongs to).

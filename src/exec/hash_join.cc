@@ -1,5 +1,6 @@
 #include "exec/hash_join.h"
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
@@ -75,6 +76,7 @@ struct HashJoinOp::ProbeState {
     std::vector<Row> out;
     if (!window.cancelled()) {
       try {
+        QUERYER_FAILPOINT_THROW("join.probe_morsel");
         for (const Row& left : rows) {
           std::string k = JoinKeyOf(*key, left.values);
           if (k.empty()) continue;  // NULL keys never join.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
 #include "obs/metrics.h"
 
 namespace queryer {
@@ -32,6 +33,9 @@ struct TableScanOp::MorselScan {
     std::vector<EntityId> out;
     if (!window.cancelled()) {
       try {
+        // Inside the try: an injected throw takes the window.Fail path,
+        // exactly like a real predicate failure.
+        QUERYER_FAILPOINT_THROW("scan.morsel");
         const std::size_t begin = m * morsel_rows;
         const std::size_t end =
             std::min(begin + morsel_rows, table->num_rows());

@@ -1,17 +1,25 @@
 #include "matching/comparison_execution.h"
 
-#include <stdexcept>
+#include "common/failpoint.h"
 
 namespace queryer {
 
 namespace {
 
-ComparisonExecStats ExecuteComparisonsSequential(
+Result<ComparisonExecStats> ExecuteComparisonsSequential(
     const Table& table, const std::vector<Comparison>& comparisons,
     const MatchingConfig& config, LinkIndex* link_index,
-    const AttributeWeights* weights) {
+    const AttributeWeights* weights, const CancelContext* cancel) {
+  // The same site as the parallel chunk bodies: a sequential execution is
+  // one chunk, so chaos specs behave uniformly across engine widths.
+  QUERYER_FAILPOINT("er.comparison_chunk");
   ComparisonExecStats stats;
+  std::size_t visited = 0;
   for (const auto& [a, b] : comparisons) {
+    if (cancel != nullptr && visited % CancelContext::kPollInterval == 0) {
+      QUERYER_RETURN_NOT_OK(cancel->Check());
+    }
+    ++visited;
     if (link_index->AreLinked(a, b)) {
       ++stats.skipped_linked;
       continue;
@@ -29,12 +37,11 @@ ComparisonExecStats ExecuteComparisonsSequential(
 
 }  // namespace
 
-StagedComparisons EvaluateComparisons(const Table& table,
-                                      const std::vector<Comparison>& comparisons,
-                                      const MatchingConfig& config,
-                                      const LinkIndex& link_index,
-                                      const AttributeWeights* weights,
-                                      ThreadPool* pool) {
+Result<StagedComparisons> EvaluateComparisons(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, const LinkIndex& link_index,
+    const AttributeWeights* weights, ThreadPool* pool,
+    const CancelContext* cancel) {
   StagedComparisons staged;
   if (comparisons.empty()) return staged;
 
@@ -52,6 +59,9 @@ StagedComparisons EvaluateComparisons(const Table& table,
   Status status = ParallelFor(
       parallel ? pool : nullptr, chunks,
       [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        // Injected chunk failures exercise the claim-abandonment path the
+        // Deduplicator wraps around this call.
+        QUERYER_FAILPOINT("er.comparison_chunk");
         ChunkResult& result = results[chunk];
         // Pass 1, under one shared snapshot per chunk: drop pairs that are
         // already linked. Separated from the similarity pass so the shared
@@ -69,17 +79,24 @@ StagedComparisons EvaluateComparisons(const Table& table,
           }
         }
         // Pass 2, lock-free: evaluate the survivors and buffer the matches.
+        // The cancel poll lives here because this pass is where a cold-LI
+        // resolution spends its seconds.
+        std::size_t evaluated = 0;
         for (const auto& [a, b] : result.pending) {
+          if (cancel != nullptr &&
+              evaluated % CancelContext::kPollInterval == 0) {
+            QUERYER_RETURN_NOT_OK(cancel->Check());
+          }
+          ++evaluated;
           double similarity =
               ProfileSimilarity(table, a, b, config, weights);
           if (similarity >= config.threshold) result.matched.emplace_back(a, b);
         }
         return Status::OK();
       });
-  // The bodies only fail by throwing (e.g. bad_alloc); rethrow on the
-  // calling thread so the error surfaces exactly as the sequential path's
-  // would. Nothing was written to the Link Index.
-  if (!status.ok()) throw std::runtime_error(status.ToString());
+  // First-error-wins (lowest chunk index) from ParallelFor. Nothing was
+  // written to the Link Index, so the caller can abandon or retry freely.
+  QUERYER_RETURN_NOT_OK(status);
 
   // Assemble in chunk order: deterministic for a given input order no
   // matter how the chunks were scheduled.
@@ -92,23 +109,24 @@ StagedComparisons EvaluateComparisons(const Table& table,
   return staged;
 }
 
-ComparisonExecStats ExecuteComparisons(const Table& table,
-                                       const std::vector<Comparison>& comparisons,
-                                       const MatchingConfig& config,
-                                       LinkIndex* link_index,
-                                       const AttributeWeights* weights,
-                                       ThreadPool* pool) {
+Result<ComparisonExecStats> ExecuteComparisons(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, LinkIndex* link_index,
+    const AttributeWeights* weights, ThreadPool* pool,
+    const CancelContext* cancel) {
   if (pool == nullptr || pool->num_threads() < 2 ||
       comparisons.size() < kParallelComparisonThreshold) {
     return ExecuteComparisonsSequential(table, comparisons, config, link_index,
-                                        weights);
+                                        weights, cancel);
   }
   // Parallel path: staged read-only evaluation, then one exclusive publish.
   // Matches whose endpoints were linked transitively by an earlier buffered
   // link are no-op merges, so matches_found counts exactly the merges the
   // sequential loop performs.
-  StagedComparisons staged = EvaluateComparisons(table, comparisons, config,
-                                                 *link_index, weights, pool);
+  QUERYER_ASSIGN_OR_RETURN(
+      StagedComparisons staged,
+      EvaluateComparisons(table, comparisons, config, *link_index, weights,
+                          pool, cancel));
   ComparisonExecStats stats;
   stats.executed = staged.executed;
   stats.skipped_linked = staged.skipped_linked;

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/cancel_context.h"
+#include "common/status.h"
 #include "matching/link_index.h"
 #include "matching/profile_matcher.h"
 #include "metablocking/edge_pruning.h"
@@ -59,12 +61,16 @@ inline constexpr std::size_t kParallelComparisonThreshold = 256;
 /// here. Only `executed` / `skipped_linked` may differ (the parallel phase
 /// skips against the snapshot at phase start, so it can evaluate a superset
 /// of the sequential pairs).
-ComparisonExecStats ExecuteComparisons(const Table& table,
-                                       const std::vector<Comparison>& comparisons,
-                                       const MatchingConfig& config,
-                                       LinkIndex* link_index,
-                                       const AttributeWeights* weights = nullptr,
-                                       ThreadPool* pool = nullptr);
+///
+/// `cancel` (optional) is polled every CancelContext::kPollInterval
+/// comparisons; on Cancelled/DeadlineExceeded the run stops early with that
+/// Status and no links from this call were published. Errors injected at
+/// the `er.comparison_chunk` failpoint surface the same way.
+Result<ComparisonExecStats> ExecuteComparisons(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, LinkIndex* link_index,
+    const AttributeWeights* weights = nullptr, ThreadPool* pool = nullptr,
+    const CancelContext* cancel = nullptr);
 
 /// \brief Read-only comparison evaluation against a shared snapshot of
 /// `link_index` — the staged half of the concurrent-session protocol.
@@ -81,12 +87,16 @@ ComparisonExecStats ExecuteComparisons(const Table& table,
 /// With a multi-worker `pool` and enough comparisons the chunks run in
 /// parallel; `matched` is assembled in chunk order either way, so the
 /// staged buffer is deterministic for a given input order.
-StagedComparisons EvaluateComparisons(const Table& table,
-                                      const std::vector<Comparison>& comparisons,
-                                      const MatchingConfig& config,
-                                      const LinkIndex& link_index,
-                                      const AttributeWeights* weights = nullptr,
-                                      ThreadPool* pool = nullptr);
+///
+/// `cancel` is polled inside the similarity pass (every
+/// CancelContext::kPollInterval comparisons, per chunk); the first failing
+/// chunk's Status wins, exactly like ParallelFor's first-error-wins rule,
+/// so a cancelled evaluation reports deterministically.
+Result<StagedComparisons> EvaluateComparisons(
+    const Table& table, const std::vector<Comparison>& comparisons,
+    const MatchingConfig& config, const LinkIndex& link_index,
+    const AttributeWeights* weights = nullptr, ThreadPool* pool = nullptr,
+    const CancelContext* cancel = nullptr);
 
 }  // namespace queryer
 

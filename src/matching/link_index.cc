@@ -4,6 +4,7 @@
 #include <mutex>
 #include <numeric>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 
 namespace queryer {
@@ -57,6 +58,10 @@ bool LinkIndex::AddLink(EntityId a, EntityId b) {
 }
 
 std::size_t LinkIndex::PublishLinks(const std::vector<Link>& links) {
+  // Before the exclusive section: an injected publish failure must leave
+  // the index untouched (all-or-nothing), so the owner's abandonment hands
+  // waiters pairs whose links genuinely were not applied.
+  QUERYER_FAILPOINT_THROW("li.publish");
   if (links.empty()) return 0;
   std::unique_lock<std::shared_mutex> lock(mutex_);
   std::size_t merged = 0;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/failpoint.h"
+
 namespace queryer {
 
 std::uint64_t ResolutionCoordinator::KeyOf(const Link& link) {
@@ -57,6 +59,9 @@ void ResolutionCoordinator::AwaitEntities(
 
 ResolutionCoordinator::ComparisonClaim
 ResolutionCoordinator::ClaimComparisons(const std::vector<Link>& comparisons) {
+  // Before any claim-table mutation: an injected failure here must leave
+  // nothing to clean up (the session fails with zero pairs claimed).
+  QUERYER_FAILPOINT_THROW("coordinator.claim_comparisons");
   ComparisonClaim claim;
   claim.owned.reserve(comparisons.size());
   std::lock_guard<std::mutex> lock(mutex_);
@@ -75,6 +80,9 @@ ResolutionCoordinator::ClaimComparisons(const std::vector<Link>& comparisons) {
 }
 
 void ResolutionCoordinator::ReleaseComparisons(const std::vector<Link>& owned) {
+  // Inert (release must not fail — the claims would be stranded forever);
+  // a delay here widens the publish -> release window chaos tests probe.
+  QUERYER_FAILPOINT_INERT("coordinator.release");
   if (owned.empty()) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -125,6 +133,21 @@ std::vector<ResolutionCoordinator::Link> ResolutionCoordinator::AwaitComparisons
     return settled;
   });
   return adopted;
+}
+
+std::size_t ResolutionCoordinator::num_entities_in_flight() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entities_in_flight_.size();
+}
+
+std::size_t ResolutionCoordinator::num_comparisons_in_flight() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return comparisons_in_flight_.size();
+}
+
+std::size_t ResolutionCoordinator::num_comparisons_abandoned() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return comparisons_abandoned_.size();
 }
 
 }  // namespace queryer

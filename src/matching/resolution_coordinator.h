@@ -109,6 +109,13 @@ class ResolutionCoordinator {
   /// case — no owner failed — returns an empty vector.
   std::vector<Link> AwaitComparisons(const std::vector<Link>& foreign);
 
+  /// Inspection for tests and invariant checks: with no resolution in
+  /// flight, all three must be zero — a non-zero count after every session
+  /// ended means a claim was stranded by a failure path.
+  std::size_t num_entities_in_flight();
+  std::size_t num_comparisons_in_flight();
+  std::size_t num_comparisons_abandoned();
+
  private:
   static std::uint64_t KeyOf(const Link& link);
 

@@ -257,6 +257,9 @@ const EngineMetrics& GlobalEngineMetrics() {
         reg.GetCounter("queryer_queries_deadline_exceeded_total");
     m->queries_abandoned = reg.GetCounter("queryer_queries_abandoned_total");
     m->queries_failed = reg.GetCounter("queryer_queries_failed_total");
+    m->sessions_shed = reg.GetCounter("queryer_sessions_shed_total");
+    m->cancelled_in_resolution =
+        reg.GetCounter("queryer_sessions_cancelled_in_resolution_total");
     m->admission_wait = reg.GetHistogram("queryer_admission_wait_seconds");
     m->comparisons_executed =
         reg.GetCounter("queryer_comparisons_executed_total");

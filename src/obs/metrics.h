@@ -146,6 +146,8 @@ struct EngineMetrics {
   Counter* queries_deadline_exceeded;  // Ended by the session deadline.
   Counter* queries_abandoned;          // Closed/destroyed mid-stream.
   Counter* queries_failed;             // Ended by an execution error.
+  Counter* sessions_shed;              // Refused admission (timeout).
+  Counter* cancelled_in_resolution;    // Cancel/deadline pre-empted ER.
   LatencyHistogram* admission_wait;    // Semaphore::Acquire blocking time.
 
   // ER pipeline (Deduplicator).

@@ -4,6 +4,7 @@
 #include <exception>
 #include <utility>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
 
@@ -92,6 +93,26 @@ void Semaphore::Acquire() {
   if (!unlimited_) --available_;
 }
 
+bool Semaphore::TryAcquireFor(double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (unlimited_) {
+    if (wait_histogram_ != nullptr) wait_histogram_->Observe(0.0);
+    return true;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  const bool acquired = available_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_seconds),
+      [this] { return unlimited_ || available_ > 0; });
+  if (!acquired) return false;
+  if (!unlimited_) --available_;
+  if (wait_histogram_ != nullptr) {
+    wait_histogram_->Observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count());
+  }
+  return true;
+}
+
 void Semaphore::Release() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -128,6 +149,9 @@ void ThreadPool::WorkerLoop() {
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       task.enqueued)
             .count());
+    // Inert: a worker must never unwind or fail, but a chaos schedule can
+    // stretch the submit->run window here to shake out waiters' timeouts.
+    QUERYER_FAILPOINT_INERT("threadpool.task");
     task.fn();
   }
 }

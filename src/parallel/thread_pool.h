@@ -131,6 +131,13 @@ class Semaphore {
   void Acquire();
   void Release();
 
+  /// Acquire with a bounded wait: returns false if no slot freed up within
+  /// `timeout_seconds` (the caller sheds the request instead of queueing
+  /// forever). A successful timed acquire records its wait in the
+  /// histogram exactly like Acquire; a shed one records nothing — the
+  /// admission-wait histogram stays the admitted-session distribution.
+  bool TryAcquireFor(double timeout_seconds);
+
   /// Re-initializes the capacity. Only valid while no slot is held (the
   /// engine's registration-time setters) — existing holders' Releases
   /// would otherwise over-count the new capacity.
@@ -149,9 +156,14 @@ class Semaphore {
   /// session's slot over this way).
   class Slot {
    public:
+    /// Tag for adopting a slot the caller already acquired (e.g. through
+    /// TryAcquireFor) instead of acquiring a fresh one.
+    struct Adopt {};
+
     explicit Slot(Semaphore* semaphore) : semaphore_(semaphore) {
       semaphore_->Acquire();
     }
+    Slot(Semaphore* semaphore, Adopt) : semaphore_(semaphore) {}
     ~Slot() {
       if (semaphore_ != nullptr) semaphore_->Release();
     }

@@ -254,8 +254,12 @@ double StatisticsCache::DuplicationFactor(TableRuntime* runtime) {
       RunMetaBlocking(std::move(enriched), runtime->meta_blocking_config(),
                       runtime->thread_pool());
   LinkIndex scratch(n);
-  ExecuteComparisons(table, refined.comparisons, runtime->matching_config(),
-                     &scratch, &runtime->attribute_weights());
+  // Offline statistic with no cancel context: failure is impossible here
+  // outside injected chaos, and an injected one just degrades the sample
+  // to whatever was linked before the failure.
+  (void)ExecuteComparisons(table, refined.comparisons,
+                           runtime->matching_config(), &scratch,
+                           &runtime->attribute_weights());
   std::set<EntityId> dr;
   for (EntityId e : sample) {
     for (EntityId member : scratch.Cluster(e)) dr.insert(member);

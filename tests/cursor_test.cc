@@ -11,13 +11,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "datagen/scholarly.h"
 #include "engine/query_engine.h"
+#include "obs/metrics.h"
 
 namespace queryer {
 namespace {
@@ -432,6 +435,115 @@ TEST_F(CursorTest, CloseSemantics) {
   (*unfinished)->Close();
   auto after_close = (*unfinished)->Next(&batch);
   EXPECT_FALSE(after_close.ok());
+}
+
+// Cancel() followed by Close() while the session is still inside ER
+// resolution: the cancel pre-empts the comparison loop (an armed delay on
+// er.comparison_chunk holds the session there long enough for the race to
+// be deterministic), the cancellation is counted exactly once, and the
+// admission slot is released exactly once — a double release would mint a
+// phantom second slot, which the bounded-admission probe below would
+// expose as an admission that should have been shed.
+TEST_F(CursorTest, CancelThenCloseDuringResolutionReleasesSlotExactlyOnce) {
+  const std::string dedup =
+      "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 10";
+  auto engine = MakeEngine({dsd_->table}, /*batch_size=*/16);
+
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  const std::uint64_t cancelled_before = metrics.queries_cancelled->Value();
+  const std::uint64_t in_resolution_before =
+      metrics.cancelled_in_resolution->Value();
+
+  ASSERT_TRUE(Failpoints::Global()
+                  .Arm("er.comparison_chunk", "delay(150)")
+                  .ok());
+  auto cursor = engine->ExecuteStream(dedup);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+
+  // The consumer drives the first Next into the cold-LI resolution, where
+  // the delay holds it; the main thread cancels mid-flight.
+  Status from_next;
+  std::thread consumer([&] {
+    RowBatch batch((*cursor)->batch_size());
+    auto has = (*cursor)->Next(&batch);
+    from_next = has.ok() ? Status::OK() : has.status();
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  (*cursor)->Cancel();
+  consumer.join();
+  Failpoints::Global().Disarm("er.comparison_chunk");
+
+  ASSERT_FALSE(from_next.ok());
+  EXPECT_TRUE(from_next.IsCancelled()) << from_next.ToString();
+  (*cursor)->Close();  // After the cancelled Next: must not double-count.
+
+  EXPECT_EQ(metrics.queries_cancelled->Value(), cancelled_before + 1);
+  EXPECT_EQ(metrics.cancelled_in_resolution->Value(),
+            in_resolution_before + 1);
+
+  // Exactly one slot exists afterwards: a holder takes it, a second
+  // session is shed, and releasing the holder re-admits.
+  engine->set_admission_timeout(0.05);
+  auto holder = engine->ExecuteStream("SELECT id FROM dsd");
+  ASSERT_TRUE(holder.ok()) << holder.status().ToString();
+  auto shed = engine->Execute("SELECT id FROM dsd");
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsResourceExhausted())
+      << shed.status().ToString();
+  (*holder)->Close();
+  EXPECT_TRUE(engine->Execute("SELECT id FROM dsd").ok());
+}
+
+// The session deadline expiring in the middle of a cold-LI resolution
+// (not at a batch boundary): an armed delay on er.comparison_chunk pushes
+// the first comparison chunk past the deadline, the cancel poll inside
+// the comparison loop trips, and kDeadlineExceeded surfaces through both
+// Next and Execute. The pre-empted sessions leave zero coordinator claims
+// behind, and once the failpoint is disarmed and the deadline dropped the
+// same engine answers the query correctly.
+TEST_F(CursorTest, DeadlineMidResolutionPreemptsAndLeavesNoClaims) {
+  const std::string dedup =
+      "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 10";
+  auto reference_engine = MakeEngine({dsd_->table});
+  auto reference = reference_engine->Execute(dedup);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  // max_concurrent=2 selects the concurrent claim/publish protocol, so the
+  // pre-emption exercises claim release, not just the serial early-out.
+  auto engine = MakeEngine({dsd_->table}, /*batch_size=*/16,
+                           /*num_threads=*/1, /*max_concurrent=*/2,
+                           /*deadline=*/0.25);
+  ASSERT_TRUE(Failpoints::Global()
+                  .Arm("er.comparison_chunk", "delay(400)")
+                  .ok());
+
+  // Through the cursor's Next.
+  auto cursor = engine->ExecuteStream(dedup);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  RowBatch batch((*cursor)->batch_size());
+  auto has = (*cursor)->Next(&batch);
+  ASSERT_FALSE(has.ok());
+  EXPECT_TRUE(has.status().IsDeadlineExceeded()) << has.status().ToString();
+  (*cursor)->Close();
+
+  // Through Execute (the LI is still cold — nothing was published).
+  auto via_execute = engine->Execute(dedup);
+  ASSERT_FALSE(via_execute.ok());
+  EXPECT_TRUE(via_execute.status().IsDeadlineExceeded())
+      << via_execute.status().ToString();
+
+  // Both pre-empted sessions released every coordinator claim.
+  auto runtime = engine->GetRuntime("dsd");
+  ASSERT_TRUE(runtime.ok());
+  EXPECT_EQ((*runtime)->coordinator().num_entities_in_flight(), 0u);
+  EXPECT_EQ((*runtime)->coordinator().num_comparisons_in_flight(), 0u);
+
+  // Disarmed and deadline-free, the same engine resolves correctly.
+  Failpoints::Global().Disarm("er.comparison_chunk");
+  engine->set_default_query_deadline(0);
+  auto recovered = engine->Execute(dedup);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->rows, reference->rows);
 }
 
 }  // namespace

@@ -222,7 +222,7 @@ TEST(BatchErTest, ResolvesEverythingAndIsIdempotent) {
   auto dsd = datagen::MakeDsdLike(600, 111);
   TableRuntime runtime(dsd.table, TestBlocking(),
                        MetaBlockingConfig::BpBf(), TestMatching());
-  BatchErStats first = BatchDeduplicate(&runtime);
+  BatchErStats first = *BatchDeduplicate(&runtime);
   EXPECT_EQ(runtime.link_index().num_resolved(), dsd.table->num_rows());
   EXPECT_GT(first.comparisons_executed, 0u);
   // Recall of batch ER against ground truth (pairwise-safe corruption):
@@ -239,7 +239,7 @@ TEST(BatchErTest, ResolvesEverythingAndIsIdempotent) {
   EXPECT_GT(static_cast<double>(found) / static_cast<double>(total), 0.8);
 
   // Second run finds all matching pairs already linked.
-  BatchErStats second = BatchDeduplicate(&runtime);
+  BatchErStats second = *BatchDeduplicate(&runtime);
   EXPECT_EQ(second.matches_found, 0u);
   EXPECT_LT(second.comparisons_executed, first.comparisons_executed);
 }

@@ -287,7 +287,7 @@ TEST(ComparisonExecutionTest, FindsMotivatingDuplicates) {
   std::vector<Comparison> comparisons = {{5, 6}, {5, 7}, {0, 5}};
   MatchingConfig config = TestConfig();
   ComparisonExecStats stats =
-      ExecuteComparisons(*p.table, comparisons, config, &li);
+      *ExecuteComparisons(*p.table, comparisons, config, &li);
   EXPECT_EQ(stats.executed, 3u);
   EXPECT_TRUE(li.AreLinked(5, 6));
   EXPECT_TRUE(li.AreLinked(5, 7));
@@ -302,7 +302,7 @@ TEST(ComparisonExecutionTest, SkipsAlreadyLinkedPairs) {
   li.AddLink(5, 6);
   std::vector<Comparison> comparisons = {{5, 6}};
   ComparisonExecStats stats =
-      ExecuteComparisons(*p.table, comparisons, TestConfig(), &li);
+      *ExecuteComparisons(*p.table, comparisons, TestConfig(), &li);
   EXPECT_EQ(stats.executed, 0u);
   EXPECT_EQ(stats.skipped_linked, 1u);
 }

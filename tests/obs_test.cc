@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "datagen/scholarly.h"
 #include "engine/query_engine.h"
@@ -397,6 +398,73 @@ TEST_F(ObsTest, TracingOffRecordsNoEvents) {
                       "WHERE MOD(id, 100) < 5");
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   EXPECT_EQ(TraceSink::TotalEventsRecorded(), before);
+}
+
+// Failure-path metrics are EXACT totals, not approximations: every actual
+// failpoint trigger lands in its per-site counter, every shed session in
+// queryer_sessions_shed_total, and every cancel/deadline pre-emption of ER
+// resolution in queryer_sessions_cancelled_in_resolution_total. Each leg
+// below sets up a deterministic single increment and asserts the delta.
+TEST_F(ObsTest, FailureMetricsCountExactTotals) {
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+
+  // Leg 1: a per-site trigger counter counts exact fires. The injected
+  // error is sticky at the cursor, so Execute's drain evaluates the site
+  // exactly once.
+  {
+    Counter* triggered = MetricsRegistry::Global().GetCounter(
+        "queryer_failpoint_triggered_total_cursor_next");
+    const std::uint64_t before = triggered->Value();
+    const std::uint64_t failed_before = metrics.queries_failed->Value();
+    ASSERT_TRUE(Failpoints::Global().Arm("cursor.next", "error").ok());
+    auto engine = MakeEngine({dsd_->table});
+    auto result = engine->Execute("SELECT id FROM dsd");
+    Failpoints::Global().Disarm("cursor.next");
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(triggered->Value(), before + 1);
+    EXPECT_EQ(metrics.queries_failed->Value(), failed_before + 1);
+  }
+
+  // Leg 2: bounded admission sheds exactly the refused session. A holder
+  // cursor pins the engine's single slot; the timed-out Execute is the
+  // one and only shed.
+  {
+    const std::uint64_t shed_before = metrics.sessions_shed->Value();
+    auto engine = MakeEngine({dsd_->table});
+    engine->set_admission_timeout(0.05);
+    auto holder = engine->ExecuteStream("SELECT id FROM dsd");
+    ASSERT_TRUE(holder.ok()) << holder.status().ToString();
+    auto shed = engine->Execute("SELECT id FROM dsd");
+    ASSERT_FALSE(shed.ok());
+    EXPECT_TRUE(shed.status().IsResourceExhausted())
+        << shed.status().ToString();
+    (*holder)->Close();
+    EXPECT_EQ(metrics.sessions_shed->Value(), shed_before + 1);
+  }
+
+  // Leg 3: a deadline pre-empting ER resolution counts once in
+  // cancelled_in_resolution (and once in queries_deadline_exceeded). A
+  // delay failpoint inside the comparison chunk pushes the session past
+  // its deadline deterministically — no cancelling thread needed.
+  {
+    const std::uint64_t preempted_before =
+        metrics.cancelled_in_resolution->Value();
+    const std::uint64_t deadline_before =
+        metrics.queries_deadline_exceeded->Value();
+    ASSERT_TRUE(Failpoints::Global()
+                    .Arm("er.comparison_chunk", "delay(400)")
+                    .ok());
+    auto engine = MakeEngine({dsd_->table});
+    engine->set_default_query_deadline(0.2);
+    auto result = engine->Execute(
+        "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 10");
+    Failpoints::Global().Disarm("er.comparison_chunk");
+    ASSERT_FALSE(result.ok());
+    EXPECT_TRUE(result.status().IsDeadlineExceeded())
+        << result.status().ToString();
+    EXPECT_EQ(metrics.cancelled_in_resolution->Value(), preempted_before + 1);
+    EXPECT_EQ(metrics.queries_deadline_exceeded->Value(), deadline_before + 1);
+  }
 }
 
 // The QUERYER_CHECK satellite: failure messages print file paths relative

@@ -231,13 +231,13 @@ TEST(ParallelDeterminismTest, ComparisonExecutionMatchesSequential) {
 
   LinkIndex sequential(dsd.table->num_rows());
   sequential.AddLink(0, 1);  // Pre-existing link from an "earlier query".
-  ComparisonExecStats seq_stats = ExecuteComparisons(
+  ComparisonExecStats seq_stats = *ExecuteComparisons(
       *dsd.table, comparisons, matching, &sequential, &weights);
 
   ThreadPool pool(4);
   LinkIndex parallel(dsd.table->num_rows());
   parallel.AddLink(0, 1);
-  ComparisonExecStats par_stats = ExecuteComparisons(
+  ComparisonExecStats par_stats = *ExecuteComparisons(
       *dsd.table, comparisons, matching, &parallel, &weights, &pool);
 
   EXPECT_EQ(parallel.num_links(), sequential.num_links());
