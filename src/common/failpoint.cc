@@ -47,7 +47,7 @@ void Failpoint::Disarm() {
   armed_.store(false, std::memory_order_release);
 }
 
-bool Failpoint::ShouldTrigger() {
+bool Failpoint::ShouldTrigger(Spec* snapshot) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!armed_.load(std::memory_order_relaxed)) return false;  // Raced Disarm.
   ++evaluations_;
@@ -57,16 +57,15 @@ bool Failpoint::ShouldTrigger() {
     if (dist(rng_) >= spec_.probability) return false;
   }
   if (spec_.once) armed_.store(false, std::memory_order_release);
+  // Snapshot under the SAME lock as the gate decision: a concurrent Arm
+  // after this lock drops must not swap the mode under a decision made for
+  // the old spec (e.g. a consumed once-error trigger executing as a delay).
+  *snapshot = spec_;
   return true;
 }
 
-Status Failpoint::Triggered() {
+Status Failpoint::Triggered(const Spec& spec) {
   triggered_->Increment();
-  Spec spec;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    spec = spec_;
-  }
   switch (spec.mode) {
     case Mode::kDelay:
       std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
@@ -80,34 +79,27 @@ Status Failpoint::Triggered() {
 }
 
 Status Failpoint::Fire() {
-  if (!ShouldTrigger()) return Status::OK();
-  Mode mode;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mode = spec_.mode;
-  }
-  if (mode == Mode::kThrow) {
+  Spec spec;
+  if (!ShouldTrigger(&spec)) return Status::OK();
+  if (spec.mode == Mode::kThrow) {
     triggered_->Increment();
     throw FailpointError("injected failure at failpoint '" + name_ + "'");
   }
-  return Triggered();
+  return Triggered(spec);
 }
 
 void Failpoint::FireOrThrow() {
-  if (!ShouldTrigger()) return;
-  Status st = Triggered();
+  Spec spec;
+  if (!ShouldTrigger(&spec)) return;
+  Status st = Triggered(spec);
   if (!st.ok()) throw FailpointError(st.message());
 }
 
 void Failpoint::FireInert() {
-  if (!ShouldTrigger()) return;
-  Mode mode;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    mode = spec_.mode;
-  }
-  if (mode == Mode::kDelay) {
-    (void)Triggered();
+  Spec spec;
+  if (!ShouldTrigger(&spec)) return;
+  if (spec.mode == Mode::kDelay) {
+    (void)Triggered(spec);
   } else {
     // Count the trigger (the schedule "hit" this site) but inject nothing.
     triggered_->Increment();

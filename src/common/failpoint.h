@@ -107,11 +107,14 @@ class Failpoint {
 
   void Arm(const Spec& spec);
   void Disarm();
-  /// Runs the gates under mu_; true means this evaluation triggers.
-  bool ShouldTrigger();
+  /// Runs the gates under mu_; true means this evaluation triggers, and
+  /// `snapshot` receives the spec the gates decided under — acting on a
+  /// re-read of spec_ instead would let a concurrent Arm swap in a new
+  /// mode between the gate decision and the injected action.
+  bool ShouldTrigger(Spec* snapshot);
   /// The triggered action shared by Fire/FireOrThrow: delay sleeps and
   /// returns OK; error/throw return the injected Status.
-  Status Triggered();
+  Status Triggered(const Spec& spec);
 
   const std::string name_;
   Counter* triggered_;  // queryer_failpoint_triggered_total_<site>.

@@ -38,8 +38,13 @@
 // batch boundary surfaces Status::Cancelled. A deadline
 // (EngineOptions::default_query_deadline) is checked at the same points
 // and surfaces DeadlineExceeded. The terminal epilogue (tree close, slot
-// release, outcome accounting) is mutex-guarded and runs exactly once no
-// matter how Cancel/Close/errors interleave.
+// release, outcome accounting) is mutex-guarded and runs exactly once
+// under the cursor's threading contract: Next/Fetch/Close come from the
+// single consumer thread, and Cancel is the ONLY entry point that is safe
+// from any thread. A Close from a second thread while a Next is in flight
+// (say, during the long lazy-open resolution) would tear the operator
+// tree down under the running Open — cancel from the other thread and let
+// the consumer's Next/Close finish the session instead.
 
 #ifndef QUERYER_ENGINE_QUERY_CURSOR_H_
 #define QUERYER_ENGINE_QUERY_CURSOR_H_

@@ -266,8 +266,17 @@ Result<std::vector<EntityId>> Deduplicator::ResolveConcurrent(
   // loop terminates with all query entities resolved (or throws).
   while (!claim.claimed.empty() || !claim.foreign.empty()) {
     // Poll between iterations too: an adopt-and-retry loop must not outlive
-    // its session's cancellation.
-    if (cancel_ != nullptr) QUERYER_RETURN_NOT_OK(cancel_->Check());
+    // its session's cancellation. The poll fires while this session may
+    // hold entity claims (the initial ClaimEntities or the post-Await
+    // re-claim below), and a stranded claim blocks every later
+    // AwaitEntities on those entities forever — release before returning.
+    if (cancel_ != nullptr) {
+      Status poll = cancel_->Check();
+      if (!poll.ok()) {
+        coordinator.ReleaseEntities(claim.claimed);
+        return poll;
+      }
+    }
     if (!claim.claimed.empty()) {
       QUERYER_RETURN_NOT_OK(ResolveClaimed(claim.claimed));
     }

@@ -72,8 +72,11 @@ class Deduplicator {
   /// Failure (Cancelled / DeadlineExceeded from the cancel context, or an
   /// injected/internal error) leaves the runtime consistent: every entity
   /// and comparison claim this call took is released or abandoned before
-  /// the error returns, and no partial links from a failed evaluation were
-  /// published.
+  /// the error returns, and the entities stay unmarked-resolved. The
+  /// concurrent path stages its evaluation, so a failed transaction
+  /// publishes nothing; the serial path writes links as it matches, so
+  /// links found before the failure remain — each is a genuine match, and
+  /// the unresolved marks make a later session finish the remainder.
   Result<std::vector<EntityId>> Resolve(
       const std::vector<EntityId>& query_entities,
       std::vector<EntityId>* group_keys = nullptr);

@@ -64,8 +64,14 @@ inline constexpr std::size_t kParallelComparisonThreshold = 256;
 ///
 /// `cancel` (optional) is polled every CancelContext::kPollInterval
 /// comparisons; on Cancelled/DeadlineExceeded the run stops early with that
-/// Status and no links from this call were published. Errors injected at
-/// the `er.comparison_chunk` failpoint surface the same way.
+/// Status. The parallel path stages its matches and publishes only on
+/// success, so a failed parallel run leaves the index untouched; the
+/// sequential path writes links as it matches, so comparisons evaluated
+/// before the cancel may already be published. That partial publish keeps
+/// the index consistent — every published link is a genuine match — and the
+/// caller leaves the entities unmarked-resolved, so a later session redoes
+/// the remainder. Errors injected at the `er.comparison_chunk` failpoint
+/// surface the same way.
 Result<ComparisonExecStats> ExecuteComparisons(
     const Table& table, const std::vector<Comparison>& comparisons,
     const MatchingConfig& config, LinkIndex* link_index,

@@ -23,9 +23,16 @@
 #include <thread>
 #include <vector>
 
+#include <atomic>
+#include <memory>
+
+#include "common/cancel_context.h"
 #include "common/failpoint.h"
 #include "datagen/scholarly.h"
 #include "engine/query_engine.h"
+#include "exec/deduplicator.h"
+#include "exec/exec_stats.h"
+#include "exec/table_runtime.h"
 #include "obs/metrics.h"
 
 namespace queryer {
@@ -173,6 +180,51 @@ TEST(FailpointTest, TriggerCounterCountsExactFires) {
   Failpoint* fp = Failpoints::Global().Get("fi.counted_site");
   for (int i = 0; i < 10; ++i) (void)fp->Fire();  // Fires on 2,4,6,8,10.
   EXPECT_EQ(counter->Value() - before, 5u);
+}
+
+// Regression: a cancellation observed at the claim-loop's top poll — while
+// the session still holds the entity claims it just took — must release
+// those claims before the error surfaces. A leak there is permanent: the
+// coordinator's in-flight set never clears, so every later session's
+// AwaitEntities on any of the entities blocks forever.
+TEST(DeduplicatorCancelTest, LoopTopCancelReleasesHeldEntityClaims) {
+  auto dsd = datagen::MakeDsdLike(300, 555);
+  BlockingOptions blocking;
+  blocking.excluded_attributes = {0};
+  MatchingConfig matching;
+  matching.excluded_attributes = {0};
+  TableRuntime runtime(dsd.table, blocking, MetaBlockingConfig::All(),
+                       matching);
+
+  // Cancel already raised when Resolve starts: ClaimEntities still claims
+  // (a cold LI makes every entity unresolved), so the first loop-top poll
+  // fires with this session holding all the claims — the leak path.
+  auto flag = std::make_shared<std::atomic<bool>>(true);
+  CancelContext cancel;
+  cancel.cancel = flag;
+
+  ExecStats stats;
+  Deduplicator cancelled_session(&runtime, &stats, /*pool=*/nullptr,
+                                 /*concurrent_sessions=*/true,
+                                 /*trace=*/nullptr, &cancel);
+  std::vector<EntityId> entities;
+  for (EntityId e = 0; e < 20; ++e) entities.push_back(e);
+  auto cancelled = cancelled_session.Resolve(entities);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_TRUE(cancelled.status().IsCancelled()) << cancelled.status().ToString();
+  EXPECT_EQ(runtime.coordinator().num_entities_in_flight(), 0u);
+  EXPECT_EQ(runtime.coordinator().num_comparisons_in_flight(), 0u);
+
+  // And the entities are genuinely claimable again: a fresh session must
+  // resolve them to completion instead of hanging in AwaitEntities.
+  flag->store(false);
+  ExecStats retry_stats;
+  Deduplicator retry_session(&runtime, &retry_stats, nullptr, true, nullptr,
+                             &cancel);
+  auto resolved = retry_session.Resolve(entities);
+  ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+  EXPECT_GE(resolved->size(), entities.size());
+  EXPECT_EQ(runtime.coordinator().num_entities_in_flight(), 0u);
 }
 
 // ---------------------------------------------------------------------------
