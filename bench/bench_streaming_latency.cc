@@ -15,12 +15,18 @@
 // metric; DEDUP runs are cold (fresh engine per rep — the Link Index would
 // otherwise turn later reps into lookups).
 //
+// A final "restart" section times the persistence tier: cold CSV register
+// + first DEDUP resolution + SaveSnapshots, against a warm restart from
+// the snapshot files (RegisterTableFromSnapshots + the same query, which
+// must execute zero comparisons).
+//
 // Exits 1 if the streamed row count ever disagrees with Execute's answer.
 // Honors --threads=N / --batch-size=N (see docs/BENCHMARKS.md).
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +35,7 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "storage/csv.h"
 
 namespace {
 
@@ -259,6 +266,138 @@ int main(int argc, char** argv) {
               {"cancel_after_ms", std::to_string(kCancelAfterMs)},
               {"cancel_to_termination_seconds",
                queryer::FormatDouble(best_react, 5)}});
+  }
+
+  // Cold-CSV vs warm-snapshot restart: the persistence tier's pitch in one
+  // row. The cold arm registers from CSV (parse + blocking-index warm-up)
+  // and pays the full first DEDUP resolution; SaveSnapshots then persists
+  // the columnar table, the token-blocking index and the compacted Link
+  // Index, and the warm arm restarts from those files alone. The warm
+  // query must execute ZERO comparisons — the acceptance criterion pinned
+  // by tests/persist_test.cc, enforced here too (exit 1).
+  {
+    const std::string sql =
+        "SELECT DEDUP title, venue FROM dsd WHERE MOD(id, 100) < 20";
+    const std::string dir = "/tmp/queryer_bench_persist";
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directories(dir);
+    const std::string csv_path = dir + "/dsd.csv";
+    {
+      queryer::Status status = queryer::WriteCsvFile(*dsd.table, csv_path);
+      if (!status.ok()) {
+        std::fprintf(stderr, "WriteCsvFile failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+    }
+    auto persist_options = [&](const std::string& data_dir) {
+      queryer::EngineOptions options;
+      options.num_threads = Threads();
+      if (BatchSize() != 0) options.batch_size = BatchSize();
+      options.data_dir = data_dir;
+      return options;
+    };
+    double cold_register = 0, cold_query = 0, save = 0;
+    double warm_register = 0, warm_query = 0;
+    std::size_t cold_comparisons = 0, warm_comparisons = 0, rows = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const std::string data_dir = dir + "/data" + std::to_string(rep);
+      std::filesystem::create_directories(data_dir);
+      double t_cold_register, t_cold_query, t_save, t_warm_register,
+          t_warm_query;
+      {
+        queryer::QueryEngine cold(persist_options(data_dir));
+        queryer::Stopwatch watch;
+        queryer::Status status = cold.RegisterCsvFile(csv_path, "dsd");
+        t_cold_register = watch.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "RegisterCsvFile failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+        watch.Restart();
+        queryer::QueryResult result = MustExecute(&cold, sql);
+        t_cold_query = watch.ElapsedSeconds();
+        cold_comparisons = result.stats.comparisons_executed;
+        rows = result.rows.size();
+        watch.Restart();
+        status = cold.SaveSnapshots();
+        t_save = watch.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "SaveSnapshots failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+      }  // Cold engine gone; the warm arm sees only the snapshot files.
+      {
+        queryer::QueryEngine warm(persist_options(data_dir));
+        queryer::Stopwatch watch;
+        queryer::Status status = warm.RegisterTableFromSnapshots("dsd");
+        t_warm_register = watch.ElapsedSeconds();
+        if (!status.ok()) {
+          std::fprintf(stderr, "RegisterTableFromSnapshots failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+        watch.Restart();
+        queryer::QueryResult result = MustExecute(&warm, sql);
+        t_warm_query = watch.ElapsedSeconds();
+        warm_comparisons = result.stats.comparisons_executed;
+        if (result.rows.size() != rows) {
+          std::fprintf(stderr,
+                       "DETERMINISM VIOLATION: warm restart answered %zu "
+                       "rows, cold engine %zu\n",
+                       result.rows.size(), rows);
+          mismatch = true;
+        }
+        if (warm_comparisons != 0) {
+          std::fprintf(stderr,
+                       "PERSISTENCE VIOLATION: warm restart re-executed "
+                       "%zu comparisons (want 0)\n",
+                       warm_comparisons);
+          mismatch = true;
+        }
+      }
+      if (rep == 0 || t_cold_register < cold_register) {
+        cold_register = t_cold_register;
+      }
+      if (rep == 0 || t_cold_query < cold_query) cold_query = t_cold_query;
+      if (rep == 0 || t_save < save) save = t_save;
+      if (rep == 0 || t_warm_register < warm_register) {
+        warm_register = t_warm_register;
+      }
+      if (rep == 0 || t_warm_query < warm_query) warm_query = t_warm_query;
+    }
+    std::printf(
+        "%-10s %10zu %12s %12s %12s %12s  (cold: register+query+save; "
+        "warm: register+query, %zu -> %zu comparisons)\n",
+        "restart", rows, queryer::FormatDouble(cold_register, 4).c_str(),
+        queryer::FormatDouble(cold_query, 4).c_str(),
+        queryer::FormatDouble(warm_register, 4).c_str(),
+        queryer::FormatDouble(warm_query, 4).c_str(), cold_comparisons,
+        warm_comparisons);
+    CsvLine("streaming_latency",
+            {"restart", std::to_string(rows),
+             queryer::FormatDouble(cold_register, 5),
+             queryer::FormatDouble(cold_query, 5),
+             queryer::FormatDouble(save, 5),
+             queryer::FormatDouble(warm_register, 5),
+             queryer::FormatDouble(warm_query, 5),
+             std::to_string(cold_comparisons),
+             std::to_string(warm_comparisons)});
+    JsonLine(
+        "streaming_latency",
+        {{"query", "restart_dedup"},
+         {"rows", std::to_string(rows)},
+         {"cold_register_seconds", queryer::FormatDouble(cold_register, 5)},
+         {"cold_query_seconds", queryer::FormatDouble(cold_query, 5)},
+         {"snapshot_save_seconds", queryer::FormatDouble(save, 5)},
+         {"warm_register_seconds", queryer::FormatDouble(warm_register, 5)},
+         {"warm_query_seconds", queryer::FormatDouble(warm_query, 5)},
+         {"cold_comparisons", std::to_string(cold_comparisons)},
+         {"warm_comparisons", std::to_string(warm_comparisons)}});
+    std::filesystem::remove_all(dir, ec);
   }
   return mismatch ? 1 : 0;
 }

@@ -112,6 +112,22 @@ std::shared_ptr<TableBlockIndex> TableBlockIndex::Build(
   return index;
 }
 
+std::shared_ptr<TableBlockIndex> TableBlockIndex::FromParts(
+    BlockingOptions options, std::vector<std::string> block_keys,
+    std::vector<std::vector<EntityId>> block_entities,
+    std::vector<std::vector<std::uint32_t>> entity_blocks) {
+  auto index = std::shared_ptr<TableBlockIndex>(new TableBlockIndex());
+  index->options_ = std::move(options);
+  index->block_keys_ = std::move(block_keys);
+  index->block_entities_ = std::move(block_entities);
+  index->entity_blocks_ = std::move(entity_blocks);
+  index->key_to_block_.reserve(index->block_keys_.size());
+  for (std::uint32_t b = 0; b < index->block_keys_.size(); ++b) {
+    index->key_to_block_.emplace(index->block_keys_[b], b);
+  }
+  return index;
+}
+
 std::int64_t TableBlockIndex::FindBlock(const std::string& key) const {
   auto it = key_to_block_.find(key);
   return it == key_to_block_.end() ? -1 : static_cast<std::int64_t>(it->second);

@@ -57,6 +57,15 @@ class TableBlockIndex {
                                                 const BlockingOptions& options,
                                                 ThreadPool* pool = nullptr);
 
+  /// Restores an index from previously-built parts (the persist tier's
+  /// snapshot loader). The parts must describe an index Build() produced
+  /// over the same table contents and options; the key -> block map is
+  /// rebuilt from `block_keys`.
+  static std::shared_ptr<TableBlockIndex> FromParts(
+      BlockingOptions options, std::vector<std::string> block_keys,
+      std::vector<std::vector<EntityId>> block_entities,
+      std::vector<std::vector<std::uint32_t>> entity_blocks);
+
   const BlockingOptions& options() const { return options_; }
 
   /// Number of distinct blocking keys (|TBI|, as reported in paper Table 7).

@@ -35,6 +35,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kResourceExhausted:
       return "Resource exhausted";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

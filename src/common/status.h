@@ -36,6 +36,10 @@ enum class StatusCode {
   /// The engine refused to admit a session: every admission slot stayed
   /// busy past EngineOptions::admission_timeout (load shedding).
   kResourceExhausted,
+  /// On-disk state failed validation (bad magic, checksum mismatch,
+  /// truncated section, impossible lengths). Snapshot/log readers return
+  /// this instead of ever acting on bytes they cannot vouch for.
+  kCorruption,
 };
 
 /// \brief Returns a human-readable name for a status code ("Invalid argument").
@@ -93,6 +97,9 @@ class Status {
   static Status ResourceExhausted(std::string message) {
     return Status(StatusCode::kResourceExhausted, std::move(message));
   }
+  static Status Corruption(std::string message) {
+    return Status(StatusCode::kCorruption, std::move(message));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
@@ -109,6 +116,10 @@ class Status {
   }
   bool IsResourceExhausted() const {
     return code() == StatusCode::kResourceExhausted;
+  }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const {
+    return code() == StatusCode::kNotImplemented;
   }
 
   /// "OK" or "<code>: <message>".

@@ -6,6 +6,7 @@
 #define QUERYER_ENGINE_ENGINE_OPTIONS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -107,6 +108,22 @@ struct EngineOptions {
   /// Streaming cursors are unaffected (they deliver RowBatches). Both
   /// layouts hold the same answer; only the storage shape differs.
   ResultLayout result_layout = ResultLayout::kRowMajor;
+  /// Persistence root. Empty (default) = persistence off: the engine is
+  /// purely in-memory, exactly the pre-persistence behavior. When set,
+  /// every registered table gets a durable Link Index under
+  /// `<data_dir>/<table>.li` + `<table>.lilog` (opened at registration —
+  /// prior ER work is recovered before the first query), and
+  /// SaveSnapshots() / RegisterTableFromSnapshots() read and write
+  /// `<table>.tbl` / `<table>.tbi` there.
+  std::string data_dir;
+  /// fsync link-log appends and snapshot files before commit. Off by
+  /// default: tests and benches value speed; durability against OS crash
+  /// (not just process crash) requires it.
+  bool persist_fsync = false;
+  /// Link-log size that triggers automatic compaction (snapshot + log
+  /// truncate) at the end of a resolution. 0 disables auto-compaction;
+  /// SaveSnapshots() still compacts explicitly.
+  std::uint64_t link_log_compact_bytes = 4u << 20;
 };
 
 /// \brief A materialized query answer plus its execution statistics.

@@ -3,9 +3,45 @@
 #include <utility>
 
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "obs/metrics.h"
 
 namespace queryer {
+
+// RAII check of the single-consumer contract at each consumer entry point.
+// The CAS claims the cursor for the calling thread; a thread that finds it
+// claimed by another is a contract violation — two threads concurrently
+// inside Next/Fetch/Close — and aborts in debug builds. Finding it claimed
+// by ITSELF is legal reentrancy (Fetch drives Next, the destructor drives
+// Close), tracked by the depth counter.
+class QueryCursor::ConsumerGuard {
+ public:
+  explicit ConsumerGuard(QueryCursor* cursor) : cursor_(cursor) {
+    const std::thread::id self = std::this_thread::get_id();
+    std::thread::id expected{};
+    if (!cursor_->consumer_.compare_exchange_strong(
+            expected, self, std::memory_order_acq_rel,
+            std::memory_order_acquire)) {
+      QUERYER_DCHECK(expected == self &&
+                     "QueryCursor is single-consumer: Next/Fetch/Close must "
+                     "not race from two threads (Cancel is the only "
+                     "any-thread entry point)");
+    }
+    ++cursor_->consumer_depth_;
+  }
+
+  ~ConsumerGuard() {
+    if (--cursor_->consumer_depth_ == 0) {
+      cursor_->consumer_.store(std::thread::id{}, std::memory_order_release);
+    }
+  }
+
+  ConsumerGuard(const ConsumerGuard&) = delete;
+  ConsumerGuard& operator=(const ConsumerGuard&) = delete;
+
+ private:
+  QueryCursor* cursor_;
+};
 
 QueryCursor::QueryCursor(Semaphore* admission,
                          std::vector<std::shared_ptr<TableRuntime>> runtimes,
@@ -159,6 +195,7 @@ void QueryCursor::TerminateLocked(Status status) {
 }
 
 void QueryCursor::Close() {
+  ConsumerGuard guard(this);
   std::lock_guard<std::mutex> lock(lifecycle_mu_);
   if (closed_) return;
   closed_ = true;
@@ -216,6 +253,7 @@ Status QueryCursor::EnsureOpen() {
 }
 
 Result<bool> QueryCursor::Next(RowBatch* batch) {
+  ConsumerGuard guard(this);
   // A finished stream stays finished: a Cancel() or deadline that fires
   // after the last batch was delivered must not turn success into error.
   if (finished_) return false;
@@ -278,6 +316,7 @@ Result<bool> QueryCursor::Next(RowBatch* batch) {
 
 Result<std::vector<std::vector<std::string>>> QueryCursor::Fetch(
     std::size_t n) {
+  ConsumerGuard guard(this);
   std::vector<std::vector<std::string>> rows;
   if (fetch_batch_ == nullptr) {
     fetch_batch_ = std::make_unique<RowBatch>(batch_size_);

@@ -55,6 +55,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/exec_stats.h"
@@ -212,6 +213,16 @@ class QueryCursor {
   // First Next() call, for the session's "emit" trace span.
   bool emit_started_ = false;
   std::chrono::steady_clock::time_point first_next_{};
+
+  // Debug-build enforcement of the single-consumer contract: Next, Fetch
+  // and Close each enter through a ConsumerGuard that records the calling
+  // thread here and aborts (QUERYER_DCHECK) when a second thread is
+  // already inside. Same-thread reentrancy (Fetch -> Next, destructor ->
+  // Close) is legal, hence the depth counter; `consumer_depth_` is only
+  // touched by the thread that owns `consumer_`.
+  class ConsumerGuard;
+  std::atomic<std::thread::id> consumer_{};
+  int consumer_depth_ = 0;
 
   // Fetch's carry-over of a partially consumed batch.
   std::unique_ptr<RowBatch> fetch_batch_;

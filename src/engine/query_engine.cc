@@ -10,6 +10,10 @@
 #include "common/stopwatch.h"
 #include "common/string_util.h"
 #include "obs/metrics.h"
+#include "persist/durable_link_index.h"
+#include "persist/index_snapshot.h"
+#include "persist/snapshot.h"
+#include "persist/table_snapshot.h"
 
 namespace queryer {
 
@@ -51,7 +55,13 @@ QueryEngine::QueryEngine(EngineOptions options)
 
 Status QueryEngine::RegisterTable(TablePtr table) {
   if (table == nullptr) return Status::InvalidArgument("null table");
-  QUERYER_RETURN_NOT_OK(catalog_.Register(table));
+  // Duplicate check before the durable open below: a second registration
+  // of the same name must not touch (and recover) the log files the first
+  // one's sidecar has open.
+  if (catalog_.Contains(table->name())) {
+    return Status::AlreadyExists("table already registered: " +
+                                 table->name());
+  }
   // The e_id attribute names the row; it carries no descriptive content, so
   // it takes part in neither blocking nor matching.
   BlockingOptions blocking = options_.blocking;
@@ -63,7 +73,93 @@ Status QueryEngine::RegisterTable(TablePtr table) {
   auto runtime = std::make_shared<TableRuntime>(
       table, std::move(blocking), options_.meta_blocking, matching);
   runtime->set_thread_pool(pool_);
+  // With a data_dir, every table — CSV-loaded or snapshot-loaded — gets a
+  // durable Link Index: prior ER work is recovered into the fresh index
+  // here, before the table serves any query.
+  if (!options_.data_dir.empty()) {
+    QUERYER_RETURN_NOT_OK(
+        AttachDurableLinkIndex(table->name(), runtime.get()));
+  }
+  QUERYER_RETURN_NOT_OK(catalog_.Register(table));
   runtimes_[ToLower(table->name())] = std::move(runtime);
+  return Status::OK();
+}
+
+std::string QueryEngine::PersistPath(const std::string& table_name,
+                                     std::string_view suffix) const {
+  return options_.data_dir + "/" + ToLower(table_name) + std::string(suffix);
+}
+
+Status QueryEngine::AttachDurableLinkIndex(const std::string& table_name,
+                                           TableRuntime* runtime) {
+  QUERYER_RETURN_NOT_OK(EnsureDir(options_.data_dir));
+  DurableLinkIndex::Options li_options;
+  li_options.fsync = options_.persist_fsync;
+  li_options.compact_bytes = options_.link_log_compact_bytes;
+  QUERYER_ASSIGN_OR_RETURN(
+      std::unique_ptr<DurableLinkIndex> durable,
+      DurableLinkIndex::Open(PersistPath(table_name, ".li"),
+                             PersistPath(table_name, ".lilog"),
+                             &runtime->link_index(), li_options));
+  std::shared_ptr<DurableLinkIndex> shared = std::move(durable);
+  runtime->set_link_index_durability(
+      shared, [durable = shared.get()] { return durable->MaybeCompact(); });
+  durable_links_[ToLower(table_name)] = std::move(shared);
+  return Status::OK();
+}
+
+Status QueryEngine::RegisterTableFromSnapshots(const std::string& table_name) {
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "RegisterTableFromSnapshots requires EngineOptions::data_dir");
+  }
+  QUERYER_ASSIGN_OR_RETURN(
+      TablePtr table, TableSnapshotIO::Load(PersistPath(table_name, ".tbl")));
+  QUERYER_RETURN_NOT_OK(RegisterTable(table));
+  // The index snapshot is an optional accelerator: present and valid, it
+  // replaces the WarmIndices rebuild; absent, the lazy build covers it. A
+  // present-but-corrupt one fails loudly — silently rebuilding would mask
+  // the damage until the next save.
+  const std::string tbi_path = PersistPath(table_name, ".tbi");
+  if (FileExists(tbi_path)) {
+    QUERYER_ASSIGN_OR_RETURN(LoadedIndexes indexes,
+                             IndexSnapshotIO::Load(tbi_path, table->num_rows()));
+    QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
+                             FindRuntime(runtimes_, table_name));
+    runtime->InstallBlockIndex(std::move(indexes.tbi));
+    runtime->InstallAttributeWeights(std::move(indexes.weights));
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::SaveSnapshot(const std::string& table_name) {
+  if (options_.data_dir.empty()) {
+    return Status::InvalidArgument(
+        "SaveSnapshot requires EngineOptions::data_dir");
+  }
+  QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<TableRuntime> runtime,
+                           FindRuntime(runtimes_, table_name));
+  QUERYER_RETURN_NOT_OK(EnsureDir(options_.data_dir));
+  QUERYER_RETURN_NOT_OK(runtime->WarmIndices());
+  QUERYER_RETURN_NOT_OK(TableSnapshotIO::Write(
+      runtime->table(), PersistPath(table_name, ".tbl"),
+      options_.persist_fsync));
+  QUERYER_RETURN_NOT_OK(IndexSnapshotIO::Write(
+      runtime->tbi(), runtime->attribute_weights(),
+      PersistPath(table_name, ".tbi"), options_.persist_fsync));
+  // Fold the link log into its snapshot too, so a warm start replays
+  // nothing.
+  if (auto it = durable_links_.find(ToLower(table_name));
+      it != durable_links_.end()) {
+    QUERYER_RETURN_NOT_OK(it->second->Compact());
+  }
+  return Status::OK();
+}
+
+Status QueryEngine::SaveSnapshots() {
+  for (const std::string& name : catalog_.table_names()) {
+    QUERYER_RETURN_NOT_OK(SaveSnapshot(name));
+  }
   return Status::OK();
 }
 

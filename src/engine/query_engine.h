@@ -49,6 +49,8 @@
 
 namespace queryer {
 
+class DurableLinkIndex;
+
 /// \brief The QueryER engine.
 ///
 /// Thread-safety: Prepare, Execute, ExecuteStream and Explain may be called
@@ -77,6 +79,24 @@ class QueryEngine {
 
   /// Loads a CSV file as a table named `table_name`.
   Status RegisterCsvFile(const std::string& path, std::string table_name);
+
+  /// Registers a table from its snapshots under EngineOptions::data_dir
+  /// (written by an earlier SaveSnapshot): the mmap-backed table from
+  /// `<name>.tbl`, the block index + attribute weights from `<name>.tbi`
+  /// when present (WarmIndices then rebuilds nothing), and the durable
+  /// Link Index from `<name>.li`/`<name>.lilog` like every registration.
+  /// Fails with kNotFound when the table snapshot is missing, kCorruption
+  /// when any file is damaged.
+  Status RegisterTableFromSnapshots(const std::string& table_name);
+
+  /// Writes `<name>.tbl` + `<name>.tbi` under data_dir (warming the
+  /// indices first if needed) and compacts the durable link log. Requires
+  /// EngineOptions::data_dir. No query may be in flight (snapshotting
+  /// reads the runtime's configuration like the setters do).
+  Status SaveSnapshot(const std::string& table_name);
+
+  /// SaveSnapshot for every registered table.
+  Status SaveSnapshots();
 
   /// Parses and plans one SELECT statement, capturing the current mode and
   /// options. The returned query can be inspected (plan_text) and opened
@@ -170,6 +190,15 @@ class QueryEngine {
   /// the tree. On failure the slot is released before returning.
   Result<CursorPtr> OpenPrepared(const PreparedQuery& prepared);
 
+  /// Recovers/creates the durable Link Index files for a freshly built
+  /// runtime and attaches the sidecar. Only called when data_dir is set.
+  Status AttachDurableLinkIndex(const std::string& table_name,
+                                TableRuntime* runtime);
+
+  /// `<data_dir>/<lowercased table name><suffix>`.
+  std::string PersistPath(const std::string& table_name,
+                          std::string_view suffix) const;
+
   /// The static (pre-execution) plan text of a prepared statement. The
   /// without-LI arm defers planning to Open; for it this plans under the
   /// current index state without side effects, like Explain always did.
@@ -189,6 +218,10 @@ class QueryEngine {
   std::unique_ptr<StatisticsCache> statistics_;
   // Admission control for concurrent query sessions.
   std::unique_ptr<Semaphore> admission_;
+  // Typed handles on the durability sidecars (ownership shared with the
+  // runtimes, which hold them type-erased), so SaveSnapshot can compact
+  // explicitly. Keyed like runtimes_.
+  std::map<std::string, std::shared_ptr<DurableLinkIndex>> durable_links_;
 };
 
 }  // namespace queryer

@@ -81,7 +81,13 @@ Result<std::vector<EntityId>> Deduplicator::Resolve(
     if (status.IsCancelled() || status.IsDeadlineExceeded()) {
       GlobalEngineMetrics().cancelled_in_resolution->Increment();
     }
+    return result;
   }
+  // A resolution just appended to the durable link log (if one is
+  // attached); compact it when it outgrew the threshold. Outside the Link
+  // Index lock by construction, and a compaction failure only defers
+  // truncation — the query's answer is unaffected.
+  (void)runtime_->MaybeCompactLinkLog();
   return result;
 }
 

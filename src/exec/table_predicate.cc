@@ -15,7 +15,7 @@ TablePredicate::TablePredicate(const Expr* expr, const Table* table)
   if (attribute >= table_->num_attributes()) return;
   const ColumnView column = table_->column(attribute);
   const Dictionary& dictionary = column.dictionary();
-  codes_ = &column.codes();
+  codes_ = column.codes().data();
   dictionary_ = &dictionary;
   attribute_ = attribute;
   // The truth table trades O(distinct) up-front evaluations for one-byte

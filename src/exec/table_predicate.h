@@ -50,7 +50,7 @@ class TablePredicate {
 
   bool Matches(EntityId id) const {
     if (codes_ != nullptr) {
-      const DictCode code = (*codes_)[id];
+      const DictCode code = codes_[id];
       if (truth_ != nullptr) return (*truth_)[code] != 0;
       // Single near-unique column: evaluate per row, but feed the value
       // through the hoisted codes/dictionary pointers instead of a full
@@ -68,7 +68,7 @@ class TablePredicate {
   // Single-column fast path: the column's codes and dictionary, hoisted.
   // With `truth_` set each row is one byte lookup; without it (near-unique
   // column) each row is one evaluation of the hoisted column value.
-  const std::vector<DictCode>* codes_ = nullptr;
+  const DictCode* codes_ = nullptr;
   const Dictionary* dictionary_ = nullptr;
   std::size_t attribute_ = 0;
   std::shared_ptr<const std::vector<std::uint8_t>> truth_;

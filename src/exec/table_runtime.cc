@@ -37,6 +37,26 @@ const AttributeWeights& TableRuntime::attribute_weights() {
   return *attribute_weights_;
 }
 
+bool TableRuntime::InstallBlockIndex(std::shared_ptr<TableBlockIndex> index) {
+  bool installed = false;
+  std::call_once(tbi_once_, [&] {
+    tbi_ = std::move(index);
+    tbi_built_.store(true, std::memory_order_release);
+    installed = true;
+  });
+  return installed;
+}
+
+bool TableRuntime::InstallAttributeWeights(AttributeWeights weights) {
+  bool installed = false;
+  std::call_once(weights_once_, [&] {
+    attribute_weights_ =
+        std::make_unique<AttributeWeights>(std::move(weights));
+    installed = true;
+  });
+  return installed;
+}
+
 Result<std::shared_ptr<TableRuntime>> FindRuntime(
     const RuntimeRegistry& registry, const std::string& table_name) {
   auto it = registry.find(ToLower(table_name));

@@ -13,6 +13,7 @@
 #define QUERYER_EXEC_TABLE_RUNTIME_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -70,6 +71,34 @@ class TableRuntime {
   /// race like tbi()).
   const AttributeWeights& attribute_weights();
 
+  /// Installs a pre-built block index (loaded from a snapshot) through the
+  /// same once-flag as the lazy build, so later tbi() calls share it and
+  /// WarmIndices becomes a no-op for the TBI. Returns false when the lazy
+  /// build already ran (the loaded index is discarded — the built one is
+  /// just as correct).
+  bool InstallBlockIndex(std::shared_ptr<TableBlockIndex> index);
+
+  /// Same for the attribute weights.
+  bool InstallAttributeWeights(AttributeWeights weights);
+
+  /// Durability sidecar of this table's Link Index (see persist/
+  /// durable_link_index.h). The runtime owns it so teardown ordering is
+  /// right: the holder detaches from the Link Index before either dies.
+  /// `sidecar` must already be attached to link_index(); registration-time
+  /// only, like the configuration setters.
+  void set_link_index_durability(std::shared_ptr<void> sidecar,
+                                 std::function<Status()> maybe_compact) {
+    li_durability_ = std::move(sidecar);
+    li_maybe_compact_ = std::move(maybe_compact);
+  }
+
+  /// Compacts the durable link log iff it outgrew the configured
+  /// threshold. Called by the deduplicator at the end of a resolution,
+  /// OUTSIDE the Link Index lock. No-op without a durability sidecar.
+  Status MaybeCompactLinkLog() {
+    return li_maybe_compact_ ? li_maybe_compact_() : Status::OK();
+  }
+
   LinkIndex& link_index() { return link_index_; }
   const LinkIndex& link_index() const { return link_index_; }
 
@@ -99,6 +128,11 @@ class TableRuntime {
   LinkIndex link_index_;
   ResolutionCoordinator coordinator_;
   std::mutex batch_er_mutex_;
+  // Type-erased DurableLinkIndex (keeps exec/ independent of persist/).
+  // Destroyed before link_index_ by member order — the sidecar's dtor
+  // detaches itself from the index first.
+  std::shared_ptr<void> li_durability_;
+  std::function<Status()> li_maybe_compact_;
 };
 
 /// \brief name -> runtime registry handed to the executor.

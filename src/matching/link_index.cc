@@ -50,8 +50,21 @@ bool LinkIndex::AddLinkLocked(EntityId a, EntityId b) {
   return true;
 }
 
+void LinkIndex::WalAppendLinks(const std::vector<Link>& links) {
+  if (wal_ == nullptr) return;
+  const Status status = wal_->AppendLinks(links);
+  if (!status.ok()) throw LinkIndexWalError(status.ToString());
+}
+
+void LinkIndex::WalAppendMarks(const std::vector<EntityId>& entities) {
+  if (wal_ == nullptr) return;
+  const Status status = wal_->AppendMarks(entities);
+  if (!status.ok()) throw LinkIndexWalError(status.ToString());
+}
+
 bool LinkIndex::AddLink(EntityId a, EntityId b) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  WalAppendLinks({{a, b}});
   bool merged = AddLinkLocked(a, b);
   epoch_.fetch_add(1, std::memory_order_release);
   return merged;
@@ -64,6 +77,9 @@ std::size_t LinkIndex::PublishLinks(const std::vector<Link>& links) {
   QUERYER_FAILPOINT_THROW("li.publish");
   if (links.empty()) return 0;
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  // Log before apply: a WAL failure throws out of here with the in-memory
+  // index untouched, and the log never lags memory-visible links.
+  WalAppendLinks(links);
   std::size_t merged = 0;
   for (const auto& [a, b] : links) {
     if (AddLinkLocked(a, b)) ++merged;
@@ -75,12 +91,17 @@ std::size_t LinkIndex::PublishLinks(const std::vector<Link>& links) {
 void LinkIndex::MarkResolvedBatch(const std::vector<EntityId>& entities) {
   if (entities.empty()) return;
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  WalAppendMarks(entities);
   for (EntityId e : entities) MarkResolvedLocked(e);
   epoch_.fetch_add(1, std::memory_order_release);
 }
 
 void LinkIndex::MarkAllResolved() {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (wal_ != nullptr) {
+    const Status status = wal_->AppendMarkAll();
+    if (!status.ok()) throw LinkIndexWalError(status.ToString());
+  }
   for (EntityId e = 0; e < resolved_.size(); ++e) MarkResolvedLocked(e);
   epoch_.fetch_add(1, std::memory_order_release);
 }
@@ -126,6 +147,7 @@ void LinkIndex::MarkResolvedLocked(EntityId e) {
 
 void LinkIndex::MarkResolved(EntityId e) {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  WalAppendMarks({e});
   MarkResolvedLocked(e);
   epoch_.fetch_add(1, std::memory_order_release);
 }
@@ -145,8 +167,37 @@ std::size_t LinkIndex::num_links() const {
   return num_links_;
 }
 
+void LinkIndex::set_wal(LinkIndexWal* wal) {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  wal_ = wal;
+}
+
+void LinkIndex::RestoreLinks(const std::vector<Link>& links) {
+  if (links.empty()) return;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (const auto& [a, b] : links) AddLinkLocked(a, b);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void LinkIndex::RestoreMarks(const std::vector<EntityId>& entities) {
+  if (entities.empty()) return;
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (EntityId e : entities) MarkResolvedLocked(e);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void LinkIndex::RestoreMarkAll() {
+  std::unique_lock<std::shared_mutex> lock(mutex_);
+  for (EntityId e = 0; e < resolved_.size(); ++e) MarkResolvedLocked(e);
+  epoch_.fetch_add(1, std::memory_order_release);
+}
+
 void LinkIndex::Reset() {
   std::unique_lock<std::shared_mutex> lock(mutex_);
+  if (wal_ != nullptr) {
+    const Status status = wal_->AppendReset();
+    if (!status.ok()) throw LinkIndexWalError(status.ToString());
+  }
   std::iota(parent_.begin(), parent_.end(), 0);
   std::fill(cluster_size_.begin(), cluster_size_.end(), 1);
   std::iota(next_in_cluster_.begin(), next_in_cluster_.end(), 0);

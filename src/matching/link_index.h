@@ -36,12 +36,41 @@
 #include <atomic>
 #include <cstdint>
 #include <shared_mutex>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
 #include "storage/table.h"
 
 namespace queryer {
+
+/// \brief Write-ahead sink for Link Index mutations (implemented by the
+/// persist tier's DurableLinkIndex). Each Append* is called INSIDE the
+/// index's exclusive section, BEFORE the in-memory apply, so the log is
+/// always a superset of memory-visible state: a crash can lose an applied
+/// batch from memory never, a logged-but-unapplied batch at most (replay
+/// re-applies it; merges are idempotent). A non-OK return aborts the
+/// mutation (thrown as LinkIndexWalError), leaving the index untouched.
+class LinkIndexWal {
+ public:
+  virtual ~LinkIndexWal() = default;
+  virtual Status AppendLinks(
+      const std::vector<std::pair<EntityId, EntityId>>& links) = 0;
+  virtual Status AppendMarks(const std::vector<EntityId>& entities) = 0;
+  virtual Status AppendMarkAll() = 0;
+  virtual Status AppendReset() = 0;
+};
+
+/// \brief Thrown by a Link Index mutator whose WAL append failed. The
+/// in-memory index is unchanged; the deduplicator's publish failure path
+/// (claim abandonment, orphan adoption) handles it like any other publish
+/// fault.
+class LinkIndexWalError : public std::runtime_error {
+ public:
+  explicit LinkIndexWalError(const std::string& what)
+      : std::runtime_error(what) {}
+};
 
 /// \brief Union-find over the entities of one table, plus "resolved" marks.
 /// Thread-safe: reads share, writes exclude (see the file comment).
@@ -109,6 +138,20 @@ class LinkIndex {
   /// Drops all links and marks (fresh index for BA/no-LI experiment arms).
   void Reset();
 
+  /// Attaches (or detaches, with nullptr) the write-ahead sink. Takes the
+  /// exclusive lock; attach before serving traffic, detach before the WAL
+  /// is destroyed.
+  void set_wal(LinkIndexWal* wal);
+
+  /// Recovery-path mutators: apply state replayed from a snapshot or log
+  /// WITHOUT notifying the WAL (the records are already durable) and
+  /// without failpoints. Entity ids must be < num_entities() — the caller
+  /// (DurableLinkIndex::Open) validates against the on-disk record before
+  /// applying.
+  void RestoreLinks(const std::vector<Link>& links);
+  void RestoreMarks(const std::vector<EntityId>& entities);
+  void RestoreMarkAll();
+
   /// Approximate heap footprint in bytes.
   std::size_t MemoryFootprint() const;
 
@@ -153,7 +196,14 @@ class LinkIndex {
   void MarkResolvedLocked(EntityId e);
   std::vector<EntityId> ClusterLocked(EntityId e) const;
 
+  // Appends the mutation to the attached WAL (if any); throws
+  // LinkIndexWalError on failure. Call under the exclusive lock, before
+  // applying the mutation.
+  void WalAppendLinks(const std::vector<Link>& links);
+  void WalAppendMarks(const std::vector<EntityId>& entities);
+
   mutable std::shared_mutex mutex_;
+  LinkIndexWal* wal_ = nullptr;  // Guarded by mutex_ (exclusive).
   // Union-find parents with union by size; path compression is applied
   // only inside exclusive sections.
   std::vector<EntityId> parent_;

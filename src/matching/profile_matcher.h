@@ -69,6 +69,14 @@ class AttributeWeights {
   /// rows of attribute i| (0 when the attribute is always empty).
   static AttributeWeights Compute(const Table& table);
 
+  /// Restores weights previously produced by Compute (the persist tier's
+  /// snapshot loader).
+  static AttributeWeights FromWeights(std::vector<double> weights) {
+    AttributeWeights w;
+    w.weights_ = std::move(weights);
+    return w;
+  }
+
   double weight(std::size_t attribute) const {
     return attribute < weights_.size() ? weights_[attribute] : 1.0;
   }

@@ -275,6 +275,18 @@ const EngineMetrics& GlobalEngineMetrics() {
     m->pool_queue_depth = reg.GetGauge("queryer_threadpool_queue_depth");
     m->pool_task_wait =
         reg.GetHistogram("queryer_threadpool_task_wait_seconds");
+    m->li_log_appends = reg.GetCounter("queryer_li_log_appends_total");
+    m->li_log_bytes = reg.GetCounter("queryer_li_log_bytes_total");
+    m->li_log_compactions = reg.GetCounter("queryer_li_log_compactions_total");
+    m->snapshots_written = reg.GetCounter("queryer_snapshots_written_total");
+    m->recovery_replayed_records =
+        reg.GetCounter("queryer_recovery_replayed_records_total");
+    m->recovery_torn_tails =
+        reg.GetCounter("queryer_recovery_torn_tails_total");
+    m->li_log_append_wait =
+        reg.GetHistogram("queryer_li_log_append_wait_seconds");
+    m->snapshot_flush_wait =
+        reg.GetHistogram("queryer_snapshot_flush_wait_seconds");
     return m;
   }();
   return *metrics;

@@ -165,6 +165,16 @@ struct EngineMetrics {
   // ThreadPool.
   Gauge* pool_queue_depth;           // Tasks submitted, not yet started.
   LatencyHistogram* pool_task_wait;  // Submit -> task start.
+
+  // Persistence tier (src/persist).
+  Counter* li_log_appends;       // Link-log records appended.
+  Counter* li_log_bytes;         // Bytes appended to link logs.
+  Counter* li_log_compactions;   // Log compactions (snapshot + truncate).
+  Counter* snapshots_written;    // Snapshot files written (all kinds).
+  Counter* recovery_replayed_records;  // Log records replayed on open.
+  Counter* recovery_torn_tails;        // Torn log tails truncated on open.
+  LatencyHistogram* li_log_append_wait;  // Append (incl. fsync) latency.
+  LatencyHistogram* snapshot_flush_wait;  // Snapshot write+flush latency.
 };
 
 /// The process-wide EngineMetrics (resolved once, never destroyed).

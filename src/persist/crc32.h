@@ -1,0 +1,21 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320): the checksum guarding every
+// snapshot section and every link-log record. Table-driven, byte at a time
+// — persistence I/O is not a hot path, and one shared implementation keeps
+// the on-disk format independent of any library.
+
+#ifndef QUERYER_PERSIST_CRC32_H_
+#define QUERYER_PERSIST_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace queryer {
+
+/// CRC-32 of `size` bytes at `data`. Pass a previous result as `seed` to
+/// checksum discontiguous buffers as one stream (seed 0 starts fresh).
+std::uint32_t Crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0);
+
+}  // namespace queryer
+
+#endif  // QUERYER_PERSIST_CRC32_H_

@@ -1,0 +1,411 @@
+#include "persist/durable_link_index.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "persist/crc32.h"
+#include "persist/snapshot.h"
+
+namespace queryer {
+
+namespace {
+
+// "QERLILG1" read as a little-endian u64.
+constexpr std::uint64_t kLogMagic = 0x31474C494C524551ull;
+constexpr std::uint32_t kLogVersion = 1;
+constexpr std::size_t kLogHeaderBytes = 16;
+// Record: u32 crc | u32 payload_len | u64 lsn | u8 type | payload.
+// The crc covers everything after itself.
+constexpr std::size_t kRecordHeaderBytes = 17;
+
+enum RecordType : std::uint8_t {
+  kLinks = 1,
+  kMarks = 2,
+  kMarkAll = 3,
+  kReset = 4,
+};
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+Status PwriteAll(int fd, const void* data, std::size_t size,
+                 std::uint64_t offset, const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, p, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("pwrite", path));
+    }
+    p += n;
+    offset += static_cast<std::uint64_t>(n);
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Open / recovery
+// ---------------------------------------------------------------------------
+
+Result<std::unique_ptr<DurableLinkIndex>> DurableLinkIndex::Open(
+    std::string snapshot_path, std::string log_path, LinkIndex* index,
+    const Options& options) {
+  std::unique_ptr<DurableLinkIndex> dli(new DurableLinkIndex(
+      std::move(snapshot_path), std::move(log_path), index, options));
+  QUERYER_RETURN_NOT_OK(dli->LoadSnapshot());
+  QUERYER_RETURN_NOT_OK(dli->RecoverLog());
+  index->set_wal(dli.get());
+  return dli;
+}
+
+DurableLinkIndex::~DurableLinkIndex() {
+  if (index_ != nullptr) index_->set_wal(nullptr);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status DurableLinkIndex::LoadSnapshot() {
+  if (!FileExists(snapshot_path_)) return Status::OK();
+  QUERYER_ASSIGN_OR_RETURN(
+      SnapshotReader reader,
+      SnapshotReader::Open(snapshot_path_, SnapshotKind::kLinkIndex));
+  if (reader.num_sections() != 3) {
+    return Status::Corruption("link snapshot " + snapshot_path_ +
+                              ": expected 3 sections");
+  }
+  ByteReader meta(reader.section(0));
+  const std::uint64_t last_lsn = meta.U64();
+  const std::uint64_t num_entities = meta.U64();
+  if (!meta.AtEnd() || num_entities != index_->num_entities()) {
+    return Status::Corruption(
+        "link snapshot " + snapshot_path_ + ": built over " +
+        std::to_string(num_entities) + " entities, table has " +
+        std::to_string(index_->num_entities()));
+  }
+  const std::string_view reps = reader.section(1);
+  const std::string_view resolved = reader.section(2);
+  if (reps.size() != num_entities * sizeof(EntityId) ||
+      resolved.size() != num_entities) {
+    return Status::Corruption("link snapshot " + snapshot_path_ +
+                              ": section sizes do not match entity count");
+  }
+
+  const auto* rep = reinterpret_cast<const EntityId*>(reps.data());
+  std::vector<LinkIndex::Link> links;
+  std::vector<EntityId> marks;
+  for (std::uint64_t e = 0; e < num_entities; ++e) {
+    if (rep[e] >= num_entities) {
+      return Status::Corruption("link snapshot " + snapshot_path_ +
+                                ": out-of-range representative");
+    }
+    // (rep, e) order: union-by-size ties keep the first argument, so the
+    // snapshot's representative is re-elected as the root of its cluster
+    // and recovery preserves representative ids, not just the partition.
+    if (rep[e] != e) links.emplace_back(rep[e], static_cast<EntityId>(e));
+    if (resolved[e] != 0) marks.push_back(static_cast<EntityId>(e));
+  }
+  index_->RestoreLinks(links);
+  index_->RestoreMarks(marks);
+  recovery_.snapshot_lsn = last_lsn;
+  recovery_.recovered_links += links.size();
+  lsn_ = last_lsn;
+  return Status::OK();
+}
+
+Status DurableLinkIndex::RecoverLog() {
+  fd_ = ::open(log_path_.c_str(), O_CREAT | O_RDWR, 0644);
+  if (fd_ < 0) return Status::IoError(ErrnoMessage("open", log_path_));
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IoError(ErrnoMessage("fstat", log_path_));
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+
+  if (size == 0) {
+    // Fresh log: write the header.
+    ByteWriter header;
+    header.U64(kLogMagic);
+    header.U32(kLogVersion);
+    header.U32(0);
+    const std::string bytes = header.Take();
+    QUERYER_RETURN_NOT_OK(PwriteAll(fd_, bytes.data(), bytes.size(), 0,
+                                    log_path_));
+    offset_.store(kLogHeaderBytes, std::memory_order_relaxed);
+    return Status::OK();
+  }
+
+  std::string buffer(size, '\0');
+  std::uint64_t read_off = 0;
+  while (read_off < size) {
+    const ssize_t n = ::pread(fd_, &buffer[read_off], size - read_off,
+                              static_cast<off_t>(read_off));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("pread", log_path_));
+    }
+    if (n == 0) break;  // Racing truncation; treat the rest as torn.
+    read_off += static_cast<std::uint64_t>(n);
+  }
+
+  if (size < kLogHeaderBytes) {
+    return Status::Corruption("link log " + log_path_ + " truncated: " +
+                              std::to_string(size) + " bytes");
+  }
+  ByteReader header(std::string_view(buffer.data(), kLogHeaderBytes));
+  const std::uint64_t magic = header.U64();
+  const std::uint32_t version = header.U32();
+  if (magic != kLogMagic) {
+    return Status::Corruption("link log " + log_path_ + ": bad magic");
+  }
+  if (version > kLogVersion) {
+    return Status::NotImplemented("link log " + log_path_ +
+                                  " has format version " +
+                                  std::to_string(version));
+  }
+
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  const std::uint64_t num_entities = index_->num_entities();
+  std::uint64_t pos = kLogHeaderBytes;
+  while (pos < read_off) {
+    // A record that does not fully parse and checksum is the torn tail:
+    // everything from here on is discarded.
+    if (read_off - pos < kRecordHeaderBytes) break;
+    ByteReader head(std::string_view(buffer.data() + pos, kRecordHeaderBytes));
+    const std::uint32_t crc = head.U32();
+    const std::uint32_t payload_len = head.U32();
+    const std::uint64_t lsn = head.U64();
+    const std::uint8_t type = head.U8();
+    if (payload_len > read_off - pos - kRecordHeaderBytes) break;
+    const char* covered = buffer.data() + pos + sizeof(std::uint32_t);
+    const std::size_t covered_len =
+        kRecordHeaderBytes - sizeof(std::uint32_t) + payload_len;
+    if (Crc32(covered, covered_len) != crc) break;
+
+    // The record is checksum-clean; a structural problem now means the
+    // table changed under the log (or a writer bug), not a torn write.
+    const std::string_view payload(buffer.data() + pos + kRecordHeaderBytes,
+                                   payload_len);
+    std::vector<LinkIndex::Link> links;
+    std::vector<EntityId> marks;
+    switch (type) {
+      case kLinks: {
+        if (payload_len % (2 * sizeof(EntityId)) != 0) {
+          return Status::Corruption("link log " + log_path_ +
+                                    ": bad links record size");
+        }
+        ByteReader body(payload);
+        for (std::size_t i = 0; i < payload_len / (2 * sizeof(EntityId));
+             ++i) {
+          const EntityId a = body.U32();
+          const EntityId b = body.U32();
+          if (a >= num_entities || b >= num_entities) {
+            return Status::Corruption("link log " + log_path_ +
+                                      ": out-of-range entity id");
+          }
+          links.emplace_back(a, b);
+        }
+        break;
+      }
+      case kMarks: {
+        if (payload_len % sizeof(EntityId) != 0) {
+          return Status::Corruption("link log " + log_path_ +
+                                    ": bad marks record size");
+        }
+        ByteReader body(payload);
+        for (std::size_t i = 0; i < payload_len / sizeof(EntityId); ++i) {
+          const EntityId e = body.U32();
+          if (e >= num_entities) {
+            return Status::Corruption("link log " + log_path_ +
+                                      ": out-of-range entity id");
+          }
+          marks.push_back(e);
+        }
+        break;
+      }
+      case kMarkAll:
+      case kReset:
+        if (payload_len != 0) {
+          return Status::Corruption("link log " + log_path_ +
+                                    ": non-empty control record");
+        }
+        break;
+      default:
+        return Status::Corruption("link log " + log_path_ +
+                                  ": unknown record type " +
+                                  std::to_string(type));
+    }
+
+    // Records already covered by the snapshot are skipped — the crash
+    // window between snapshot rename and log truncation leaves them
+    // behind harmlessly.
+    if (lsn > recovery_.snapshot_lsn) {
+      switch (type) {
+        case kLinks:
+          index_->RestoreLinks(links);
+          recovery_.recovered_links += links.size();
+          break;
+        case kMarks:
+          index_->RestoreMarks(marks);
+          break;
+        case kMarkAll:
+          index_->RestoreMarkAll();
+          break;
+        case kReset:
+          index_->Reset();
+          break;
+      }
+      ++recovery_.replayed_records;
+      metrics.recovery_replayed_records->Increment();
+    }
+    if (lsn > lsn_) lsn_ = lsn;
+    pos += kRecordHeaderBytes + payload_len;
+  }
+
+  if (pos < size) {
+    if (::ftruncate(fd_, static_cast<off_t>(pos)) != 0) {
+      return Status::IoError(ErrnoMessage("ftruncate", log_path_));
+    }
+    recovery_.torn_tail_truncated = true;
+    metrics.recovery_torn_tails->Increment();
+  }
+  offset_.store(pos, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Append path
+// ---------------------------------------------------------------------------
+
+Status DurableLinkIndex::AppendRecord(std::uint8_t type,
+                                      const std::string& payload) {
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t lsn = lsn_ + 1;
+  ByteWriter body;
+  body.U32(static_cast<std::uint32_t>(payload.size()));
+  body.U64(lsn);
+  body.U8(type);
+  body.Bytes(payload.data(), payload.size());
+  const std::string covered = body.Take();
+  ByteWriter rec;
+  rec.U32(Crc32(covered.data(), covered.size()));
+  rec.Bytes(covered.data(), covered.size());
+  const std::string record = rec.Take();
+
+  const std::uint64_t offset = offset_.load(std::memory_order_relaxed);
+  // Crash-mid-append drill: an injected error leaves half the record on
+  // disk and does NOT advance the offset — recovery truncates the torn
+  // half, and (if the process lives on) the next successful append simply
+  // overwrites it.
+  {
+    static Failpoint* fp = Failpoints::Global().Get("li.log_append");
+    if (fp->armed()) {
+      Status injected = fp->Fire();
+      if (!injected.ok()) {
+        PwriteAll(fd_, record.data(), record.size() / 2, offset, log_path_);
+        return injected.WithContext("li.log_append " + log_path_);
+      }
+    }
+  }
+  QUERYER_RETURN_NOT_OK(
+      PwriteAll(fd_, record.data(), record.size(), offset, log_path_));
+  if (options_.fsync && ::fsync(fd_) != 0) {
+    return Status::IoError(ErrnoMessage("fsync", log_path_));
+  }
+  lsn_ = lsn;
+  offset_.store(offset + record.size(), std::memory_order_relaxed);
+
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  metrics.li_log_appends->Increment();
+  metrics.li_log_bytes->Increment(record.size());
+  metrics.li_log_append_wait->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::OK();
+}
+
+Status DurableLinkIndex::AppendLinks(
+    const std::vector<std::pair<EntityId, EntityId>>& links) {
+  ByteWriter payload;
+  for (const auto& [a, b] : links) {
+    payload.U32(a);
+    payload.U32(b);
+  }
+  return AppendRecord(kLinks, payload.Take());
+}
+
+Status DurableLinkIndex::AppendMarks(const std::vector<EntityId>& entities) {
+  ByteWriter payload;
+  for (EntityId e : entities) payload.U32(e);
+  return AppendRecord(kMarks, payload.Take());
+}
+
+Status DurableLinkIndex::AppendMarkAll() {
+  return AppendRecord(kMarkAll, std::string());
+}
+
+Status DurableLinkIndex::AppendReset() {
+  return AppendRecord(kReset, std::string());
+}
+
+// ---------------------------------------------------------------------------
+// Compaction
+// ---------------------------------------------------------------------------
+
+Status DurableLinkIndex::Compact() {
+  std::lock_guard<std::mutex> guard(compact_mu_);
+  Status status;
+  {
+    // The shared lock blocks every writer, so the captured state, lsn_,
+    // and the log position cannot move under us.
+    LinkIndex::ReadView view = index_->SharedSnapshot();
+    const std::size_t num_entities = index_->num_entities();
+    ByteWriter meta;
+    meta.U64(lsn_);
+    meta.U64(num_entities);
+    ByteWriter reps;
+    ByteWriter resolved;
+    for (std::size_t e = 0; e < num_entities; ++e) {
+      reps.U32(view.Representative(static_cast<EntityId>(e)));
+      resolved.U8(view.IsResolved(static_cast<EntityId>(e)) ? 1 : 0);
+    }
+    SnapshotWriter writer(SnapshotKind::kLinkIndex);
+    writer.AddSection(meta.Take());
+    writer.AddSection(reps.Take());
+    writer.AddSection(resolved.Take());
+    status = writer.Commit(snapshot_path_, options_.fsync)
+                 .WithContext("link snapshot");
+    if (status.ok()) {
+      // Everything in the log is now covered by the snapshot's LSN;
+      // truncating back to the header is safe even if we crash first
+      // (stale records replay as no-ops via the LSN skip).
+      if (::ftruncate(fd_, static_cast<off_t>(kLogHeaderBytes)) != 0) {
+        status = Status::IoError(ErrnoMessage("ftruncate", log_path_));
+      } else {
+        offset_.store(kLogHeaderBytes, std::memory_order_relaxed);
+        GlobalEngineMetrics().li_log_compactions->Increment();
+      }
+    }
+  }
+  return status;
+}
+
+Status DurableLinkIndex::MaybeCompact() {
+  if (options_.compact_bytes == 0 ||
+      offset_.load(std::memory_order_relaxed) < options_.compact_bytes) {
+    return Status::OK();
+  }
+  return Compact();
+}
+
+}  // namespace queryer

@@ -1,0 +1,135 @@
+// The durable Link Index: an append-only log of published link/mark
+// batches plus periodically compacted snapshots, so ER work survives
+// restarts (the pay-as-you-go premise made cumulative across processes).
+//
+// Write path — DurableLinkIndex implements LinkIndexWal and is attached to
+// the in-memory LinkIndex, whose mutators call Append* INSIDE their
+// exclusive section, BEFORE applying. Each record is CRC-guarded and
+// stamped with a monotonically increasing LSN (the log's epoch). A failed
+// append aborts the mutation (the index stays untouched) and rides the
+// engine's existing publish-failure path; the failed record's torn prefix
+// is simply overwritten by the next successful append.
+//
+// Recovery (Open) — load the snapshot if present (cluster representatives
+// + resolved marks + the LSN it covers), then replay log records with
+// lsn > snapshot LSN. The first record that fails its CRC or bounds check
+// marks the torn tail: the log is truncated there and everything after is
+// gone — which is exactly the state of entities whose publish never
+// completed, so fault-free re-resolution converges to the clean-engine
+// reference. Replay is idempotent (re-applied merges are no-ops).
+//
+// Compaction (Compact) — capture the index under a ReadView (the shared
+// lock blocks all writers, freezing the log), write the snapshot
+// atomically (.tmp + rename), then truncate the log. A crash between
+// rename and truncate is safe: the stale records carry lsn <= the
+// snapshot's and are skipped on replay.
+//
+// Failpoint: `li.log_append` (an armed error writes a torn half-record —
+// the crash-mid-append drill); snapshot writes inherit
+// `persist.write_section` / `persist.fsync` from the container.
+
+#ifndef QUERYER_PERSIST_DURABLE_LINK_INDEX_H_
+#define QUERYER_PERSIST_DURABLE_LINK_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "matching/link_index.h"
+
+namespace queryer {
+
+/// \brief Durability sidecar of one table's LinkIndex. Construction
+/// (Open) recovers on-disk state into the index and attaches itself as
+/// the index's WAL; destruction detaches.
+class DurableLinkIndex : public LinkIndexWal {
+ public:
+  struct Options {
+    /// fsync the log after every append and snapshots before rename.
+    /// Default off: tests and benches value speed; servers opt in.
+    bool fsync = false;
+    /// Log size that makes MaybeCompact() compact. 0 disables automatic
+    /// compaction (Compact() still works).
+    std::uint64_t compact_bytes = 4u << 20;
+  };
+
+  struct RecoveryStats {
+    std::uint64_t snapshot_lsn = 0;      // 0 when no snapshot existed.
+    std::uint64_t replayed_records = 0;  // Log records applied on open.
+    std::uint64_t recovered_links = 0;   // Links from snapshot + log.
+    bool torn_tail_truncated = false;
+  };
+
+  /// Recovers `snapshot_path` + `log_path` into `index` and attaches as
+  /// its WAL. The index must be fresh (sized to the table, no links) and
+  /// must outlive the returned object. Corrupt snapshots/log headers fail
+  /// with kCorruption; a torn log TAIL is truncated, not an error.
+  static Result<std::unique_ptr<DurableLinkIndex>> Open(
+      std::string snapshot_path, std::string log_path, LinkIndex* index,
+      const Options& options);
+
+  ~DurableLinkIndex() override;
+
+  DurableLinkIndex(const DurableLinkIndex&) = delete;
+  DurableLinkIndex& operator=(const DurableLinkIndex&) = delete;
+
+  // LinkIndexWal — called by LinkIndex under its exclusive lock.
+  Status AppendLinks(
+      const std::vector<std::pair<EntityId, EntityId>>& links) override;
+  Status AppendMarks(const std::vector<EntityId>& entities) override;
+  Status AppendMarkAll() override;
+  Status AppendReset() override;
+
+  /// Writes a compacted snapshot and truncates the log. Safe from any
+  /// thread; blocks link publishing for the capture + write.
+  Status Compact();
+
+  /// Compact() iff the log has outgrown Options::compact_bytes.
+  Status MaybeCompact();
+
+  const RecoveryStats& recovery_stats() const { return recovery_; }
+
+  /// Current log size in bytes (header included).
+  std::uint64_t log_bytes() const {
+    return offset_.load(std::memory_order_relaxed);
+  }
+
+  /// LSN of the last appended (or recovered) record.
+  std::uint64_t last_lsn() const { return lsn_; }
+
+ private:
+  DurableLinkIndex(std::string snapshot_path, std::string log_path,
+                   LinkIndex* index, const Options& options)
+      : snapshot_path_(std::move(snapshot_path)),
+        log_path_(std::move(log_path)),
+        index_(index),
+        options_(options) {}
+
+  Status LoadSnapshot();
+  Status RecoverLog();
+  Status AppendRecord(std::uint8_t type, const std::string& payload);
+
+  const std::string snapshot_path_;
+  const std::string log_path_;
+  LinkIndex* index_;
+  const Options options_;
+  RecoveryStats recovery_;
+
+  int fd_ = -1;
+  // Last assigned LSN. Mutated under the index's exclusive lock (appends)
+  // and read under its shared lock (compaction capture).
+  std::uint64_t lsn_ = 0;
+  // End of the valid log; appends go here (atomic so MaybeCompact can
+  // poll without any lock).
+  std::atomic<std::uint64_t> offset_{0};
+  // Serializes concurrent compactors.
+  std::mutex compact_mu_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PERSIST_DURABLE_LINK_INDEX_H_

@@ -1,0 +1,42 @@
+// Index snapshots: the once-off per-table ER indices — the token-blocking
+// TableBlockIndex (TBI_E + ITBI_E) and the attribute-distinctiveness
+// weights — serialized so a warm start skips WarmIndices entirely.
+//
+// Unlike table snapshots these deserialize into owned structures (the
+// index is pointer-heavy, not flat), so the mapping is released after
+// loading.
+
+#ifndef QUERYER_PERSIST_INDEX_SNAPSHOT_H_
+#define QUERYER_PERSIST_INDEX_SNAPSHOT_H_
+
+#include <memory>
+#include <string>
+
+#include "blocking/token_blocking.h"
+#include "common/status.h"
+#include "matching/profile_matcher.h"
+
+namespace queryer {
+
+/// The two warm indices of one table, as loaded from a snapshot.
+struct LoadedIndexes {
+  std::shared_ptr<TableBlockIndex> tbi;
+  AttributeWeights weights;
+};
+
+/// \brief Writer/loader for index snapshots (SnapshotKind::kIndex).
+class IndexSnapshotIO {
+ public:
+  static Status Write(const TableBlockIndex& tbi,
+                      const AttributeWeights& weights,
+                      const std::string& path, bool fsync);
+
+  /// `num_entities` is the row count of the owning table; a snapshot built
+  /// over different contents fails validation instead of mis-indexing.
+  static Result<LoadedIndexes> Load(const std::string& path,
+                                    std::size_t num_entities);
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PERSIST_INDEX_SNAPSHOT_H_

@@ -1,0 +1,274 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/failpoint.h"
+#include "obs/metrics.h"
+#include "persist/crc32.h"
+
+namespace queryer {
+
+namespace {
+
+// "QERSNAP1" read as a little-endian u64.
+constexpr std::uint64_t kMagic = 0x3150414E53524551ull;
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kDirEntryBytes = 24;
+constexpr std::size_t kSectionAlign = 64;
+// Snapshots carry a handful of sections (a few per column at most); a
+// count beyond this is corruption, not a big file.
+constexpr std::uint32_t kMaxSections = 1u << 20;
+
+std::string ErrnoMessage(const std::string& what, const std::string& path) {
+  return what + " " + path + ": " + std::strerror(errno);
+}
+
+std::size_t AlignUp(std::size_t offset) {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+// Full (not short) write of `size` bytes; returns IoError on failure.
+Status WriteAll(int fd, const void* data, std::size_t size,
+                const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::write(fd, p, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("write", path));
+    }
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Filesystem helpers
+// ---------------------------------------------------------------------------
+
+Status EnsureDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) {
+    return Status::OK();
+  }
+  return Status::IoError(ErrnoMessage("mkdir", path));
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+// ---------------------------------------------------------------------------
+// MappedFile
+// ---------------------------------------------------------------------------
+
+Result<std::shared_ptr<MappedFile>> MappedFile::Map(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no snapshot file at " + path);
+    }
+    return Status::IoError(ErrnoMessage("open", path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Status::IoError(ErrnoMessage("fstat", path));
+    ::close(fd);
+    return status;
+  }
+  const std::size_t size = static_cast<std::size_t>(st.st_size);
+  char* data = nullptr;
+  if (size > 0) {
+    void* mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (mapping == MAP_FAILED) {
+      const Status status = Status::IoError(ErrnoMessage("mmap", path));
+      ::close(fd);
+      return status;
+    }
+    data = static_cast<char*>(mapping);
+  }
+  ::close(fd);  // The mapping outlives the descriptor.
+  return std::shared_ptr<MappedFile>(new MappedFile(data, size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) ::munmap(data_, size_);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotWriter
+// ---------------------------------------------------------------------------
+
+Status SnapshotWriter::Commit(const std::string& path, bool fsync) {
+  const auto start = std::chrono::steady_clock::now();
+
+  // Directory first (section offsets laid out 64-byte aligned after it),
+  // then the header, whose CRC covers its own 20 leading bytes plus the
+  // whole directory.
+  ByteWriter dir;
+  std::size_t offset = AlignUp(kHeaderBytes + kDirEntryBytes * sections_.size());
+  for (const std::string& payload : sections_) {
+    dir.U64(offset);
+    dir.U64(payload.size());
+    dir.U32(Crc32(payload.data(), payload.size()));
+    dir.U32(0);
+    offset = AlignUp(offset + payload.size());
+  }
+  const std::string dir_bytes = dir.Take();
+
+  ByteWriter header;
+  header.U64(kMagic);
+  header.U32(kSnapshotFormatVersion);
+  header.U32(static_cast<std::uint32_t>(kind_));
+  header.U32(static_cast<std::uint32_t>(sections_.size()));
+  std::string header_bytes = header.Take();
+  std::uint32_t crc = Crc32(header_bytes.data(), header_bytes.size());
+  crc = Crc32(dir_bytes.data(), dir_bytes.size(), crc);
+  ByteWriter crc_writer;
+  crc_writer.U32(crc);
+  header_bytes += crc_writer.Take();
+
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::IoError(ErrnoMessage("open", tmp));
+
+  Status status = WriteAll(fd, header_bytes.data(), header_bytes.size(), tmp);
+  if (status.ok()) {
+    status = WriteAll(fd, dir_bytes.data(), dir_bytes.size(), tmp);
+  }
+  std::size_t written = kHeaderBytes + dir_bytes.size();
+  for (std::size_t i = 0; status.ok() && i < sections_.size(); ++i) {
+    // The injection point for "crash while writing a section": an armed
+    // error leaves a partial .tmp behind, which a recovering process
+    // ignores (only the rename publishes a snapshot).
+    status = [&]() -> Status {
+      QUERYER_FAILPOINT("persist.write_section");
+      return Status::OK();
+    }();
+    if (!status.ok()) {
+      status = status.WithContext("persist.write_section " + path);
+      break;
+    }
+    const std::size_t aligned = AlignUp(written);
+    if (aligned > written) {
+      static const char kZeros[kSectionAlign] = {0};
+      status = WriteAll(fd, kZeros, aligned - written, tmp);
+      if (!status.ok()) break;
+      written = aligned;
+    }
+    status = WriteAll(fd, sections_[i].data(), sections_[i].size(), tmp);
+    written += sections_[i].size();
+  }
+
+  if (status.ok()) {
+    status = [&]() -> Status {
+      QUERYER_FAILPOINT("persist.fsync");
+      return Status::OK();
+    }();
+    if (!status.ok()) status = status.WithContext("persist.fsync " + path);
+  }
+  if (status.ok() && fsync && ::fsync(fd) != 0) {
+    status = Status::IoError(ErrnoMessage("fsync", tmp));
+  }
+  ::close(fd);
+  if (status.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IoError(ErrnoMessage("rename", tmp));
+  }
+  if (!status.ok()) {
+    ::unlink(tmp.c_str());
+    return status;
+  }
+
+  const EngineMetrics& metrics = GlobalEngineMetrics();
+  metrics.snapshots_written->Increment();
+  metrics.snapshot_flush_wait->Observe(
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotReader
+// ---------------------------------------------------------------------------
+
+Result<SnapshotReader> SnapshotReader::Open(const std::string& path,
+                                            SnapshotKind expected_kind) {
+  QUERYER_ASSIGN_OR_RETURN(std::shared_ptr<MappedFile> file,
+                           MappedFile::Map(path));
+  const std::string_view bytes =
+      file->size() > 0 ? std::string_view(file->data(), file->size())
+                       : std::string_view();
+  if (bytes.size() < kHeaderBytes) {
+    return Status::Corruption("snapshot " + path + " truncated: " +
+                              std::to_string(bytes.size()) + " bytes");
+  }
+  ByteReader header(bytes.substr(0, kHeaderBytes));
+  const std::uint64_t magic = header.U64();
+  const std::uint32_t version = header.U32();
+  const std::uint32_t kind = header.U32();
+  const std::uint32_t section_count = header.U32();
+  const std::uint32_t header_crc = header.U32();
+  if (magic != kMagic) {
+    return Status::Corruption("snapshot " + path + ": bad magic");
+  }
+  if (version > kSnapshotFormatVersion) {
+    return Status::NotImplemented(
+        "snapshot " + path + " has format version " + std::to_string(version) +
+        "; this build reads up to " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  if (kind != static_cast<std::uint32_t>(expected_kind)) {
+    return Status::Corruption("snapshot " + path + ": kind " +
+                              std::to_string(kind) + ", expected " +
+                              std::to_string(static_cast<std::uint32_t>(
+                                  expected_kind)));
+  }
+  if (section_count > kMaxSections) {
+    return Status::Corruption("snapshot " + path + ": implausible section count " +
+                              std::to_string(section_count));
+  }
+  const std::size_t dir_bytes = kDirEntryBytes * section_count;
+  if (bytes.size() - kHeaderBytes < dir_bytes) {
+    return Status::Corruption("snapshot " + path +
+                              ": directory past end of file");
+  }
+  std::uint32_t crc = Crc32(bytes.data(), kHeaderBytes - sizeof(std::uint32_t));
+  crc = Crc32(bytes.data() + kHeaderBytes, dir_bytes, crc);
+  if (crc != header_crc) {
+    return Status::Corruption("snapshot " + path + ": header checksum mismatch");
+  }
+
+  ByteReader dir(bytes.substr(kHeaderBytes, dir_bytes));
+  std::vector<std::string_view> sections;
+  sections.reserve(section_count);
+  for (std::uint32_t i = 0; i < section_count; ++i) {
+    const std::uint64_t offset = dir.U64();
+    const std::uint64_t size = dir.U64();
+    const std::uint32_t section_crc = dir.U32();
+    dir.U32();  // reserved
+    if (offset % kSectionAlign != 0 || offset > bytes.size() ||
+        size > bytes.size() - offset) {
+      return Status::Corruption("snapshot " + path + ": section " +
+                                std::to_string(i) + " out of bounds");
+    }
+    const std::string_view payload = bytes.substr(offset, size);
+    if (Crc32(payload.data(), payload.size()) != section_crc) {
+      return Status::Corruption("snapshot " + path + ": section " +
+                                std::to_string(i) + " checksum mismatch");
+    }
+    sections.push_back(payload);
+  }
+  return SnapshotReader(std::move(file), std::move(sections));
+}
+
+}  // namespace queryer

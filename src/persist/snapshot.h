@@ -1,0 +1,207 @@
+// The snapshot container: a versioned, checksummed, memory-mappable file
+// format shared by table, index, and Link Index snapshots.
+//
+// Layout (fixed-width little-endian integers; QueryER targets LE hosts):
+//
+//   [0, 24)   header: u64 magic "QERSNAP1" | u32 version | u32 kind
+//             | u32 section_count | u32 header_crc
+//   [24, ..)  section directory: per section u64 offset | u64 size
+//             | u32 crc | u32 reserved(0)
+//   sections  each payload starts on a 64-byte file offset (zero padding
+//             between), so u32/u64/double arrays inside a mapped section
+//             are naturally aligned and can be pointed at in place.
+//
+// header_crc covers the 20 header bytes before it plus the whole directory;
+// each directory entry's crc covers its section payload. SnapshotReader
+// validates everything eagerly at Open — magic, version, kind, bounds,
+// alignment, and every CRC — and returns kCorruption (or kNotImplemented
+// for a future format version) without ever acting on bytes it cannot
+// vouch for. Writers build the file beside the target (".tmp") and
+// rename(2) it into place, so a crash mid-write never leaves a live
+// half-snapshot; failpoints `persist.write_section` and `persist.fsync`
+// sit on the two durability boundaries.
+
+#ifndef QUERYER_PERSIST_SNAPSHOT_H_
+#define QUERYER_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace queryer {
+
+/// On-disk format version this build reads and writes.
+constexpr std::uint32_t kSnapshotFormatVersion = 1;
+
+/// Snapshot kinds (the `kind` header field) — a reader opening the wrong
+/// file class fails fast instead of misparsing sections.
+enum class SnapshotKind : std::uint32_t {
+  kTable = 1,
+  kIndex = 2,
+  kLinkIndex = 3,
+};
+
+/// \brief A read-only memory-mapped file. The mapping lives until the last
+/// shared_ptr drops, so loaded tables alias sections directly and pin the
+/// mapping via their anchor.
+class MappedFile {
+ public:
+  static Result<std::shared_ptr<MappedFile>> Map(const std::string& path);
+  ~MappedFile();
+
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+
+ private:
+  MappedFile(char* data, std::size_t size) : data_(data), size_(size) {}
+
+  char* data_;
+  std::size_t size_;
+};
+
+/// Creates `path` as a directory if it does not exist (one level).
+Status EnsureDir(const std::string& path);
+
+/// True when `path` names an existing regular file.
+bool FileExists(const std::string& path);
+
+/// \brief Append-only builder for a section payload: fixed-width LE
+/// integers and length-prefixed byte runs into a std::string.
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { Raw(&v, 1); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Bytes(const void* data, std::size_t size) { Raw(data, size); }
+  /// u32 length prefix + bytes.
+  void String(std::string_view s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+
+  std::string Take() { return std::move(buffer_); }
+  std::size_t size() const { return buffer_.size(); }
+
+ private:
+  void Raw(const void* data, std::size_t size) {
+    buffer_.append(static_cast<const char*>(data), size);
+  }
+  std::string buffer_;
+};
+
+/// \brief Bounds-checked cursor over a section payload. Any read past the
+/// end sets the failure flag and returns zero/empty; decoders check ok()
+/// (and validate counts against remaining() before looping) and turn a
+/// failure into kCorruption — corrupt lengths can never index out of the
+/// mapping.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  std::uint8_t U8() { return ReadAs<std::uint8_t>(); }
+  std::uint32_t U32() { return ReadAs<std::uint32_t>(); }
+  std::uint64_t U64() { return ReadAs<std::uint64_t>(); }
+  double F64() { return ReadAs<double>(); }
+
+  /// The next `size` bytes as a view into the payload (zero-copy).
+  std::string_view Bytes(std::size_t size) {
+    if (!Ensure(size)) return {};
+    std::string_view out = data_.substr(pos_, size);
+    pos_ += size;
+    return out;
+  }
+
+  /// A u32-length-prefixed byte run.
+  std::string_view String() {
+    const std::uint32_t len = U32();
+    return Bytes(len);
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  /// False once any read overran the payload.
+  bool ok() const { return ok_; }
+  /// True when the cursor consumed the payload exactly.
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T ReadAs() {
+    if (!Ensure(sizeof(T))) return T{};
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  bool Ensure(std::size_t size) {
+    if (!ok_ || data_.size() - pos_ < size) {
+      ok_ = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+/// \brief Assembles a snapshot file: add sections in order, then Commit
+/// writes <path>.tmp (header, directory, aligned checksummed sections),
+/// optionally fsyncs, and renames into place.
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(SnapshotKind kind) : kind_(kind) {}
+
+  /// Appends a section; sections are read back by position.
+  void AddSection(std::string payload) {
+    sections_.push_back(std::move(payload));
+  }
+
+  /// Writes the file. With `fsync` the data is flushed to stable storage
+  /// before the rename (and the rename is followed by a directory fsync);
+  /// without it the commit is atomic against crashes of this process but
+  /// rides the page cache.
+  Status Commit(const std::string& path, bool fsync);
+
+ private:
+  SnapshotKind kind_;
+  std::vector<std::string> sections_;
+};
+
+/// \brief Validated view of a snapshot file. Open maps the file and checks
+/// every structural invariant and every CRC before returning; section()
+/// then hands out zero-copy views into the mapping.
+class SnapshotReader {
+ public:
+  static Result<SnapshotReader> Open(const std::string& path,
+                                     SnapshotKind expected_kind);
+
+  std::size_t num_sections() const { return sections_.size(); }
+  std::string_view section(std::size_t i) const { return sections_[i]; }
+
+  /// The mapping backing the sections; loaders that alias section bytes
+  /// (the table loader) hold onto it.
+  const std::shared_ptr<MappedFile>& file() const { return file_; }
+
+ private:
+  SnapshotReader(std::shared_ptr<MappedFile> file,
+                 std::vector<std::string_view> sections)
+      : file_(std::move(file)), sections_(std::move(sections)) {}
+
+  std::shared_ptr<MappedFile> file_;
+  std::vector<std::string_view> sections_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PERSIST_SNAPSHOT_H_

@@ -1,0 +1,140 @@
+#include "persist/table_snapshot.h"
+
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "persist/snapshot.h"
+#include "storage/dictionary.h"
+#include "storage/schema.h"
+
+namespace queryer {
+
+// Sections: [0] meta (name, row count, attribute names); then per
+// attribute a: [1+3a] codes (num_rows raw u32), [2+3a] dictionary string
+// lengths (count + raw u32s), [3+3a] dictionary bytes (each string
+// NUL-terminated).
+
+Status TableSnapshotIO::Write(const Table& table, const std::string& path,
+                              bool fsync) {
+  SnapshotWriter writer(SnapshotKind::kTable);
+
+  ByteWriter meta;
+  meta.String(table.name());
+  meta.U64(table.num_rows());
+  meta.U32(static_cast<std::uint32_t>(table.num_attributes()));
+  for (const std::string& attr : table.schema().names()) meta.String(attr);
+  writer.AddSection(meta.Take());
+
+  for (std::size_t a = 0; a < table.num_attributes(); ++a) {
+    const ColumnView column = table.column(a);
+    ByteWriter codes;
+    codes.Bytes(column.codes().data(), column.size() * sizeof(DictCode));
+    writer.AddSection(codes.Take());
+
+    const Dictionary& dictionary = column.dictionary();
+    ByteWriter lens;
+    ByteWriter bytes;
+    lens.U32(static_cast<std::uint32_t>(dictionary.size()));
+    for (DictCode code = 0; code < dictionary.size(); ++code) {
+      const std::string_view value = dictionary.value(code);
+      lens.U32(static_cast<std::uint32_t>(value.size()));
+      bytes.Bytes(value.data(), value.size());
+      bytes.U8(0);  // The arena's NUL terminator, preserved on disk.
+    }
+    writer.AddSection(lens.Take());
+    writer.AddSection(bytes.Take());
+  }
+
+  return writer.Commit(path, fsync).WithContext("table snapshot " +
+                                                table.name());
+}
+
+Result<TablePtr> TableSnapshotIO::Load(const std::string& path) {
+  QUERYER_ASSIGN_OR_RETURN(SnapshotReader reader,
+                           SnapshotReader::Open(path, SnapshotKind::kTable));
+
+  ByteReader meta(reader.section(0));
+  const std::string name(meta.String());
+  const std::uint64_t num_rows = meta.U64();
+  const std::uint32_t num_attributes = meta.U32();
+  if (!meta.ok() || num_rows > std::numeric_limits<EntityId>::max()) {
+    return Status::Corruption("table snapshot " + path + ": bad meta section");
+  }
+  std::vector<std::string> attribute_names;
+  attribute_names.reserve(num_attributes);
+  for (std::uint32_t a = 0; a < num_attributes; ++a) {
+    attribute_names.emplace_back(meta.String());
+  }
+  if (!meta.AtEnd()) {
+    return Status::Corruption("table snapshot " + path + ": bad meta section");
+  }
+  if (reader.num_sections() != 1 + 3 * static_cast<std::size_t>(num_attributes)) {
+    return Status::Corruption("table snapshot " + path + ": expected " +
+                              std::to_string(1 + 3 * num_attributes) +
+                              " sections, found " +
+                              std::to_string(reader.num_sections()));
+  }
+  Result<Schema> schema = Schema::Make(std::move(attribute_names));
+  if (!schema.ok()) {
+    return Status::Corruption("table snapshot " + path + ": " +
+                              schema.status().message());
+  }
+
+  TablePtr table(new Table(name, schema.MoveValueUnsafe()));
+  table->num_rows_ = num_rows;
+  for (std::uint32_t a = 0; a < num_attributes; ++a) {
+    const std::string_view codes = reader.section(1 + 3 * a);
+    if (codes.size() != num_rows * sizeof(DictCode)) {
+      return Status::Corruption("table snapshot " + path + ": codes of column " +
+                                std::to_string(a) + " sized " +
+                                std::to_string(codes.size()));
+    }
+
+    ByteReader lens(reader.section(2 + 3 * a));
+    const std::uint32_t distinct = lens.U32();
+    if (!lens.ok() || lens.remaining() != distinct * sizeof(std::uint32_t)) {
+      return Status::Corruption("table snapshot " + path +
+                                ": bad dictionary lengths of column " +
+                                std::to_string(a));
+    }
+    const std::string_view dict_bytes = reader.section(3 + 3 * a);
+    std::vector<std::string_view> views;
+    views.reserve(distinct);
+    std::size_t pos = 0;
+    for (std::uint32_t code = 0; code < distinct; ++code) {
+      const std::uint32_t len = lens.U32();
+      // Each slot is the string plus its NUL terminator.
+      if (dict_bytes.size() - pos < static_cast<std::size_t>(len) + 1 ||
+          dict_bytes[pos + len] != '\0') {
+        return Status::Corruption("table snapshot " + path +
+                                  ": bad dictionary bytes of column " +
+                                  std::to_string(a));
+      }
+      views.push_back(dict_bytes.substr(pos, len));
+      pos += static_cast<std::size_t>(len) + 1;
+    }
+    if (pos != dict_bytes.size()) {
+      return Status::Corruption("table snapshot " + path +
+                                ": trailing dictionary bytes in column " +
+                                std::to_string(a));
+    }
+
+    const auto* code_ptr = reinterpret_cast<const DictCode*>(codes.data());
+    for (std::uint64_t row = 0; row < num_rows; ++row) {
+      if (code_ptr[row] >= distinct) {
+        return Status::Corruption("table snapshot " + path +
+                                  ": out-of-range code in column " +
+                                  std::to_string(a));
+      }
+    }
+
+    Table::Column& column = table->columns_[a];
+    column.codes = code_ptr;
+    column.dictionary = Dictionary::FromMapped(std::move(views));
+  }
+  table->mapping_ = reader.file();
+  return table;
+}
+
+}  // namespace queryer

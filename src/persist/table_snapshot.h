@@ -1,0 +1,38 @@
+// Table snapshots: the PR 7 columnar layout, on disk and memory-mappable.
+//
+// Per attribute the snapshot stores the dictionary-code vector and the
+// dictionary (string lengths + concatenated bytes with a NUL after every
+// string, exactly the StringArena convention ParseNumber's in-place strtod
+// relies on) as separate aligned sections. Loading maps the file and
+// points Column::codes and the dictionary views straight into it: the
+// heavy bytes are never copied, only the O(distinct) view vector and the
+// exact-match index are rebuilt. Codes are first-appearance order by
+// construction, so a loaded table is bit-identical to the CSV-built one
+// for every query.
+
+#ifndef QUERYER_PERSIST_TABLE_SNAPSHOT_H_
+#define QUERYER_PERSIST_TABLE_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "storage/table.h"
+
+namespace queryer {
+
+/// \brief Writer/loader for table snapshots (SnapshotKind::kTable).
+class TableSnapshotIO {
+ public:
+  /// Writes `table` to `path` (atomically: .tmp + rename).
+  static Status Write(const Table& table, const std::string& path,
+                      bool fsync);
+
+  /// Maps `path` and returns a table whose columns alias the mapping; the
+  /// returned table pins the mapping for its lifetime. kCorruption /
+  /// kNotImplemented on invalid or future-version files.
+  static Result<TablePtr> Load(const std::string& path);
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_PERSIST_TABLE_SNAPSHOT_H_

@@ -2,6 +2,16 @@
 
 namespace queryer {
 
+Dictionary Dictionary::FromMapped(std::vector<std::string_view> views) {
+  Dictionary d;
+  d.views_ = std::move(views);
+  d.index_.reserve(d.views_.size());
+  for (DictCode code = 0; code < d.views_.size(); ++code) {
+    d.index_.emplace(d.views_[code], code);
+  }
+  return d;
+}
+
 DictCode Dictionary::GetOrAdd(std::string_view s) {
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;

@@ -31,6 +31,14 @@ class Dictionary {
   Dictionary(Dictionary&&) = default;
   Dictionary& operator=(Dictionary&&) = default;
 
+  /// Restores a dictionary whose string bytes live in externally-owned
+  /// storage (a memory-mapped snapshot section). `views[i]` becomes the
+  /// interned string for code i and must stay valid and address-stable for
+  /// the dictionary's lifetime — the caller pins the mapping. The exact-
+  /// match index is rebuilt; the arena stays empty unless GetOrAdd later
+  /// interns a new string (tables are immutable, so loads never do).
+  static Dictionary FromMapped(std::vector<std::string_view> views);
+
   /// Returns the code for `s`, interning a copy on first sight.
   /// Codes are dense: 0, 1, 2, ... in first-appearance order.
   DictCode GetOrAdd(std::string_view s);

@@ -14,7 +14,7 @@ void Table::MaterializeRow(EntityId id,
 }
 
 void TableBuilder::Reserve(std::size_t rows) {
-  for (auto& column : table_->columns_) column.codes.reserve(rows);
+  for (auto& column : table_->columns_) column.owned_codes.reserve(rows);
 }
 
 Status TableBuilder::AddRow(const std::vector<std::string>& values) {
@@ -27,7 +27,10 @@ Status TableBuilder::AddRow(const std::vector<std::string>& values) {
   }
   for (std::size_t a = 0; a < values.size(); ++a) {
     Table::Column& c = t.columns_[a];
-    c.codes.push_back(c.dictionary.GetOrAdd(values[a]));
+    c.owned_codes.push_back(c.dictionary.GetOrAdd(values[a]));
+    // Re-point after every push: readers only see the table post-Build, but
+    // keeping the pointer current costs nothing and avoids a stale window.
+    c.codes = c.owned_codes.data();
   }
   ++t.num_rows_;
   return Status::OK();

@@ -27,26 +27,48 @@ namespace queryer {
 /// Row position within a table; the canonical entity identifier.
 using EntityId = std::uint32_t;
 
+/// \brief Borrowed view of one column's dictionary-code vector. The codes
+/// may live in a heap vector (tables built by TableBuilder) or directly in
+/// a memory-mapped snapshot section (tables loaded by the persist tier) —
+/// consumers iterate either the same way.
+class CodeSpan {
+ public:
+  CodeSpan(const DictCode* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  const DictCode* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  DictCode operator[](std::size_t i) const { return data_[i]; }
+  const DictCode* begin() const { return data_; }
+  const DictCode* end() const { return data_ + size_; }
+
+ private:
+  const DictCode* data_;
+  std::size_t size_;
+};
+
 /// \brief Read view of one column: dictionary codes plus their dictionary.
 ///
 /// The view borrows from the Table; it is cheap to copy and valid for the
 /// table's lifetime.
 class ColumnView {
  public:
-  std::size_t size() const { return codes_->size(); }
-  DictCode code(EntityId id) const { return (*codes_)[id]; }
+  std::size_t size() const { return size_; }
+  DictCode code(EntityId id) const { return codes_[id]; }
   std::string_view value(EntityId id) const {
-    return dictionary_->value((*codes_)[id]);
+    return dictionary_->value(codes_[id]);
   }
-  const std::vector<DictCode>& codes() const { return *codes_; }
+  CodeSpan codes() const { return CodeSpan(codes_, size_); }
   const Dictionary& dictionary() const { return *dictionary_; }
 
  private:
   friend class Table;
-  ColumnView(const std::vector<DictCode>* codes, const Dictionary* dictionary)
-      : codes_(codes), dictionary_(dictionary) {}
+  ColumnView(const DictCode* codes, std::size_t size,
+             const Dictionary* dictionary)
+      : codes_(codes), size_(size), dictionary_(dictionary) {}
 
-  const std::vector<DictCode>* codes_;
+  const DictCode* codes_;
+  std::size_t size_;
   const Dictionary* dictionary_;
 };
 
@@ -60,7 +82,8 @@ class Table {
   std::size_t num_attributes() const { return schema_.num_attributes(); }
 
   /// The value of one attribute of one entity, viewing into the column
-  /// dictionary's arena. Valid for the table's lifetime.
+  /// dictionary's storage (heap arena or snapshot mapping). Valid for the
+  /// table's lifetime.
   std::string_view ValueAt(EntityId id, std::size_t attribute) const {
     const Column& c = columns_[attribute];
     return c.dictionary.value(c.codes[id]);
@@ -75,7 +98,7 @@ class Table {
 
   ColumnView column(std::size_t attribute) const {
     const Column& c = columns_[attribute];
-    return ColumnView(&c.codes, &c.dictionary);
+    return ColumnView(c.codes, num_rows_, &c.dictionary);
   }
 
   const Dictionary& dictionary(std::size_t attribute) const {
@@ -88,9 +111,17 @@ class Table {
 
  private:
   friend class TableBuilder;
+  // The persist tier builds tables whose code vectors and dictionary
+  // string bytes point into a memory-mapped snapshot (owned_codes stays
+  // empty, mapping_ pins the file mapping).
+  friend class TableSnapshotIO;
 
   struct Column {
-    std::vector<DictCode> codes;
+    /// Heap storage for tables built row by row; empty for mapped tables.
+    std::vector<DictCode> owned_codes;
+    /// The code vector actually read (owned_codes.data() or a pointer into
+    /// the snapshot mapping). Set when the table is frozen.
+    const DictCode* codes = nullptr;
     Dictionary dictionary;
   };
 
@@ -103,6 +134,8 @@ class Table {
   Schema schema_;
   std::vector<Column> columns_;
   std::size_t num_rows_ = 0;
+  /// Keeps the snapshot mapping alive for mapped tables; null otherwise.
+  std::shared_ptr<const void> mapping_;
 };
 
 using TablePtr = std::shared_ptr<Table>;
