@@ -35,6 +35,8 @@
 #include "bench_util.h"
 #include "common/stopwatch.h"
 #include "common/string_util.h"
+#include "server/client.h"
+#include "server/query_server.h"
 #include "storage/csv.h"
 
 namespace {
@@ -97,6 +99,7 @@ int main(int argc, char** argv) {
   std::printf("%-10s %10s %12s %12s %12s %12s\n", "query", "rows",
               "execute(s)", "ttfb(s)", "ttlb(s)", "abandon(s)");
   bool mismatch = false;
+  std::vector<std::pair<std::string, double>> inproc_ttfb;
   for (const QuerySpec& query : queries) {
     Timings best;
     for (int rep = 0; rep < kReps; ++rep) {
@@ -206,6 +209,91 @@ int main(int argc, char** argv) {
               {"abandon_seconds",
                queryer::FormatDouble(best.abandon_seconds, 5)},
               {"abandon_rows", std::to_string(kAbandonRows)}});
+    inproc_ttfb.emplace_back(query.name, best.ttfb_seconds);
+  }
+
+  // Server section: the same TTFB measured over the wire — a QueryServer
+  // on a loopback ephemeral port, a line-framed JSON client, OPEN + NEXT
+  // paging — against the in-process cursor TTFB from the table above. The
+  // delta is the full protocol cost: framing, JSON encode/decode of every
+  // row, a TCP round-trip per page. Fresh engine + server per rep so DEDUP
+  // stays cold, exactly like the in-process arms.
+  {
+    Banner("Server: in-process cursor TTFB vs over-the-wire TTFB");
+    std::printf("%-10s %10s %12s %12s %12s\n", "query", "rows",
+                "ttfb(s)", "wire_ttfb(s)", "wire_ttlb(s)");
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const QuerySpec& query = queries[qi];
+      double wire_ttfb = 0, wire_ttlb = 0;
+      std::size_t rows = 0;
+      for (int rep = 0; rep < kReps; ++rep) {
+        auto engine = make_engine();
+        queryer::ServerOptions server_options;
+        server_options.port = 0;
+        queryer::QueryServer server(engine.get(), server_options);
+        queryer::Status status = server.Start();
+        if (!status.ok()) {
+          std::fprintf(stderr, "server Start failed: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+        auto connected = queryer::Client::Connect("127.0.0.1", server.port(),
+                                                  "bench");
+        if (!connected.ok()) {
+          std::fprintf(stderr, "Connect failed: %s\n",
+                       connected.status().ToString().c_str());
+          return 1;
+        }
+        queryer::Client client = std::move(connected).MoveValueUnsafe();
+
+        queryer::Stopwatch watch;  // Before OPEN: Open-time work counts.
+        auto open = client.Open(query.sql);
+        if (!open.ok()) {
+          std::fprintf(stderr, "OPEN failed: %s\n",
+                       open.status().ToString().c_str());
+          return 1;
+        }
+        double first = -1;
+        std::size_t streamed = 0;
+        bool done = false;
+        while (!done) {
+          auto page = client.Next(open->cursor);
+          if (!page.ok()) {
+            std::fprintf(stderr, "NEXT failed: %s\n",
+                         page.status().ToString().c_str());
+            return 1;
+          }
+          if (!page->rows.empty() && first < 0) {
+            first = watch.ElapsedSeconds();
+          }
+          streamed += page->rows.size();
+          done = page->done;
+        }
+        const double ttlb = watch.ElapsedSeconds();
+        server.Stop();
+        rows = streamed;
+        if (rep == 0 || first < wire_ttfb) {
+          wire_ttfb = first < 0 ? ttlb : first;
+        }
+        if (rep == 0 || ttlb < wire_ttlb) wire_ttlb = ttlb;
+      }
+      const double inproc = inproc_ttfb[qi].second;
+      std::printf("%-10s %10zu %12s %12s %12s\n", query.name, rows,
+                  queryer::FormatDouble(inproc, 4).c_str(),
+                  queryer::FormatDouble(wire_ttfb, 4).c_str(),
+                  queryer::FormatDouble(wire_ttlb, 4).c_str());
+      CsvLine("streaming_latency",
+              {std::string("server_") + query.name, std::to_string(rows),
+               queryer::FormatDouble(inproc, 5),
+               queryer::FormatDouble(wire_ttfb, 5),
+               queryer::FormatDouble(wire_ttlb, 5)});
+      JsonLine("streaming_latency",
+               {{"query", std::string("server_") + query.name},
+                {"rows", std::to_string(rows)},
+                {"inproc_ttfb_seconds", queryer::FormatDouble(inproc, 5)},
+                {"wire_ttfb_seconds", queryer::FormatDouble(wire_ttfb, 5)},
+                {"wire_ttlb_seconds", queryer::FormatDouble(wire_ttlb, 5)}});
+    }
   }
 
   // Cancel pre-emption: how fast Cancel() issued from another thread tears

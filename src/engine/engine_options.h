@@ -85,6 +85,15 @@ struct EngineOptions {
   /// held a slot, ran no prologue and claimed nothing; it is counted in
   /// queryer_sessions_shed_total.
   double admission_timeout = 0;
+  /// Per-tenant admission quota, enforced by the query server front end
+  /// (src/server, docs/SERVER.md): how many sessions one authenticated
+  /// tenant may hold concurrently — open wire cursors plus in-flight
+  /// EXECUTEs each count as one. Over-quota requests are shed with
+  /// kResourceExhausted BEFORE they touch engine admission, so a single
+  /// tenant can never occupy every max_concurrent_queries slot and starve
+  /// the others. 0 (default) = unlimited; the in-process API ignores this
+  /// field entirely (it has no tenant notion).
+  std::size_t max_concurrent_per_tenant = 0;
   /// RowBatch capacity of the batch execution pipeline: how many rows flow
   /// through one Next(RowBatch*) call. Also the morsel granularity of
   /// parallel table scans. Query answers are identical for every value;

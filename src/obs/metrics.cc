@@ -292,4 +292,42 @@ const EngineMetrics& GlobalEngineMetrics() {
   return *metrics;
 }
 
+// ---------------------------------------------------------------------------
+// ServerMetrics
+// ---------------------------------------------------------------------------
+
+const ServerMetrics& GlobalServerMetrics() {
+  static const ServerMetrics* metrics = [] {
+    MetricsRegistry& reg = MetricsRegistry::Global();
+    auto* m = new ServerMetrics();
+    m->connections_accepted =
+        reg.GetCounter("queryer_server_connections_accepted_total");
+    m->connections_refused =
+        reg.GetCounter("queryer_server_connections_refused_total");
+    m->idle_disconnects =
+        reg.GetCounter("queryer_server_idle_disconnects_total");
+    m->connections_active = reg.GetGauge("queryer_server_connections_active");
+    m->bytes_read = reg.GetCounter("queryer_server_bytes_read_total");
+    m->bytes_written = reg.GetCounter("queryer_server_bytes_written_total");
+    m->frames_received = reg.GetCounter("queryer_server_frames_received_total");
+    m->responses_sent = reg.GetCounter("queryer_server_responses_sent_total");
+    m->protocol_errors =
+        reg.GetCounter("queryer_server_protocol_errors_total");
+    m->requests_shed = reg.GetCounter("queryer_server_requests_shed_total");
+    m->plan_cache_hits = reg.GetCounter("queryer_plan_cache_hits_total");
+    m->plan_cache_misses = reg.GetCounter("queryer_plan_cache_misses_total");
+    m->result_cache_hits = reg.GetCounter("queryer_result_cache_hits_total");
+    m->result_cache_misses =
+        reg.GetCounter("queryer_result_cache_misses_total");
+    m->result_cache_invalidated =
+        reg.GetCounter("queryer_result_cache_invalidated_total");
+    m->result_cache_insertions =
+        reg.GetCounter("queryer_result_cache_insertions_total");
+    m->request_latency =
+        reg.GetHistogram("queryer_server_request_seconds");
+    return m;
+  }();
+  return *metrics;
+}
+
 }  // namespace queryer

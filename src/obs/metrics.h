@@ -180,6 +180,45 @@ struct EngineMetrics {
 /// The process-wide EngineMetrics (resolved once, never destroyed).
 const EngineMetrics& GlobalEngineMetrics();
 
+/// \brief The query server's cached instrument pointers (src/server), same
+/// contract as EngineMetrics: every field non-null, resolved once from the
+/// global registry. Catalog in docs/OBSERVABILITY.md.
+struct ServerMetrics {
+  // Connection lifecycle (QueryServer accept loop + I/O workers).
+  Counter* connections_accepted;  // Accepted and assigned to a worker.
+  Counter* connections_refused;   // Turned away (limit / accept failpoint).
+  Counter* idle_disconnects;      // Closed by the server's idle timeout.
+  Gauge* connections_active;      // Currently open connections.
+
+  // Wire traffic.
+  Counter* bytes_read;
+  Counter* bytes_written;
+  Counter* frames_received;   // Complete request frames parsed off the wire.
+  Counter* responses_sent;
+  Counter* protocol_errors;   // Malformed frames / unknown ops / bad ids.
+
+  // Tenancy.
+  Counter* requests_shed;  // Over-quota sheds, all tenants (per-tenant
+                           // counters are registered dynamically as
+                           // queryer_server_tenant_shed_total_<tenant>).
+
+  // Caches.
+  Counter* plan_cache_hits;
+  Counter* plan_cache_misses;
+  Counter* result_cache_hits;
+  Counter* result_cache_misses;
+  Counter* result_cache_invalidated;  // Hits rejected by a moved epoch /
+                                      // catalog version (entry dropped).
+  Counter* result_cache_insertions;
+
+  // Request handling, HELLO to response written (one observation per
+  // request frame, protocol errors included).
+  LatencyHistogram* request_latency;
+};
+
+/// The process-wide ServerMetrics (resolved once, never destroyed).
+const ServerMetrics& GlobalServerMetrics();
+
 }  // namespace queryer
 
 #endif  // QUERYER_OBS_METRICS_H_

@@ -1,0 +1,462 @@
+#include "server/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace queryer {
+
+namespace {
+
+// Frames are protocol-sized, not documents; 64 nested levels is far beyond
+// anything the verbs produce and keeps malicious input from blowing the
+// parser's stack.
+constexpr int kMaxDepth = 64;
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double d) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::MakeArray(Array items) {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  v.array_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::MakeObject(Object members) {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  v.object_ = std::move(members);
+  return v;
+}
+
+JsonValue JsonValue::Raw(std::string serialized) {
+  JsonValue v;
+  v.kind_ = Kind::kRaw;
+  v.string_ = std::move(serialized);
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const Member& m : object_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+void JsonValue::Set(std::string key, JsonValue value) {
+  kind_ = Kind::kObject;
+  object_.emplace_back(std::move(key), std::move(value));
+}
+
+void AppendJsonEscaped(std::string_view s, std::string* out) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\b':
+        *out += "\\b";
+        break;
+      case '\f':
+        *out += "\\f";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+void JsonValue::DumpTo(std::string* out) const {
+  switch (kind_) {
+    case Kind::kNull:
+      *out += "null";
+      break;
+    case Kind::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber: {
+      if (std::isfinite(number_) && number_ == std::floor(number_) &&
+          std::fabs(number_) < 9.007199254740992e15) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number_));
+        *out += buf;
+      } else if (std::isfinite(number_)) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", number_);
+        *out += buf;
+      } else {
+        *out += "null";  // JSON has no Inf/NaN.
+      }
+      break;
+    }
+    case Kind::kString:
+      *out += '"';
+      AppendJsonEscaped(string_, out);
+      *out += '"';
+      break;
+    case Kind::kArray: {
+      *out += '[';
+      bool first = true;
+      for (const JsonValue& item : array_) {
+        if (!first) *out += ',';
+        first = false;
+        item.DumpTo(out);
+      }
+      *out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      *out += '{';
+      bool first = true;
+      for (const Member& m : object_) {
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        AppendJsonEscaped(m.first, out);
+        *out += "\":";
+        m.second.DumpTo(out);
+      }
+      *out += '}';
+      break;
+    }
+    case Kind::kRaw:
+      *out += string_;
+      break;
+  }
+}
+
+std::string JsonValue::Dump() const {
+  std::string out;
+  DumpTo(&out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser: recursive descent over a string_view cursor.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Run() {
+    JsonValue v;
+    QUERYER_RETURN_NOT_OK(ParseValue(&v, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(std::string what) {
+    return Status::ParseError("json: " + std::move(what) + " at offset " +
+                              std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        QUERYER_RETURN_NOT_OK(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        if (c == '-' || (c >= '0' && c <= '9')) return ParseNumber(out);
+        return Error("unexpected character");
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    std::size_t start = pos_;
+    if (Consume('-')) {
+    }
+    if (pos_ >= text_.size() || !std::isdigit(UChar())) {
+      return Error("invalid number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;  // No leading zeros.
+    } else {
+      while (pos_ < text_.size() && std::isdigit(UChar())) ++pos_;
+    }
+    if (Consume('.')) {
+      if (pos_ >= text_.size() || !std::isdigit(UChar())) {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && std::isdigit(UChar())) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(UChar())) {
+        return Error("invalid number");
+      }
+      while (pos_ < text_.size() && std::isdigit(UChar())) ++pos_;
+    }
+    // The grammar above admits exactly what strtod parses, and the slice is
+    // not NUL-terminated, so copy before converting.
+    std::string num(text_.substr(start, pos_ - start));
+    *out = JsonValue::Number(std::strtod(num.c_str(), nullptr));
+    return Status::OK();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      unsigned char c = UChar();
+      ++pos_;
+      if (c == '"') return Status::OK();
+      if (c < 0x20) return Error("raw control character in string");
+      if (c != '\\') {
+        *out += static_cast<char>(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'u': {
+          unsigned cp = 0;
+          QUERYER_RETURN_NOT_OK(ParseHex4(&cp));
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require the paired \uDC00..\uDFFF.
+            if (!ConsumeWord("\\u")) return Error("unpaired surrogate");
+            unsigned lo = 0;
+            QUERYER_RETURN_NOT_OK(ParseHex4(&lo));
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Error("unpaired surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Error("unpaired surrogate");
+          }
+          AppendUtf8(cp, out);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+  }
+
+  Status ParseHex4(unsigned* out) {
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return Error("truncated \\u escape");
+      char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    *out = value;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(unsigned cp, std::string* out) {
+    if (cp < 0x80) {
+      *out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *out += static_cast<char>(0xC0 | (cp >> 6));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *out += static_cast<char>(0xE0 | (cp >> 12));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *out += static_cast<char>(0xF0 | (cp >> 18));
+      *out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    Consume('[');
+    JsonValue::Array items;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = JsonValue::MakeArray();
+      return Status::OK();
+    }
+    while (true) {
+      JsonValue item;
+      QUERYER_RETURN_NOT_OK(ParseValue(&item, depth + 1));
+      items.push_back(std::move(item));
+      SkipWhitespace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+    *out = JsonValue::MakeArray(std::move(items));
+    return Status::OK();
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    Consume('{');
+    JsonValue::Object members;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = JsonValue::MakeObject();
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      std::string key;
+      QUERYER_RETURN_NOT_OK(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      QUERYER_RETURN_NOT_OK(ParseValue(&value, depth + 1));
+      members.emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) break;
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+    *out = JsonValue::MakeObject(std::move(members));
+    return Status::OK();
+  }
+
+  unsigned char UChar() const { return static_cast<unsigned char>(text_[pos_]); }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<JsonValue> JsonValue::Parse(std::string_view text) {
+  return Parser(text).Run();
+}
+
+}  // namespace queryer

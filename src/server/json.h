@@ -1,0 +1,105 @@
+// Minimal JSON value for the wire protocol (docs/SERVER.md): parse one
+// newline-framed request, build one response. Self-contained on purpose —
+// the container ships no JSON library, and the protocol needs only the
+// basics: the six JSON kinds, strict parsing with a depth limit, and
+// deterministic single-line output (Dump never emits a raw newline, so a
+// dumped value is always a valid frame).
+//
+// Objects preserve insertion order (responses read naturally: ok first,
+// then the payload) and lookups are linear — protocol objects have a
+// handful of members. Numbers are doubles; the protocol's only numeric
+// fields (ids, row counts) are well inside the 2^53 exact-integer range,
+// and integral values are printed without a decimal point.
+
+#ifndef QUERYER_SERVER_JSON_H_
+#define QUERYER_SERVER_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace queryer {
+
+/// \brief One JSON value: null, bool, number, string, array or object —
+/// plus kRaw, a pre-serialized splice for embedding an existing JSON text
+/// (the METRICS verb embeds MetricsRegistry::ExportJson this way without
+/// re-parsing it). Parse never produces kRaw.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject, kRaw };
+
+  using Array = std::vector<JsonValue>;
+  using Member = std::pair<std::string, JsonValue>;
+  using Object = std::vector<Member>;
+
+  JsonValue() = default;  // null
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double d);
+  static JsonValue Int(std::int64_t n) {
+    return Number(static_cast<double>(n));
+  }
+  static JsonValue Uint(std::uint64_t n) {
+    return Number(static_cast<double>(n));
+  }
+  static JsonValue Str(std::string s);
+  static JsonValue MakeArray(Array items = {});
+  static JsonValue MakeObject(Object members = {});
+  /// Splices `serialized` into the output verbatim. The caller vouches
+  /// that it is valid JSON.
+  static JsonValue Raw(std::string serialized);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; reading the wrong kind returns a zero value rather
+  /// than aborting (protocol handlers validate kinds explicitly).
+  bool bool_value() const { return kind_ == Kind::kBool && bool_; }
+  double number_value() const { return kind_ == Kind::kNumber ? number_ : 0; }
+  const std::string& string_value() const { return string_; }
+  const Array& array() const { return array_; }
+  Array& array() { return array_; }
+  const Object& object() const { return object_; }
+  Object& object() { return object_; }
+
+  /// Member of an object by key (first match), null when absent or when
+  /// this is not an object.
+  const JsonValue* Find(std::string_view key) const;
+  /// Appends a member (no de-duplication — build each key once).
+  void Set(std::string key, JsonValue value);
+
+  /// Single-line serialization; see the file comment.
+  std::string Dump() const;
+  void DumpTo(std::string* out) const;
+
+  /// Strict parse of exactly one JSON value (trailing whitespace allowed,
+  /// trailing garbage is an error). Depth-limited; malformed input returns
+  /// kParseError and never throws.
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;  // kString value or kRaw serialized text.
+  Array array_;
+  Object object_;
+};
+
+/// Appends `s` JSON-escaped (quotes not included). Control characters
+/// become \u00XX, so the output never contains a raw newline.
+void AppendJsonEscaped(std::string_view s, std::string* out);
+
+}  // namespace queryer
+
+#endif  // QUERYER_SERVER_JSON_H_

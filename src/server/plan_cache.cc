@@ -1,0 +1,58 @@
+#include "server/plan_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "engine/query_engine.h"
+#include "obs/metrics.h"
+
+namespace queryer {
+
+PlanCache::PlanCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+std::string PlanCache::MakeKey(const std::string& sql,
+                               std::uint64_t version) {
+  // The version prefix is fixed-width decimal, so no SQL text can collide
+  // with another version's key.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%020llu|",
+                static_cast<unsigned long long>(version));
+  return buf + sql;
+}
+
+Result<PlanCache::Lookup> PlanCache::GetOrPrepare(QueryEngine& engine,
+                                                  const std::string& sql) {
+  const ServerMetrics& metrics = GlobalServerMetrics();
+  std::string key = MakeKey(sql, engine.catalog_version());
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    metrics.plan_cache_hits->Increment();
+    return Lookup{it->second->plan, /*hit=*/true};
+  }
+
+  metrics.plan_cache_misses->Increment();
+  auto prepared = engine.Prepare(sql);
+  if (!prepared.ok()) return prepared.status();
+  auto plan = std::make_shared<const PreparedQuery>(
+      std::move(prepared).MoveValueUnsafe());
+
+  lru_.push_front(Entry{key, plan});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return Lookup{std::move(plan), /*hit=*/false};
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace queryer

@@ -1,0 +1,75 @@
+// PlanCache: the server's shared LRU of prepared plans.
+//
+// Keyed by (SQL text, engine catalog version): a hot statement is parsed
+// and planned once and every later PREPARE / OPEN / EXECUTE that carries
+// the same text reuses the PreparedQuery — PreparedQuery::Open() is const
+// and documented safe for concurrent opens, so one cached plan serves any
+// number of simultaneous sessions across connections and tenants (plans
+// hold no tenant state). The catalog version in the key makes staleness
+// structural: QueryEngine bumps it on every registration, so a plan bound
+// under an older catalog simply stops being findable — no scan, no
+// invalidation walk.
+//
+// Statements are cached by their exact text ("SELECT *" != "select *"):
+// normalizing would trade correctness risk for a marginal hit rate, and
+// real clients re-send byte-identical statements.
+
+#ifndef QUERYER_SERVER_PLAN_CACHE_H_
+#define QUERYER_SERVER_PLAN_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "engine/prepared_query.h"
+
+namespace queryer {
+
+class QueryEngine;
+
+/// \brief Bounded LRU of shared PreparedQuery handles. Thread-safe.
+class PlanCache {
+ public:
+  /// `capacity` = max cached plans (>= 1 enforced).
+  explicit PlanCache(std::size_t capacity);
+
+  struct Lookup {
+    std::shared_ptr<const PreparedQuery> plan;
+    bool hit = false;  // True when the plan came from the cache.
+  };
+
+  /// The cached plan for `sql` under the engine's CURRENT catalog version,
+  /// preparing and inserting on miss. Prepare errors (parse/plan failures)
+  /// are returned and never cached — a typo does not occupy a slot, and a
+  /// statement that fails only under the current catalog retries cleanly
+  /// after the next registration. Counts queryer_plan_cache_{hits,misses}.
+  ///
+  /// Prepares under the cache lock: planning is pure and fast (no I/O, no
+  /// admission), and serializing it means a thundering herd on one cold
+  /// statement plans it exactly once.
+  Result<Lookup> GetOrPrepare(QueryEngine& engine, const std::string& sql);
+
+  std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const PreparedQuery> plan;
+  };
+
+  static std::string MakeKey(const std::string& sql, std::uint64_t version);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_SERVER_PLAN_CACHE_H_

@@ -1,0 +1,83 @@
+#include "server/result_cache.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace queryer {
+
+std::size_t CachedResult::ByteSize() const {
+  std::size_t total = 0;
+  for (const std::string& c : columns) total += c.size() + sizeof(std::string);
+  for (const auto& row : rows) {
+    total += sizeof(row);
+    for (const std::string& v : row) total += v.size() + sizeof(std::string);
+  }
+  return total;
+}
+
+ResultCache::ResultCache(std::size_t max_bytes, std::size_t max_entry_bytes)
+    : max_bytes_(max_bytes), max_entry_bytes_(max_entry_bytes) {}
+
+std::shared_ptr<const CachedResult> ResultCache::Get(
+    const std::string& sql, const ResultFingerprint& now) {
+  const ServerMetrics& metrics = GlobalServerMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sql);
+  if (it == index_.end()) {
+    metrics.result_cache_misses->Increment();
+    return nullptr;
+  }
+  if (it->second->fingerprint != now) {
+    // Stale: an epoch moved (a link was published on an involved table) or
+    // the catalog changed under the statement. Drop it — re-validation can
+    // never succeed, the fingerprint only moves forward.
+    metrics.result_cache_invalidated->Increment();
+    metrics.result_cache_misses->Increment();
+    EraseLocked(it->second);
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  metrics.result_cache_hits->Increment();
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& sql, ResultFingerprint fingerprint,
+                      std::shared_ptr<const CachedResult> result) {
+  if (result == nullptr) return;
+  std::size_t entry_bytes = result->ByteSize() + sql.size();
+  if (entry_bytes > max_entry_bytes_ || entry_bytes > max_bytes_) return;
+
+  const ServerMetrics& metrics = GlobalServerMetrics();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(sql);
+  if (it != index_.end()) EraseLocked(it->second);
+
+  lru_.push_front(
+      Entry{sql, std::move(fingerprint), std::move(result), entry_bytes});
+  index_[sql] = lru_.begin();
+  bytes_ += entry_bytes;
+  metrics.result_cache_insertions->Increment();
+
+  while (bytes_ > max_bytes_ && !lru_.empty()) {
+    EraseLocked(std::prev(lru_.end()));
+  }
+}
+
+void ResultCache::EraseLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->sql);
+  lru_.erase(it);
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace queryer

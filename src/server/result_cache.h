@@ -1,0 +1,109 @@
+// ResultCache: the server's bounded cache of small materialized answers.
+//
+// An EXECUTE answer is cacheable because everything its rows depend on is
+// version-stamped: tables are immutable once registered (the catalog
+// version covers what a name resolves to), and a DEDUP answer additionally
+// depends on the Link Index state of each involved table — which the index
+// summarizes as its epoch, bumped by every exclusive publication. So the
+// cache key is the SQL text and the entry carries a fingerprint
+// (catalog version + the involved tables' Link Index epochs); a lookup
+// whose CURRENT fingerprint differs finds the entry stale, drops it and
+// misses. Any link publication anywhere — another query resolving entities
+// on an involved table, even a concurrent tenant's — moves an epoch and
+// thereby invalidates, with no invalidation hooks in the engine at all.
+//
+// Fingerprints are captured AFTER execution: a first DEDUP run publishes
+// links and advances the epoch *while executing*, so a pre-execution
+// capture would mark every fresh answer instantly stale. Post-execution
+// capture is conservative in the other direction — if a concurrent session
+// publishes between our last read and the capture, the entry is born stale
+// and the next lookup just misses (correct, merely unlucky).
+//
+// Entries are tenant-agnostic on purpose: an answer is a pure function of
+// (SQL, fingerprint), so tenants share hits. Quota enforcement is not
+// bypassed dishonestly — a cache hit consumes no engine session, which is
+// exactly why it is free.
+
+#ifndef QUERYER_SERVER_RESULT_CACHE_H_
+#define QUERYER_SERVER_RESULT_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace queryer {
+
+/// \brief The validity stamp of a cached answer. Equality = still fresh.
+struct ResultFingerprint {
+  std::uint64_t catalog_version = 0;
+  /// Link Index epoch of each involved runtime (Prepare order). Empty for
+  /// non-DEDUP statements — their answers depend on tables alone.
+  std::vector<std::uint64_t> epochs;
+
+  bool operator==(const ResultFingerprint& other) const {
+    return catalog_version == other.catalog_version && epochs == other.epochs;
+  }
+  bool operator!=(const ResultFingerprint& other) const {
+    return !(*this == other);
+  }
+};
+
+/// \brief One materialized answer, shared immutably with any number of
+/// concurrent responders.
+struct CachedResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Approximate heap footprint, used for the cache's byte budget.
+  std::size_t ByteSize() const;
+};
+
+/// \brief Byte-bounded LRU keyed by SQL text, validated by fingerprint.
+/// Thread-safe.
+class ResultCache {
+ public:
+  /// `max_bytes` bounds the cache total; answers larger than
+  /// `max_entry_bytes` are never inserted (big results stream, small hot
+  /// ones cache).
+  ResultCache(std::size_t max_bytes, std::size_t max_entry_bytes);
+
+  /// The cached answer for `sql` if present AND its fingerprint equals
+  /// `now`; null otherwise. A present-but-stale entry is erased and
+  /// counted as queryer_result_cache_invalidated_total (plus the miss).
+  std::shared_ptr<const CachedResult> Get(const std::string& sql,
+                                          const ResultFingerprint& now);
+
+  /// Inserts (or replaces) the answer for `sql`. Oversized answers are
+  /// ignored. Evicts LRU entries to honor the byte budget.
+  void Put(const std::string& sql, ResultFingerprint fingerprint,
+           std::shared_ptr<const CachedResult> result);
+
+  std::size_t entries() const;
+  std::size_t bytes() const;
+
+ private:
+  struct Entry {
+    std::string sql;
+    ResultFingerprint fingerprint;
+    std::shared_ptr<const CachedResult> result;
+    std::size_t bytes = 0;
+  };
+
+  void EraseLocked(std::list<Entry>::iterator it);
+
+  const std::size_t max_bytes_;
+  const std::size_t max_entry_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // Front = most recent.
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  std::size_t bytes_ = 0;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_SERVER_RESULT_CACHE_H_

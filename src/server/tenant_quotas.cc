@@ -1,0 +1,60 @@
+#include "server/tenant_quotas.h"
+
+#include <cctype>
+
+#include "obs/metrics.h"
+
+namespace queryer {
+
+namespace {
+
+std::string SanitizeTenant(const std::string& tenant) {
+  std::string out;
+  out.reserve(tenant.size());
+  for (char c : tenant) {
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  }
+  return out.empty() ? "_" : out;
+}
+
+}  // namespace
+
+TenantQuotas::TenantQuotas(std::size_t per_tenant_limit)
+    : limit_(per_tenant_limit) {}
+
+TenantQuotas::State& TenantQuotas::StateFor(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it == tenants_.end()) {
+    State state;
+    state.shed = MetricsRegistry::Global().GetCounter(
+        "queryer_server_tenant_shed_total_" + SanitizeTenant(tenant));
+    it = tenants_.emplace(tenant, state).first;
+  }
+  return it->second;
+}
+
+bool TenantQuotas::TryAcquire(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  State& state = StateFor(tenant);
+  if (limit_ != 0 && state.in_use >= limit_) {
+    state.shed->Increment();
+    GlobalServerMetrics().requests_shed->Increment();
+    return false;
+  }
+  ++state.in_use;
+  return true;
+}
+
+void TenantQuotas::Release(const std::string& tenant) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end() && it->second.in_use > 0) --it->second.in_use;
+}
+
+std::size_t TenantQuotas::InUse(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0 : it->second.in_use;
+}
+
+}  // namespace queryer

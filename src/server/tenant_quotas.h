@@ -1,0 +1,66 @@
+// TenantQuotas: per-tenant admission bookkeeping for the query server.
+//
+// Engine admission (EngineOptions::max_concurrent_queries) bounds the TOTAL
+// number of concurrent sessions; it is tenant-blind, so one aggressive
+// tenant could occupy every slot and starve the rest. The server therefore
+// charges each session (open wire cursor or in-flight EXECUTE) against its
+// tenant's quota (EngineOptions::max_concurrent_per_tenant) BEFORE touching
+// engine admission: an over-quota request is shed immediately with
+// kResourceExhausted — it never queued, never held an engine slot, never
+// claimed an entity. Under-quota tenants keep being admitted regardless of
+// how hard an over-quota tenant hammers the server, which is the fairness
+// property tests/server_test.cc pins down.
+//
+// This is counting, not queueing, on purpose: a shed is instant and cheap,
+// and the client retries. Every shed increments the global
+// queryer_server_requests_shed_total plus a per-tenant counter
+// queryer_server_tenant_shed_total_<tenant> (tenant id sanitized to
+// [A-Za-z0-9_]), registered dynamically at first sight of the tenant.
+
+#ifndef QUERYER_SERVER_TENANT_QUOTAS_H_
+#define QUERYER_SERVER_TENANT_QUOTAS_H_
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace queryer {
+
+class Counter;
+
+/// \brief Thread-safe per-tenant session counters. One instance per server.
+class TenantQuotas {
+ public:
+  /// `per_tenant_limit` = EngineOptions::max_concurrent_per_tenant;
+  /// 0 = unlimited (TryAcquire always succeeds, but usage is still
+  /// tracked so METRICS can report it).
+  explicit TenantQuotas(std::size_t per_tenant_limit);
+
+  /// Charges one session to `tenant`. False = over quota; the shed was
+  /// counted and nothing is held (do not Release).
+  bool TryAcquire(const std::string& tenant);
+
+  /// Returns one session of `tenant`. Must pair with a successful
+  /// TryAcquire.
+  void Release(const std::string& tenant);
+
+  std::size_t InUse(const std::string& tenant) const;
+  std::size_t limit() const { return limit_; }
+
+ private:
+  struct State {
+    std::size_t in_use = 0;
+    Counter* shed = nullptr;  // queryer_server_tenant_shed_total_<tenant>.
+  };
+
+  State& StateFor(const std::string& tenant);
+
+  const std::size_t limit_;
+  mutable std::mutex mu_;
+  std::map<std::string, State> tenants_;
+};
+
+}  // namespace queryer
+
+#endif  // QUERYER_SERVER_TENANT_QUOTAS_H_

@@ -1,0 +1,193 @@
+// queryer_server: stand-alone QueryServer daemon.
+//
+// Serves either CSV tables (--csv name=path, repeatable) or — with no
+// --csv — the generated scholarly sample set (dsd/oagp/oagv, sizes via
+// --dsd/--oagp/--oagv) so the server is demo-able without any data files.
+// Prints one "listening on <host>:<port>" line to stdout once ready
+// (scripts wait for it), then serves until SIGINT/SIGTERM.
+//
+//   queryer_server --port=7487
+//   queryer_server --csv papers=papers.csv --csv venues=venues.csv \
+//       --max-concurrent=8 --tenant-quota=2
+//
+// See docs/SERVER.md for the protocol and tools/queryer_cli.cc for the
+// matching interactive client.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/scholarly.h"
+#include "engine/query_engine.h"
+#include "server/query_server.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void OnSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options]\n"
+      "  --host=ADDR            listen address (default 127.0.0.1)\n"
+      "  --port=N               listen port (default 7487; 0 = ephemeral)\n"
+      "  --csv NAME=PATH        register a CSV file as table NAME"
+      " (repeatable;\n"
+      "                         omits the generated sample tables)\n"
+      "  --dsd=N --oagp=N --oagv=N   sample table sizes"
+      " (default 2600/3000/800)\n"
+      "  --mode=batch|naive|advanced  execution mode (default advanced)\n"
+      "  --threads=N            engine worker threads (default 1)\n"
+      "  --max-concurrent=N     engine admission slots (default 4)\n"
+      "  --admission-timeout=S  shed after S seconds waiting (default 30)\n"
+      "  --tenant-quota=N       sessions per tenant, 0=unlimited"
+      " (default 0)\n"
+      "  --max-connections=N    connection cap (default 256)\n"
+      "  --idle-timeout=S       close idle connections after S seconds\n",
+      argv0);
+}
+
+bool ParseFlag(const char* arg, const char* name, std::string* out) {
+  std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) == 0 && arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using queryer::EngineOptions;
+  using queryer::ExecutionMode;
+  using queryer::QueryEngine;
+  using queryer::QueryServer;
+  using queryer::ServerOptions;
+  using queryer::Status;
+
+  EngineOptions engine_options;
+  engine_options.max_concurrent_queries = 4;
+  engine_options.admission_timeout = 30;
+  ServerOptions server_options;
+  server_options.port = 7487;
+  std::vector<std::pair<std::string, std::string>> csvs;
+  std::size_t dsd_rows = 2600, oagp_rows = 3000, oagv_rows = 800;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (ParseFlag(argv[i], "--host", &value)) {
+      server_options.host = value;
+    } else if (ParseFlag(argv[i], "--port", &value)) {
+      server_options.port = static_cast<std::uint16_t>(std::atoi(value.c_str()));
+    } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      value = argv[++i];
+      std::size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--csv wants NAME=PATH, got %s\n", value.c_str());
+        return 2;
+      }
+      csvs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (ParseFlag(argv[i], "--csv", &value)) {
+      std::size_t eq = value.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "--csv wants NAME=PATH, got %s\n", value.c_str());
+        return 2;
+      }
+      csvs.emplace_back(value.substr(0, eq), value.substr(eq + 1));
+    } else if (ParseFlag(argv[i], "--dsd", &value)) {
+      dsd_rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--oagp", &value)) {
+      oagp_rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--oagv", &value)) {
+      oagv_rows = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--mode", &value)) {
+      if (value == "batch") {
+        engine_options.mode = ExecutionMode::kBatch;
+      } else if (value == "naive") {
+        engine_options.mode = ExecutionMode::kNaive;
+      } else if (value == "advanced") {
+        engine_options.mode = ExecutionMode::kAdvanced;
+      } else {
+        std::fprintf(stderr, "unknown --mode=%s\n", value.c_str());
+        return 2;
+      }
+    } else if (ParseFlag(argv[i], "--threads", &value)) {
+      engine_options.num_threads = std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-concurrent", &value)) {
+      engine_options.max_concurrent_queries =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--admission-timeout", &value)) {
+      engine_options.admission_timeout = std::atof(value.c_str());
+    } else if (ParseFlag(argv[i], "--tenant-quota", &value)) {
+      engine_options.max_concurrent_per_tenant =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--max-connections", &value)) {
+      server_options.max_connections =
+          std::strtoull(value.c_str(), nullptr, 10);
+    } else if (ParseFlag(argv[i], "--idle-timeout", &value)) {
+      server_options.idle_timeout = std::atof(value.c_str());
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  QueryEngine engine(engine_options);
+  if (!csvs.empty()) {
+    for (const auto& [name, path] : csvs) {
+      Status st = engine.RegisterCsvFile(path, name);
+      if (!st.ok()) {
+        std::fprintf(stderr, "register %s: %s\n", name.c_str(),
+                     st.ToString().c_str());
+        return 1;
+      }
+      std::fprintf(stderr, "registered table %s from %s\n", name.c_str(),
+                   path.c_str());
+    }
+  } else {
+    std::fprintf(stderr,
+                 "no --csv given; generating sample tables "
+                 "dsd(%zu) oagp(%zu) oagv(%zu)\n",
+                 dsd_rows, oagp_rows, oagv_rows);
+    auto universe = queryer::datagen::MakeVenueUniverse(300, 7);
+    queryer::datagen::OagpOptions oagp_options;
+    oagp_options.venue_join_fraction = 0.5;
+    for (auto& table :
+         {queryer::datagen::MakeDsdLike(dsd_rows, 4242).table,
+          queryer::datagen::MakeOagpLike(oagp_rows, universe, 11, oagp_options)
+              .table,
+          queryer::datagen::MakeOagvLike(oagv_rows, universe, 13).table}) {
+      Status st = engine.RegisterTable(table);
+      if (!st.ok()) {
+        std::fprintf(stderr, "register: %s\n", st.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  QueryServer server(&engine, server_options);
+  Status st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "start: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%u\n", server_options.host.c_str(),
+              server.port());
+  std::fflush(stdout);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  std::fprintf(stderr, "shutting down\n");
+  server.Stop();
+  return 0;
+}
